@@ -1,0 +1,300 @@
+// Package ampsched_test holds the benchmark harness that regenerates the
+// paper's evaluation artifacts: one benchmark per table and figure (run
+// with `go test -bench=. -benchmem`), plus ablation benchmarks for the
+// design choices called out in DESIGN.md (2CATAC memoization, desim queue
+// capacities, HeRAD scaling in tasks vs resources).
+//
+// The benchmarks exercise reduced campaign sizes so a full -bench=. pass
+// stays in the minutes range on a laptop; cmd/experiments runs the
+// paper-sized campaigns.
+package ampsched_test
+
+import (
+	"fmt"
+	"testing"
+
+	"ampsched/internal/chaingen"
+	"ampsched/internal/core"
+	"ampsched/internal/desim"
+	"ampsched/internal/experiments"
+	"ampsched/internal/fertac"
+	"ampsched/internal/herad"
+	"ampsched/internal/otac"
+	"ampsched/internal/platform"
+	"ampsched/internal/streampu"
+	"ampsched/internal/twocatac"
+)
+
+// BenchmarkTable1 regenerates one Table I scenario (R=(10,10), SR=0.5):
+// all five strategies over a batch of random 20-task chains.
+func BenchmarkTable1(b *testing.B) {
+	cfg := experiments.Table1Config{Chains: 20, Tasks: 20, Seed: 20250704}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cells := experiments.Table1Scenario(cfg, core.Resources{Big: 10, Little: 10}, 0.5)
+		if cells[0].PctOptimal != 100 {
+			b.Fatal("HeRAD not optimal")
+		}
+	}
+}
+
+// BenchmarkFig1 regenerates the slowdown CDFs from a Table I scenario.
+func BenchmarkFig1(b *testing.B) {
+	cfg := experiments.Table1Config{Chains: 40, Tasks: 20, Seed: 1}
+	cells := experiments.Table1Scenario(cfg, core.Resources{Big: 4, Little: 16}, 0.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s := experiments.Fig1(cells); len(s) == 0 {
+			b.Fatal("no series")
+		}
+	}
+}
+
+// BenchmarkFig2 regenerates the FERTAC-vs-HeRAD core-usage heatmaps.
+func BenchmarkFig2(b *testing.B) {
+	cfg := experiments.Table1Config{Chains: 20, Tasks: 20, Seed: 2}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig2(cfg)
+		if res.All.Total() != 20 {
+			b.Fatal("bad total")
+		}
+	}
+}
+
+// benchChains builds a deterministic batch of chains for the scheduler
+// benchmarks (Figs. 3–4).
+func benchChains(n int, sr float64, count int) []*core.Chain {
+	return chaingen.GenerateMany(chaingen.Default(n, sr), 7, count)
+}
+
+// BenchmarkFig3 regenerates Fig. 3's execution-time rows: each strategy's
+// scheduling time for growing task counts at R=(20,20), SR=0.5.
+// (2CATAC stops at 60 tasks, as in the paper.)
+func BenchmarkFig3(b *testing.B) {
+	r := core.Resources{Big: 20, Little: 20}
+	for _, n := range []int{20, 40, 60, 80, 120, 160} {
+		chains := benchChains(n, 0.5, 8)
+		for _, strat := range experiments.Strategies {
+			if strat == experiments.StratTwoCAT && n > 60 {
+				continue
+			}
+			if strat == experiments.StratHeRAD && n > 120 {
+				continue // minutes per op at (20,20)×160 on small machines
+			}
+			b.Run(fmt.Sprintf("%s/tasks=%d", strat, n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					s := experiments.Run(strat, chains[i%len(chains)], r)
+					if s.IsEmpty() {
+						b.Fatal("no schedule")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig4 regenerates Fig. 4's rows: scheduling time for growing
+// resource counts at a fixed 20-task chain, SR=0.5.
+func BenchmarkFig4(b *testing.B) {
+	chains := benchChains(20, 0.5, 8)
+	for _, cores := range []int{20, 40, 80, 160} {
+		r := core.Resources{Big: cores, Little: cores}
+		for _, strat := range experiments.Strategies {
+			b.Run(fmt.Sprintf("%s/cores=%d", strat, 2*cores), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					s := experiments.Run(strat, chains[i%len(chains)], r)
+					if s.IsEmpty() {
+						b.Fatal("no schedule")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates Table II's schedule computations and
+// discrete-event validations for all 20 rows (simulation only; the
+// runtime rows are wall-clock experiments driven by cmd/experiments).
+func BenchmarkTable2(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table2(experiments.Table2Config{RunReal: false})
+		if err != nil || len(rows) != 20 {
+			b.Fatalf("rows=%d err=%v", len(rows), err)
+		}
+	}
+}
+
+// BenchmarkTable3 regenerates the Table III model chains from the
+// embedded profiles (the scheduling input of the real-world experiment).
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table3()
+		if len(rows) != 23 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+// BenchmarkFig5 regenerates Fig. 5's per-strategy throughput series via
+// the discrete-event simulator on the Mac Studio full configuration.
+func BenchmarkFig5(b *testing.B) {
+	p := platform.MacStudio()
+	c := p.Chain()
+	r := core.Resources{Big: 16, Little: 4}
+	sols := map[string]core.Solution{}
+	for _, strat := range experiments.Strategies {
+		sols[strat] = experiments.Run(strat, c, r)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, sol := range sols {
+			res, err := desim.Simulate(c, sol, desim.Config{Frames: 1000, QueueCap: 2})
+			if err != nil || res.Period <= 0 {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFig6 regenerates the summary roll-up.
+func BenchmarkFig6(b *testing.B) {
+	cfg := experiments.Table1Config{Chains: 20, Tasks: 20, Seed: 3}
+	t1 := experiments.Table1Scenario(cfg, core.Resources{Big: 10, Little: 10}, 0.5)
+	t2, err := experiments.Table2(experiments.Table2Config{RunReal: false})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s := experiments.Fig6(t1, t2); len(s) != 5 {
+			b.Fatal("bad summary")
+		}
+	}
+}
+
+// --- Ablation benchmarks -------------------------------------------------
+
+// BenchmarkAblation2CATACMemo compares the paper-verbatim exponential
+// 2CATAC recursion against the memoized variant on chains near the
+// paper's 60-task practicality limit.
+func BenchmarkAblation2CATACMemo(b *testing.B) {
+	r := core.Resources{Big: 10, Little: 10}
+	for _, n := range []int{20, 40, 60} {
+		chains := benchChains(n, 0.5, 4)
+		b.Run(fmt.Sprintf("plain/tasks=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				twocatac.Schedule(chains[i%len(chains)], r)
+			}
+		})
+		b.Run(fmt.Sprintf("memo/tasks=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				twocatac.ScheduleMemo(chains[i%len(chains)], r)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationMergePostPass measures the cost of HeRAD's
+// replicable-stage merge post-pass (raw extraction vs merged).
+func BenchmarkAblationMergePostPass(b *testing.B) {
+	chains := benchChains(40, 0.8, 4)
+	r := core.Resources{Big: 8, Little: 8}
+	b.Run("raw", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			herad.ScheduleRaw(chains[i%len(chains)], r)
+		}
+	})
+	b.Run("merged", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			herad.Schedule(chains[i%len(chains)], r)
+		}
+	})
+}
+
+// BenchmarkAblationDesimQueueCap sweeps the inter-stage buffer capacity:
+// deterministic flow lines reach the bottleneck rate for any capacity ≥ 1,
+// so the simulated period should not change — only the simulation cost.
+func BenchmarkAblationDesimQueueCap(b *testing.B) {
+	p := platform.X7Ti()
+	c := p.Chain()
+	sol := herad.Schedule(c, core.Resources{Big: 6, Little: 8})
+	for _, cap := range []int{0, 1, 2, 8} {
+		b.Run(fmt.Sprintf("cap=%d", cap), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := desim.Simulate(c, sol, desim.Config{Frames: 1000, QueueCap: cap})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Period < 1341 || res.Period > 1343 {
+					b.Fatalf("cap %d changed the period: %v", cap, res.Period)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationStaticVsDynamic compares the static interval-mapped
+// pipeline against the dynamic central-queue executor on a chain of
+// zero-latency tasks: with no modeled work, the measured time is pure
+// per-frame scheduling overhead — the §II argument for static schedules
+// at tens-of-µs task granularity.
+func BenchmarkAblationStaticVsDynamic(b *testing.B) {
+	mkTasks := func(n int) []streampu.Task {
+		var out []streampu.Task
+		for i := 0; i < n; i++ {
+			out = append(out, &streampu.TimedTask{TaskName: fmt.Sprintf("t%d", i), Rep: true})
+		}
+		return out
+	}
+	for _, n := range []int{8, 16} {
+		tasks := mkTasks(n)
+		sol := core.Solution{Stages: []core.Stage{{Start: 0, End: n - 1, Cores: 4, Type: core.Big}}}
+		b.Run(fmt.Sprintf("static/tasks=%d", n), func(b *testing.B) {
+			p, err := streampu.New(tasks, sol, streampu.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			st, err := p.Run(b.N, nil)
+			if err != nil || st.Frames != b.N {
+				b.Fatal(err)
+			}
+		})
+		b.Run(fmt.Sprintf("dynamic/tasks=%d", n), func(b *testing.B) {
+			st, err := streampu.Dynamic(tasks, b.N,
+				streampu.DynamicOptions{Workers: streampu.PlatformWorkers(4, 0)}, nil)
+			if err != nil || st.Frames != b.N {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkSchedulers gives per-strategy single-instance timings at the
+// paper's synthetic scale (20 tasks, R=(16,4)) for quick comparisons.
+func BenchmarkSchedulers(b *testing.B) {
+	chains := benchChains(20, 0.5, 8)
+	r := core.Resources{Big: 16, Little: 4}
+	b.Run("HeRAD", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			herad.Schedule(chains[i%len(chains)], r)
+		}
+	})
+	b.Run("2CATAC", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			twocatac.Schedule(chains[i%len(chains)], r)
+		}
+	})
+	b.Run("FERTAC", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fertac.Schedule(chains[i%len(chains)], r)
+		}
+	})
+	b.Run("OTAC", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			otac.Schedule(chains[i%len(chains)], 20, core.Big)
+		}
+	})
+}

@@ -1,0 +1,258 @@
+// Command ampsched schedules a partially-replicable task chain on two
+// types of resources (big/little cores) and optionally validates the
+// schedule by discrete-event simulation or by executing it on the
+// streampu runtime with latency-modeled tasks.
+//
+// Usage:
+//
+//	ampsched -big 8 -little 2 [flags]
+//
+// The chain comes from -input (JSON) or -platform (the embedded DVB-S2
+// profiles "mac" / "x7"). JSON format:
+//
+//	{"tasks": [{"name": "t1", "big": 52.3, "little": 248.3, "replicable": false}, ...]}
+//
+// Flags:
+//
+//	-strategy S   herad|2catac|fertac|otac-b|otac-l|all (default herad)
+//	-simulate     validate with the discrete-event simulator
+//	-run          execute on the streampu runtime (wall clock)
+//	-frames N     frames for -run (default 100)
+//	-scale S      time scale for -run (default 10)
+//	-interframe N frames per pipeline slot for throughput reporting
+//	-json         print the schedule as JSON
+//	-colocate     fuse adjacent light single-core stages (§VII extension)
+//	-power        report watts and mJ/frame under the default power model
+//	-trace FILE   with -run: dump a Chrome trace of the pipeline execution
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ampsched/internal/core"
+	"ampsched/internal/desim"
+	"ampsched/internal/experiments"
+	"ampsched/internal/platform"
+	"ampsched/internal/report"
+	"ampsched/internal/streampu"
+)
+
+type jsonTask struct {
+	Name       string  `json:"name"`
+	Big        float64 `json:"big"`
+	Little     float64 `json:"little"`
+	Replicable bool    `json:"replicable"`
+}
+
+type jsonChain struct {
+	Tasks []jsonTask `json:"tasks"`
+}
+
+type jsonStage struct {
+	Start int    `json:"start"`
+	End   int    `json:"end"`
+	Cores int    `json:"cores"`
+	Type  string `json:"type"`
+}
+
+type jsonSolution struct {
+	Strategy string      `json:"strategy"`
+	Period   float64     `json:"period"`
+	Stages   []jsonStage `json:"stages"`
+	BigUsed  int         `json:"big_used"`
+	LitUsed  int         `json:"little_used"`
+}
+
+func main() {
+	input := flag.String("input", "", "JSON task-chain file")
+	plat := flag.String("platform", "", `embedded DVB-S2 profile: "mac" or "x7"`)
+	big := flag.Int("big", 0, "number of big cores")
+	little := flag.Int("little", 0, "number of little cores")
+	strategy := flag.String("strategy", "herad", "herad|2catac|fertac|otac-b|otac-l|all")
+	simulate := flag.Bool("simulate", false, "validate with the discrete-event simulator")
+	run := flag.Bool("run", false, "execute on the streampu runtime")
+	frames := flag.Int("frames", 100, "frames for -run")
+	scale := flag.Float64("scale", 10, "time scale for -run")
+	interframe := flag.Int("interframe", 1, "frames per pipeline slot for FPS reporting")
+	asJSON := flag.Bool("json", false, "print the schedule as JSON")
+	colocate := flag.Bool("colocate", false, "fuse adjacent light single-core stages (saves cores at equal period)")
+	power := flag.Bool("power", false, "report power/energy under the default power model")
+	tracePath := flag.String("trace", "", "with -run: write a Chrome trace (chrome://tracing) to this file")
+	flag.Parse()
+
+	if err := mainErr(*input, *plat, *big, *little, *strategy, *simulate, *run,
+		*frames, *scale, *interframe, *asJSON, *colocate, *power, *tracePath); err != nil {
+		fmt.Fprintln(os.Stderr, "ampsched:", err)
+		os.Exit(1)
+	}
+}
+
+func mainErr(input, plat string, big, little int, strategy string,
+	simulate, run bool, frames int, scale float64, interframe int,
+	asJSON, colocate, power bool, tracePath string) error {
+	chain, defIF, err := loadChain(input, plat)
+	if err != nil {
+		return err
+	}
+	if interframe == 1 && defIF > 1 {
+		interframe = defIF
+	}
+	r := core.Resources{Big: big, Little: little}
+	if r.Total() <= 0 {
+		return fmt.Errorf("no resources: pass -big and/or -little")
+	}
+
+	names, err := strategyList(strategy)
+	if err != nil {
+		return err
+	}
+	header := []string{"Strategy", "Period", "FPS", "Pipeline decomposition", "b", "l"}
+	if power {
+		header = append(header, "W", "mJ/frame")
+	}
+	t := report.NewTable(header...)
+	pm := core.DefaultPowerModel()
+	for _, name := range names {
+		sol := experiments.Run(name, chain, r)
+		if sol.IsEmpty() {
+			return fmt.Errorf("%s found no schedule for R=%v", name, r)
+		}
+		if err := sol.Validate(chain, r); err != nil {
+			return fmt.Errorf("%s produced an invalid schedule: %v", name, err)
+		}
+		p := sol.Period(chain)
+		if colocate {
+			fused := sol.Fuse(chain, p)
+			if len(fused.Stages) < len(sol.Stages) {
+				sol = fused
+			}
+		}
+		b, l := sol.CoresUsed()
+		if asJSON {
+			out := jsonSolution{Strategy: name, Period: p, BigUsed: b, LitUsed: l}
+			for _, st := range sol.Stages {
+				out.Stages = append(out.Stages, jsonStage{
+					Start: st.Start, End: st.End, Cores: st.Cores, Type: st.Type.String(),
+				})
+			}
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(out); err != nil {
+				return err
+			}
+		} else {
+			row := []any{name, p, fmt.Sprintf("%.0f", core.Throughput(p, interframe)),
+				sol.String(), b, l}
+			if power {
+				row = append(row, pm.Power(sol), 1000*pm.EnergyPerFrame(sol, p))
+			}
+			t.AddRow(row...)
+		}
+		if simulate {
+			res, err := desim.Simulate(chain, sol, desim.Config{Frames: 2000, QueueCap: 2})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("# %s desim: period %.1f, FPS %.0f, latency %.1f\n",
+				name, res.Period, res.Throughput(interframe), res.Latency)
+		}
+		if run {
+			opts := streampu.Options{TimeScale: scale, QueueCap: 2}
+			var tracer *streampu.Tracer
+			if tracePath != "" {
+				tracer = &streampu.Tracer{}
+				opts.Tracer = tracer
+			}
+			pipe, err := streampu.New(streampu.TimedChain(chain), sol, opts)
+			if err != nil {
+				return err
+			}
+			st, err := pipe.Run(frames, nil)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("# %s runtime: measured period %.1f, FPS %.0f (%d frames, %.2fs wall)\n",
+				name, st.PeriodMicros, st.Throughput(interframe), st.Frames, st.Elapsed.Seconds())
+			if tracer != nil {
+				f, err := os.Create(tracePath)
+				if err != nil {
+					return err
+				}
+				if err := tracer.WriteChromeTrace(f); err != nil {
+					f.Close()
+					return err
+				}
+				if err := f.Close(); err != nil {
+					return err
+				}
+				fmt.Printf("# %s trace: %d events written to %s\n", name, tracer.Len(), tracePath)
+			}
+		}
+	}
+	if !asJSON {
+		t.Render(os.Stdout)
+	}
+	return nil
+}
+
+func loadChain(input, plat string) (*core.Chain, int, error) {
+	switch {
+	case input != "" && plat != "":
+		return nil, 0, fmt.Errorf("pass either -input or -platform, not both")
+	case plat != "":
+		switch strings.ToLower(plat) {
+		case "mac", "macstudio", "mac-studio":
+			p := platform.MacStudio()
+			return p.Chain(), p.Interframe, nil
+		case "x7", "x7ti", "x7-ti":
+			p := platform.X7Ti()
+			return p.Chain(), p.Interframe, nil
+		default:
+			return nil, 0, fmt.Errorf("unknown platform %q (want mac or x7)", plat)
+		}
+	case input != "":
+		data, err := os.ReadFile(input)
+		if err != nil {
+			return nil, 0, err
+		}
+		var jc jsonChain
+		if err := json.Unmarshal(data, &jc); err != nil {
+			return nil, 0, fmt.Errorf("parsing %s: %w", input, err)
+		}
+		tasks := make([]core.Task, len(jc.Tasks))
+		for i, t := range jc.Tasks {
+			tasks[i] = core.Task{
+				Name:       t.Name,
+				Weight:     [core.NumCoreTypes]float64{core.Big: t.Big, core.Little: t.Little},
+				Replicable: t.Replicable,
+			}
+		}
+		c, err := core.NewChain(tasks)
+		return c, 1, err
+	default:
+		return nil, 0, fmt.Errorf("pass -input FILE or -platform mac|x7")
+	}
+}
+
+func strategyList(s string) ([]string, error) {
+	switch strings.ToLower(s) {
+	case "herad":
+		return []string{experiments.StratHeRAD}, nil
+	case "2catac", "twocatac":
+		return []string{experiments.StratTwoCAT}, nil
+	case "fertac":
+		return []string{experiments.StratFERTAC}, nil
+	case "otac-b", "otacb":
+		return []string{experiments.StratOTACB}, nil
+	case "otac-l", "otacl":
+		return []string{experiments.StratOTACL}, nil
+	case "all":
+		return experiments.Strategies, nil
+	default:
+		return nil, fmt.Errorf("unknown strategy %q", s)
+	}
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"testing"
+
+	"ampsched/internal/core"
+	"ampsched/internal/experiments"
+)
+
+func TestLoadChainFromJSON(t *testing.T) {
+	c, interframe, err := loadChain("testdata/chain.json", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 4 || interframe != 1 {
+		t.Fatalf("len=%d interframe=%d", c.Len(), interframe)
+	}
+	if c.Task(1).Name != "filter" || !c.Task(1).Replicable {
+		t.Errorf("task 1: %+v", c.Task(1))
+	}
+	if c.Task(2).W(core.Little) != 700 {
+		t.Errorf("task 2 little weight %v", c.Task(2).W(core.Little))
+	}
+}
+
+func TestLoadChainPlatforms(t *testing.T) {
+	for _, name := range []string{"mac", "MacStudio", "x7", "X7Ti"} {
+		c, interframe, err := loadChain("", name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if c.Len() != 23 || interframe < 4 {
+			t.Errorf("%s: len=%d interframe=%d", name, c.Len(), interframe)
+		}
+	}
+}
+
+func TestLoadChainErrors(t *testing.T) {
+	if _, _, err := loadChain("", ""); err == nil {
+		t.Error("no source accepted")
+	}
+	if _, _, err := loadChain("testdata/chain.json", "mac"); err == nil {
+		t.Error("both sources accepted")
+	}
+	if _, _, err := loadChain("", "commodore64"); err == nil {
+		t.Error("unknown platform accepted")
+	}
+	if _, _, err := loadChain("testdata/missing.json", ""); err == nil {
+		t.Error("missing file accepted")
+	}
+	if _, _, err := loadChain("main.go", ""); err == nil {
+		t.Error("non-JSON file accepted")
+	}
+}
+
+func TestStrategyList(t *testing.T) {
+	all, err := strategyList("all")
+	if err != nil || len(all) != 5 {
+		t.Fatalf("all: %v %v", all, err)
+	}
+	for in, want := range map[string]string{
+		"herad":  experiments.StratHeRAD,
+		"2catac": experiments.StratTwoCAT,
+		"FERTAC": experiments.StratFERTAC,
+		"otac-b": experiments.StratOTACB,
+		"OTACL":  experiments.StratOTACL,
+	} {
+		got, err := strategyList(in)
+		if err != nil || len(got) != 1 || got[0] != want {
+			t.Errorf("strategyList(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := strategyList("banana"); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}
+
+func TestMainErrEndToEnd(t *testing.T) {
+	// Whole-pipeline smoke test through the CLI entry point (no -run).
+	if err := mainErr("testdata/chain.json", "", 2, 2, "all",
+		true, false, 10, 1, 1, false, true, true, ""); err != nil {
+		t.Fatal(err)
+	}
+	// JSON output path.
+	if err := mainErr("", "mac", 8, 2, "herad",
+		false, false, 10, 1, 1, true, false, false, ""); err != nil {
+		t.Fatal(err)
+	}
+	// No resources.
+	if err := mainErr("testdata/chain.json", "", 0, 0, "herad",
+		false, false, 10, 1, 1, false, false, false, ""); err == nil {
+		t.Error("zero resources accepted")
+	}
+}

@@ -1,0 +1,437 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (§VI): Table I and Figs. 1–4 from the synthetic simulation
+// campaign, Tables II–III and Fig. 5 from the DVB-S2 experiment, and the
+// Fig. 6 summary. Results print as aligned text tables (or CSV) with the
+// same rows/series the paper reports.
+//
+// Usage:
+//
+//	experiments [flags] <table1|fig1|fig2|fig3|fig4|table2|table3|fig5|fig6|live|sensitivity|latency|all>
+//
+// Flags:
+//
+//	-chains N    chains per scenario for table1/fig1/fig2 (default 1000)
+//	-runs N      chains per timing point for fig3/fig4 (default 50)
+//	-quick       shrink every campaign (CI-friendly)
+//	-csv         emit CSV instead of text tables
+//	-real        execute Table II schedules on the streampu runtime
+//	-scale S     time scale for -real runs (default 10)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ampsched/internal/core"
+	"ampsched/internal/dvbs2"
+	"ampsched/internal/experiments"
+	"ampsched/internal/report"
+	"ampsched/internal/stats"
+)
+
+func main() {
+	chains := flag.Int("chains", 1000, "chains per scenario (Table I, Figs. 1-2)")
+	runs := flag.Int("runs", 50, "chains per timing point (Figs. 3-4)")
+	quick := flag.Bool("quick", false, "shrink all campaigns for quick runs")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	real := flag.Bool("real", false, "run Table II schedules on the streampu runtime (wall clock)")
+	scale := flag.Float64("scale", 10, "time scale for -real runs")
+	flag.Parse()
+
+	if *quick {
+		*chains = 100
+		*runs = 10
+	}
+	cmd := flag.Arg(0)
+	if cmd == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	app := &app{
+		chains: *chains, runs: *runs, quick: *quick,
+		csv: *csv, real: *real, scale: *scale,
+	}
+	if err := app.run(cmd); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+type app struct {
+	chains, runs int
+	quick        bool
+	csv, real    bool
+	scale        float64
+
+	t1cache []experiments.Table1Cell
+}
+
+func (a *app) run(cmd string) error {
+	switch cmd {
+	case "table1":
+		return a.table1()
+	case "fig1":
+		return a.fig1()
+	case "fig2":
+		return a.fig2()
+	case "fig3":
+		return a.fig3()
+	case "fig4":
+		return a.fig4()
+	case "table2":
+		_, err := a.table2()
+		return err
+	case "table3":
+		return a.table3()
+	case "fig5":
+		return a.fig5()
+	case "fig6":
+		return a.fig6()
+	case "live":
+		return a.live()
+	case "sensitivity":
+		return a.sensitivity()
+	case "latency":
+		return a.latency()
+	case "all":
+		for _, c := range []string{"table1", "fig1", "fig2", "fig3", "fig4",
+			"table3", "table2", "fig5", "fig6"} {
+			fmt.Printf("\n================ %s ================\n", c)
+			if err := a.run(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q", cmd)
+	}
+}
+
+func (a *app) emit(t *report.Table) {
+	if a.csv {
+		t.CSV(os.Stdout)
+	} else {
+		t.Render(os.Stdout)
+	}
+	fmt.Println()
+}
+
+func (a *app) table1Cells() []experiments.Table1Cell {
+	if a.t1cache == nil {
+		cfg := experiments.DefaultTable1Config()
+		cfg.Chains = a.chains
+		a.t1cache = experiments.Table1(cfg)
+	}
+	return a.t1cache
+}
+
+func (a *app) table1() error {
+	fmt.Printf("Table I — simulation statistics (%d chains × 20 tasks per scenario)\n\n", a.chains)
+	t := report.NewTable("R", "SR", "Strategy", "%opt", "avg", "med", "max", "b_used", "l_used")
+	for _, c := range a.table1Cells() {
+		t.AddRow(c.R.String(), fmt.Sprintf("%.1f", c.SR), c.Strategy,
+			fmt.Sprintf("%.1f", c.PctOptimal), c.AvgSlowdown, c.MedSlowdown,
+			c.MaxSlowdown, c.AvgBigUsed, c.AvgLitUsed)
+	}
+	a.emit(t)
+	return nil
+}
+
+func (a *app) fig1() error {
+	fmt.Printf("Fig. 1 — cumulative distributions of slowdown ratios vs HeRAD\n\n")
+	series := experiments.Fig1(a.table1Cells())
+	// Fig. 1a: fraction of chains within the zoomed slowdown interval.
+	t := report.NewTable("R", "SR", "Strategy", "P(≤1.0)", "P(≤1.1)", "P(≤1.25)", "P(≤1.5)", "max")
+	for _, s := range series {
+		last := s.CDF[len(s.CDF)-1].X
+		t.AddRow(s.R.String(), fmt.Sprintf("%.1f", s.SR), s.Strategy,
+			stats.CDFAt(s.CDF, 1.0), stats.CDFAt(s.CDF, 1.1),
+			stats.CDFAt(s.CDF, 1.25), stats.CDFAt(s.CDF, 1.5), last)
+	}
+	a.emit(t)
+	// Fig. 1b: the full-range plot for R = (10,10).
+	var plot []report.Series
+	for _, s := range series {
+		if s.R != (core.Resources{Big: 10, Little: 10}) || s.SR != 0.5 {
+			continue
+		}
+		var xs, ys []float64
+		for _, p := range s.CDF {
+			xs = append(xs, p.X)
+			ys = append(ys, p.P)
+		}
+		plot = append(plot, report.Series{Name: s.Strategy, X: xs, Y: ys})
+	}
+	report.LogPlot(os.Stdout, "Fig. 1b (R=(10B,10L), SR=0.5): CDF(P, log) vs slowdown", plot, 60, 12)
+	return nil
+}
+
+func (a *app) fig2() error {
+	cfg := experiments.DefaultTable1Config()
+	cfg.Chains = a.chains
+	res := experiments.Fig2(cfg)
+	fmt.Printf("Fig. 2 — FERTAC−HeRAD core-usage deltas, R=%v SR=%.1f (%d chains)\n\n",
+		res.R, res.SR, res.All.Total())
+	for name, h := range map[string]*stats.Hist2D{"all results": res.All, "only optimal periods": res.Opt} {
+		fmt.Printf("%s (%d samples): ≤1 extra core %.1f%%, ≤2 extra cores %.1f%%\n",
+			name, h.Total(), 100*experiments.ExtraCoresAtMost(h, 1), 100*experiments.ExtraCoresAtMost(h, 2))
+		xmin, xmax, ymin, ymax := h.Bounds()
+		t := report.NewTable(append([]string{"Δbig\\Δlittle"}, colLabels(ymin, ymax)...)...)
+		for x := xmin; x <= xmax; x++ {
+			row := []any{fmt.Sprintf("%+d", x)}
+			for y := ymin; y <= ymax; y++ {
+				row = append(row, fmt.Sprintf("%.1f%%", 100*h.Fraction(x, y)))
+			}
+			t.AddRow(row...)
+		}
+		a.emit(t)
+	}
+	return nil
+}
+
+func colLabels(min, max int) []string {
+	var out []string
+	for y := min; y <= max; y++ {
+		out = append(out, fmt.Sprintf("%+d", y))
+	}
+	return out
+}
+
+func (a *app) fig3() error {
+	cfg := experiments.DefaultTimingConfig()
+	cfg.Chains = a.runs
+	taskCounts := []int{20, 40, 60, 80, 100, 120, 140, 160}
+	if a.quick {
+		taskCounts = []int{20, 40, 60}
+	}
+	srs := []float64{0.2, 0.5, 0.8}
+	fmt.Printf("Fig. 3 — strategy execution times (µs) vs number of tasks (%d runs/point)\n\n", a.runs)
+	for _, r := range []core.Resources{{Big: 20, Little: 20}, {Big: 100, Little: 100}} {
+		if a.quick && r.Big == 100 {
+			cfg.SkipHeRADAbove = 60 // HeRAD at (100,100)×160 tasks takes minutes
+		}
+		pts := experiments.Fig3(cfg, r, taskCounts, srs)
+		a.renderTiming(fmt.Sprintf("R=%v", r), pts, "tasks")
+	}
+	return nil
+}
+
+func (a *app) fig4() error {
+	cfg := experiments.DefaultTimingConfig()
+	cfg.Chains = a.runs
+	resources := []core.Resources{}
+	for i := 1; i <= 8; i++ {
+		resources = append(resources, core.Resources{Big: 20 * i, Little: 20 * i})
+	}
+	if a.quick {
+		resources = resources[:3]
+	}
+	srs := []float64{0.2, 0.5, 0.8}
+	fmt.Printf("Fig. 4 — strategy execution times (µs) vs resources (%d runs/point)\n\n", a.runs)
+	for _, n := range []int{20, 60} {
+		pts := experiments.Fig4(cfg, n, resources, srs)
+		a.renderTiming(fmt.Sprintf("%d tasks", n), pts, "cores")
+	}
+	return nil
+}
+
+func (a *app) renderTiming(title string, pts []experiments.TimingPoint, xAxis string) {
+	fmt.Println("--", title)
+	t := report.NewTable("Strategy", "SR", xAxis, "µs")
+	bySeries := map[string]*report.Series{}
+	var order []string
+	for _, p := range pts {
+		x := float64(p.Tasks)
+		if xAxis == "cores" {
+			x = float64(p.R.Total())
+		}
+		t.AddRow(p.Strategy, fmt.Sprintf("%.1f", p.SR), int(x), p.Micros)
+		key := fmt.Sprintf("%s SR=%.1f", p.Strategy, p.SR)
+		s, ok := bySeries[key]
+		if !ok {
+			s = &report.Series{Name: key}
+			bySeries[key] = s
+			order = append(order, key)
+		}
+		s.X = append(s.X, x)
+		s.Y = append(s.Y, p.Micros)
+	}
+	a.emit(t)
+	var plot []report.Series
+	for _, k := range order {
+		plot = append(plot, *bySeries[k])
+	}
+	if !a.csv {
+		report.LogPlot(os.Stdout, "execution time (µs, log) vs "+xAxis, plot, 60, 12)
+	}
+}
+
+func (a *app) table2() ([]experiments.Table2Row, error) {
+	cfg := experiments.DefaultTable2Config()
+	cfg.RunReal = a.real
+	cfg.TimeScale = a.scale
+	rows, err := experiments.Table2(cfg)
+	if err != nil {
+		return nil, err
+	}
+	mode := "simulation only (pass -real for runtime measurements)"
+	if a.real {
+		mode = fmt.Sprintf("streampu runtime at time scale %.0f×", a.scale)
+	}
+	fmt.Printf("Table II — DVB-S2 receiver schedules; %s\n\n", mode)
+	t := report.NewTable("Id", "Platform", "R", "Strategy", "Pipeline decomposition",
+		"|s|", "b", "l", "Period µs", "Sim FPS", "Real FPS", "Sim Mb/s", "Real Mb/s", "Ratio")
+	for _, r := range rows {
+		ratio := "-"
+		if r.RealMbps > 0 {
+			ratio = fmt.Sprintf("%+.0f%%", r.RatioPct)
+		}
+		t.AddRow(r.ID, r.Platform, r.R.String(), r.Strategy, r.Decomposition,
+			r.Stages, r.BUsed, r.LUsed, r.PeriodMicros,
+			fmt.Sprintf("%.0f", r.SimFPS), fmt.Sprintf("%.0f", r.RealFPS),
+			r.SimMbps, r.RealMbps, ratio)
+	}
+	a.emit(t)
+	return rows, nil
+}
+
+func (a *app) table3() error {
+	fmt.Println("Table III — DVB-S2 receiver task latency profiles (µs)")
+	fmt.Println()
+	rows := experiments.Table3()
+	t := report.NewTable("Id", "Task", "Rep", "Mac B", "Mac L", "X7 B", "X7 L")
+	for _, r := range rows {
+		rep := "✗"
+		if r.Replicable {
+			rep = "✓"
+		}
+		mac := r.Weights["Mac Studio"]
+		x7 := r.Weights["X7 Ti"]
+		t.AddRow(fmt.Sprintf("τ%d", r.ID), r.Name, rep, mac[0], mac[1], x7[0], x7[1])
+	}
+	a.emit(t)
+	return nil
+}
+
+func (a *app) fig5() error {
+	rows, err := a.table2()
+	if err != nil {
+		return err
+	}
+	fmt.Println("Fig. 5 — achieved information throughput (Mb/s)")
+	fmt.Println()
+	entries := experiments.Fig5(rows)
+	t := report.NewTable("Platform", "R", "Strategy", "Mb/s", "bar")
+	maxV := 0.0
+	for _, e := range entries {
+		if e.Mbps > maxV {
+			maxV = e.Mbps
+		}
+	}
+	for _, e := range entries {
+		bar := ""
+		for i := 0.0; i < e.Mbps/maxV*40; i++ {
+			bar += "█"
+		}
+		t.AddRow(e.Platform, e.R.String(), e.Strategy, e.Mbps, bar)
+	}
+	a.emit(t)
+	return nil
+}
+
+func (a *app) fig6() error {
+	cfg := experiments.DefaultTable1Config()
+	cfg.Chains = min(a.chains, 200)
+	t1 := experiments.Table1(cfg)
+	t2cfg := experiments.DefaultTable2Config()
+	t2cfg.RunReal = a.real
+	t2, err := experiments.Table2(t2cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Fig. 6 — strategy characteristics summary")
+	fmt.Println()
+	t := report.NewTable("Strategy", "Optimal", "Avg slowdown", "Avg extra cores",
+		"Execution time", "Real/best %")
+	for _, s := range experiments.Fig6(t1, t2) {
+		real := "-"
+		if s.RealVsBestPct > 0 {
+			real = fmt.Sprintf("%.0f%%", s.RealVsBestPct)
+		}
+		t.AddRow(s.Strategy, s.Optimal, s.AvgSlowdown, s.AvgExtraCores, s.TimeClass, real)
+	}
+	a.emit(t)
+	return nil
+}
+
+// sensitivity runs the extension study quantifying the paper's remark
+// that heuristics degrade with more tasks and improve with more
+// resources (§VI-B, "additional experiments").
+func (a *app) sensitivity() error {
+	cfg := experiments.DefaultSensitivityConfig()
+	cfg.Chains = min(a.chains, 200)
+	fmt.Printf("Sensitivity extension (%d chains per point, SR=%.1f)\n\n", cfg.Chains, cfg.SR)
+
+	fmt.Println("-- heuristic quality vs number of tasks, R=(10B,10L)")
+	t := report.NewTable("Strategy", "tasks", "%opt", "avg slowdown")
+	for _, p := range experiments.SensitivityTasks(cfg, core.Resources{Big: 10, Little: 10},
+		[]int{10, 20, 40, 80}) {
+		t.AddRow(p.Strategy, p.X, fmt.Sprintf("%.1f", p.PctOptimal), p.AvgSlowdown)
+	}
+	a.emit(t)
+
+	fmt.Println("-- heuristic quality vs resources, 20 tasks")
+	t2 := report.NewTable("Strategy", "cores", "%opt", "avg slowdown")
+	for _, p := range experiments.SensitivityResources(cfg, 20, []core.Resources{
+		{Big: 4, Little: 4}, {Big: 10, Little: 10}, {Big: 20, Little: 20}, {Big: 40, Little: 40},
+	}) {
+		t2.AddRow(p.Strategy, p.X, fmt.Sprintf("%.1f", p.PctOptimal), p.AvgSlowdown)
+	}
+	a.emit(t2)
+	return nil
+}
+
+// latency runs the pipeline-depth / end-to-end-latency extension.
+func (a *app) latency() error {
+	rows, err := experiments.Latency()
+	if err != nil {
+		return err
+	}
+	fmt.Println("Latency extension — pipeline depth and end-to-end latency per strategy")
+	fmt.Println()
+	t := report.NewTable("Platform", "R", "Strategy", "stages", "period µs", "latency µs", "latency (periods)")
+	for _, r := range rows {
+		t.AddRow(r.Platform, r.R.String(), r.Strategy, r.Stages,
+			r.PeriodMicros, r.LatencyMicros, r.LatencyPeriods)
+	}
+	a.emit(t)
+	return nil
+}
+
+func (a *app) live() error {
+	fmt.Println("Live experiment — schedule and run this repository's Go DVB-S2 receiver")
+	fmt.Println()
+	p := dvbs2.Test()
+	t := report.NewTable("Strategy", "R", "Schedule", "Predicted FPS", "Measured FPS", "BER")
+	for _, strat := range []string{experiments.StratHeRAD, experiments.StratFERTAC} {
+		for _, r := range []core.Resources{{Big: 2, Little: 2}, {Big: 4, Little: 4}} {
+			res, err := experiments.LiveRun(p, strat, r, 20, 150)
+			if err != nil {
+				return err
+			}
+			t.AddRow(strat, r.String(), res.Solution.String(),
+				fmt.Sprintf("%.0f", res.Predicted), fmt.Sprintf("%.0f", res.Measured),
+				fmt.Sprintf("%.2e", res.BER))
+		}
+	}
+	a.emit(t)
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

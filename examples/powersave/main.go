@@ -1,0 +1,66 @@
+// Power-aware scheduling: the paper's secondary objective is to use as
+// many little (efficient) cores as necessary — and no more — to reach the
+// minimal period. This example sweeps a growing little-core budget and
+// shows HeRAD trading big cores for little ones at constant (optimal)
+// throughput, compared against the big-cores-only OTAC baseline.
+package main
+
+import (
+	"fmt"
+
+	"ampsched/internal/core"
+	"ampsched/internal/herad"
+	"ampsched/internal/otac"
+	"ampsched/internal/platform"
+)
+
+func main() {
+	p := platform.X7Ti()
+	chain := p.Chain()
+	fmt.Printf("workload: DVB-S2 receiver profile on %s (23 tasks)\n\n", p.Name)
+
+	fmt.Println("HeRAD with 6 big cores and a growing little-core budget:")
+	fmt.Printf("%-10s %-12s %-12s %-10s %s\n", "R", "period µs", "throughput", "cores b/l", "note")
+	base := otac.Schedule(chain, 6, core.Big).Period(chain)
+	fmt.Printf("%-10s %-12.1f %-12.0f %-10s %s\n", "(6B,0L)", base,
+		core.Throughput(base, p.Interframe), "6/0", "OTAC (B) baseline")
+	for l := 2; l <= 10; l += 2 {
+		r := core.Resources{Big: 6, Little: l}
+		s := herad.Schedule(chain, r)
+		b, lu := s.CoresUsed()
+		period := s.Period(chain)
+		note := ""
+		if period < base*0.999 {
+			note = fmt.Sprintf("%.1f× faster than big-only", base/period)
+		}
+		fmt.Printf("%-10s %-12.1f %-12.0f %d/%-8d %s\n", r.String(), period,
+			core.Throughput(period, p.Interframe), b, lu, note)
+	}
+
+	fmt.Println("\nLittle cores absorb the replicable stages, freeing big cores for")
+	fmt.Println("the sequential bottleneck — throughput rises while the power proxy")
+	fmt.Println("(big-core usage) stays flat. With ties, HeRAD prefers little cores:")
+	tie := core.MustChain([]core.Task{
+		{Name: "even", Weight: [core.NumCoreTypes]float64{core.Big: 100, core.Little: 100}, Replicable: false},
+	})
+	s := herad.Schedule(tie, core.Resources{Big: 4, Little: 4})
+	b, l := s.CoresUsed()
+	fmt.Printf("  equal-speed task on (4B,4L): HeRAD uses %d big, %d little\n", b, l)
+
+	// §VII extensions: a watts-level power model, and stage co-location
+	// (fusing adjacent light single-core stages at equal period).
+	pm := core.DefaultPowerModel()
+	r := core.Resources{Big: 6, Little: 8}
+	sched := herad.Schedule(chain, r)
+	period := sched.Period(chain)
+	fmt.Printf("\nPower model (%gW big / %gW little cores), period/power trade-off\n",
+		pm.Watts[core.Big], pm.Watts[core.Little])
+	fmt.Println("via stage co-location (fusing single-core stages up to a relaxed period):")
+	for _, slack := range []float64{1.0, 1.5, 2.0, 3.0} {
+		fused := sched.Fuse(chain, period*slack)
+		bb, ll := fused.CoresUsed()
+		fmt.Printf("  ≤%.1f× period: %d stages, (%dB,%dL) cores, %4.0f W, %6.2f mJ/frame, period %.0f µs\n",
+			slack, len(fused.Stages), bb, ll, pm.Power(fused),
+			1000*pm.EnergyPerFrame(fused, fused.Period(chain)), fused.Period(chain))
+	}
+}

@@ -1,0 +1,104 @@
+// Package brute provides an exhaustive-search reference solver for small
+// problem instances. It enumerates every interval partition of the chain
+// and every per-stage core-type/core-count assignment that respects the
+// resources, and reports the minimum period. Tests use it to certify
+// HeRAD's optimality (period and secondary objective) on random small
+// chains; it is exponential and must not be used beyond ~12 tasks.
+package brute
+
+import (
+	"math"
+
+	"ampsched/internal/core"
+)
+
+// Enumerate calls fn for every structurally valid complete solution of c
+// under resources r. Sequential stages are only generated with one core
+// (extra cores never reduce a sequential stage's weight and only waste
+// resources, so this loses no optimal solution under either objective).
+func Enumerate(c *core.Chain, r core.Resources, fn func(core.Solution)) {
+	var stages []core.Stage
+	var rec func(s, b, l int)
+	rec = func(s, b, l int) {
+		if s == c.Len() {
+			sol := core.Solution{Stages: append([]core.Stage(nil), stages...)}
+			fn(sol)
+			return
+		}
+		for e := s; e < c.Len(); e++ {
+			rep := c.IsRep(s, e)
+			for _, v := range []core.CoreType{core.Big, core.Little} {
+				avail := b
+				if v == core.Little {
+					avail = l
+				}
+				maxU := avail
+				if !rep {
+					maxU = min(1, avail)
+				}
+				for u := 1; u <= maxU; u++ {
+					stages = append(stages, core.Stage{Start: s, End: e, Cores: u, Type: v})
+					if v == core.Big {
+						rec(e+1, b-u, l)
+					} else {
+						rec(e+1, b, l-u)
+					}
+					stages = stages[:len(stages)-1]
+				}
+			}
+		}
+	}
+	rec(0, r.Big, r.Little)
+}
+
+// MinPeriod returns the optimal (minimum) period of c on r, or +Inf when
+// no valid solution exists.
+func MinPeriod(c *core.Chain, r core.Resources) float64 {
+	best := math.Inf(1)
+	Enumerate(c, r, func(s core.Solution) {
+		if p := s.Period(c); p < best {
+			best = p
+		}
+	})
+	return best
+}
+
+// Beats reports whether core usage (bN, lN) is strictly preferable to
+// (bC, lC) under the paper's secondary objective (CompareCells, Algo 10):
+// it either exchanges big cores for little ones, or uses no more cores of
+// either type with at least one strict improvement.
+func Beats(bN, lN, bC, lC int) bool {
+	if lN > lC && bN < bC {
+		return true // better exchange of big for little
+	}
+	if lN <= lC && bN <= bC && (lN < lC || bN < bC) {
+		return true // fewer cores overall
+	}
+	return false
+}
+
+// OptimalUsages returns the core usages of every optimal-period solution.
+func OptimalUsages(c *core.Chain, r core.Resources) (period float64, usages [][2]int) {
+	period = MinPeriod(c, r)
+	if math.IsInf(period, 1) {
+		return period, nil
+	}
+	seen := map[[2]int]bool{}
+	Enumerate(c, r, func(s core.Solution) {
+		if s.Period(c) <= period {
+			b, l := s.CoresUsed()
+			if !seen[[2]int{b, l}] {
+				seen[[2]int{b, l}] = true
+				usages = append(usages, [2]int{b, l})
+			}
+		}
+	})
+	return period, usages
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

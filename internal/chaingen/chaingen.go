@@ -1,0 +1,86 @@
+// Package chaingen generates the synthetic task chains of the paper's
+// simulation campaign (§VI-A1): big-core weights drawn uniformly from the
+// integer interval [1, 100], little-core weights obtained by applying a
+// per-task slowdown drawn uniformly from [1, 5] and rounding up, and a
+// stateless ratio SR selecting the fraction of replicable tasks.
+package chaingen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ampsched/internal/core"
+)
+
+// Config parameterizes chain generation. The zero value is not useful;
+// start from Default.
+type Config struct {
+	// N is the number of tasks in the chain.
+	N int
+	// WMin and WMax bound the uniform integer big-core weights.
+	WMin, WMax int
+	// SlowMin and SlowMax bound the uniform real little-core slowdown.
+	SlowMin, SlowMax float64
+	// StatelessRatio is the fraction of tasks that are replicable. The
+	// generator makes exactly round(SR·N) tasks replicable, at uniformly
+	// random positions.
+	StatelessRatio float64
+}
+
+// Default returns the paper's simulation configuration for n tasks and
+// stateless ratio sr.
+func Default(n int, sr float64) Config {
+	return Config{N: n, WMin: 1, WMax: 100, SlowMin: 1, SlowMax: 5, StatelessRatio: sr}
+}
+
+// Validate reports whether the configuration is internally consistent.
+func (cfg Config) Validate() error {
+	switch {
+	case cfg.N <= 0:
+		return fmt.Errorf("chaingen: N=%d, want > 0", cfg.N)
+	case cfg.WMin < 0 || cfg.WMax < cfg.WMin:
+		return fmt.Errorf("chaingen: weight interval [%d,%d] invalid", cfg.WMin, cfg.WMax)
+	case cfg.SlowMin < 1 || cfg.SlowMax < cfg.SlowMin:
+		return fmt.Errorf("chaingen: slowdown interval [%g,%g] invalid", cfg.SlowMin, cfg.SlowMax)
+	case cfg.StatelessRatio < 0 || cfg.StatelessRatio > 1:
+		return fmt.Errorf("chaingen: stateless ratio %g outside [0,1]", cfg.StatelessRatio)
+	}
+	return nil
+}
+
+// Generate produces one random chain according to cfg using rng. It panics
+// if cfg is invalid (use Validate first for untrusted inputs).
+func Generate(cfg Config, rng *rand.Rand) *core.Chain {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	nRep := int(math.Round(cfg.StatelessRatio * float64(cfg.N)))
+	rep := make([]bool, cfg.N)
+	for _, i := range rng.Perm(cfg.N)[:nRep] {
+		rep[i] = true
+	}
+	tasks := make([]core.Task, cfg.N)
+	for i := range tasks {
+		wb := float64(cfg.WMin + rng.Intn(cfg.WMax-cfg.WMin+1))
+		slow := cfg.SlowMin + rng.Float64()*(cfg.SlowMax-cfg.SlowMin)
+		wl := math.Ceil(wb * slow)
+		tasks[i] = core.Task{
+			Name:       fmt.Sprintf("t%02d", i),
+			Weight:     [core.NumCoreTypes]float64{core.Big: wb, core.Little: wl},
+			Replicable: rep[i],
+		}
+	}
+	return core.MustChain(tasks)
+}
+
+// GenerateMany produces count independent chains from cfg, deterministic
+// for a given seed.
+func GenerateMany(cfg Config, seed int64, count int) []*core.Chain {
+	rng := rand.New(rand.NewSource(seed))
+	chains := make([]*core.Chain, count)
+	for i := range chains {
+		chains[i] = Generate(cfg, rng)
+	}
+	return chains
+}

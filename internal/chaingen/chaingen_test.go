@@ -1,0 +1,111 @@
+package chaingen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ampsched/internal/core"
+)
+
+func TestConfigValidate(t *testing.T) {
+	good := Default(20, 0.5)
+	if err := good.Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	bad := []Config{
+		{N: 0, WMin: 1, WMax: 10, SlowMin: 1, SlowMax: 2, StatelessRatio: 0.5},
+		{N: 5, WMin: -1, WMax: 10, SlowMin: 1, SlowMax: 2, StatelessRatio: 0.5},
+		{N: 5, WMin: 10, WMax: 1, SlowMin: 1, SlowMax: 2, StatelessRatio: 0.5},
+		{N: 5, WMin: 1, WMax: 10, SlowMin: 0.5, SlowMax: 2, StatelessRatio: 0.5},
+		{N: 5, WMin: 1, WMax: 10, SlowMin: 3, SlowMax: 2, StatelessRatio: 0.5},
+		{N: 5, WMin: 1, WMax: 10, SlowMin: 1, SlowMax: 2, StatelessRatio: 1.5},
+		{N: 5, WMin: 1, WMax: 10, SlowMin: 1, SlowMax: 2, StatelessRatio: -0.1},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestGeneratePanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Generate with invalid config should panic")
+		}
+	}()
+	Generate(Config{}, rand.New(rand.NewSource(1)))
+}
+
+func TestGenerateProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func() bool {
+		n := 1 + rng.Intn(40)
+		sr := rng.Float64()
+		cfg := Default(n, sr)
+		c := Generate(cfg, rng)
+		if c.Len() != n {
+			return false
+		}
+		repCount := 0
+		for i := 0; i < n; i++ {
+			tk := c.Task(i)
+			wb, wl := tk.W(core.Big), tk.W(core.Little)
+			if wb < 1 || wb > 100 || wb != math.Trunc(wb) {
+				t.Logf("big weight %v outside integer [1,100]", wb)
+				return false
+			}
+			if wl < wb || wl > 5*wb || wl != math.Trunc(wl) {
+				t.Logf("little weight %v outside [wb, 5wb] for wb=%v", wl, wb)
+				return false
+			}
+			if tk.Replicable {
+				repCount++
+			}
+		}
+		want := int(math.Round(sr * float64(n)))
+		return repCount == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGenerateManyDeterministic(t *testing.T) {
+	a := GenerateMany(Default(20, 0.5), 42, 5)
+	b := GenerateMany(Default(20, 0.5), 42, 5)
+	if len(a) != 5 || len(b) != 5 {
+		t.Fatalf("lengths %d %d", len(a), len(b))
+	}
+	for i := range a {
+		for j := 0; j < a[i].Len(); j++ {
+			if a[i].Task(j) != b[i].Task(j) {
+				t.Fatalf("chain %d task %d differs across identical seeds", i, j)
+			}
+		}
+	}
+	c := GenerateMany(Default(20, 0.5), 43, 5)
+	same := true
+	for j := 0; j < a[0].Len(); j++ {
+		if a[0].Task(j) != c[0].Task(j) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical first chains")
+	}
+}
+
+func TestStatelessRatioExtremes(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c0 := Generate(Default(15, 0), rng)
+	if c0.SeqCount() != 15 {
+		t.Errorf("SR=0: %d sequential tasks, want 15", c0.SeqCount())
+	}
+	c1 := Generate(Default(15, 1), rng)
+	if c1.SeqCount() != 0 {
+		t.Errorf("SR=1: %d sequential tasks, want 0", c1.SeqCount())
+	}
+}

@@ -1,0 +1,380 @@
+// Package core defines the task-chain scheduling model of the paper
+// "Scheduling Strategies for Partially-Replicable Task Chains on Two Types
+// of Resources" (Orhan et al., IPPS 2025).
+//
+// A workflow is a linear chain of n tasks τ_0 … τ_{n-1} (0-based here; the
+// paper is 1-based). Each task is either replicable (stateless) or
+// sequential (stateful), and has one computation weight (latency) per core
+// type. The computing system has two types of unrelated resources: b big
+// cores and l little cores. A schedule partitions the chain into contiguous
+// intervals (pipeline stages); each stage receives r cores of a single type
+// v. The weight of a stage (Eq. 1 of the paper) is the sum of its tasks'
+// weights on v, divided by r when every task in the stage is replicable.
+// The period of a schedule (Eq. 2) is the maximum stage weight, and a
+// schedule is valid (Eq. 3) when it respects the per-type core counts.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// CoreType identifies one of the two resource types of the platform.
+type CoreType uint8
+
+const (
+	// Big is the high-performance (p-core) resource type.
+	Big CoreType = iota
+	// Little is the high-efficiency (e-core) resource type.
+	Little
+	// NumCoreTypes is the number of resource types in the model.
+	NumCoreTypes = 2
+)
+
+// String returns the conventional one-letter name used by the paper
+// ("B" for big cores, "L" for little cores).
+func (t CoreType) String() string {
+	switch t {
+	case Big:
+		return "B"
+	case Little:
+		return "L"
+	default:
+		return fmt.Sprintf("CoreType(%d)", uint8(t))
+	}
+}
+
+// Other returns the opposite core type.
+func (t CoreType) Other() CoreType {
+	if t == Big {
+		return Little
+	}
+	return Big
+}
+
+// Task is one element of a task chain.
+type Task struct {
+	// Name identifies the task in reports and traces.
+	Name string
+	// Weight holds the computation weight (latency) of the task on each
+	// core type, indexed by CoreType.
+	Weight [NumCoreTypes]float64
+	// Replicable reports whether the task is stateless and may therefore
+	// be replicated across several cores of the same stage.
+	Replicable bool
+}
+
+// W returns the task's weight on core type v.
+func (t Task) W(v CoreType) float64 { return t.Weight[v] }
+
+// Resources describes the platform: the number of available big and
+// little cores.
+type Resources struct {
+	Big    int
+	Little int
+}
+
+// Total returns the total number of cores of both types.
+func (r Resources) Total() int { return r.Big + r.Little }
+
+// Of returns the number of cores of type v.
+func (r Resources) Of(v CoreType) int {
+	if v == Big {
+		return r.Big
+	}
+	return r.Little
+}
+
+// Minus returns a copy of r with u cores of type v removed.
+func (r Resources) Minus(v CoreType, u int) Resources {
+	if v == Big {
+		r.Big -= u
+	} else {
+		r.Little -= u
+	}
+	return r
+}
+
+// String formats the resource pair in the paper's R=(b,l) notation.
+func (r Resources) String() string {
+	return fmt.Sprintf("(%dB,%dL)", r.Big, r.Little)
+}
+
+// Chain is an immutable task chain with precomputed prefix sums so that
+// interval weights (Eq. 1) and replicability queries cost O(1).
+type Chain struct {
+	tasks     []Task
+	prefix    [NumCoreTypes][]float64 // prefix[v][i] = Σ weight of tasks[0:i] on v
+	seqPrefix []int                   // seqPrefix[i] = #sequential tasks in tasks[0:i]
+}
+
+// NewChain builds a chain from tasks. It returns an error if the chain is
+// empty or if any task has a negative weight.
+func NewChain(tasks []Task) (*Chain, error) {
+	if len(tasks) == 0 {
+		return nil, errors.New("core: empty task chain")
+	}
+	c := &Chain{tasks: append([]Task(nil), tasks...)}
+	for v := 0; v < NumCoreTypes; v++ {
+		c.prefix[v] = make([]float64, len(tasks)+1)
+	}
+	c.seqPrefix = make([]int, len(tasks)+1)
+	for i, t := range c.tasks {
+		for v := 0; v < NumCoreTypes; v++ {
+			if t.Weight[v] < 0 || math.IsNaN(t.Weight[v]) {
+				return nil, fmt.Errorf("core: task %d (%q) has invalid weight %v on %v",
+					i, t.Name, t.Weight[v], CoreType(v))
+			}
+			c.prefix[v][i+1] = c.prefix[v][i] + t.Weight[v]
+		}
+		c.seqPrefix[i+1] = c.seqPrefix[i]
+		if !t.Replicable {
+			c.seqPrefix[i+1]++
+		}
+	}
+	return c, nil
+}
+
+// MustChain is like NewChain but panics on error. It is intended for tests
+// and examples with known-good inputs.
+func MustChain(tasks []Task) *Chain {
+	c, err := NewChain(tasks)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Len returns the number of tasks in the chain.
+func (c *Chain) Len() int { return len(c.tasks) }
+
+// Task returns task i (0-based).
+func (c *Chain) Task(i int) Task { return c.tasks[i] }
+
+// Tasks returns a copy of the task slice.
+func (c *Chain) Tasks() []Task { return append([]Task(nil), c.tasks...) }
+
+// SumW returns the sum of the weights of tasks s..e (inclusive, 0-based)
+// on core type v.
+func (c *Chain) SumW(s, e int, v CoreType) float64 {
+	return c.prefix[v][e+1] - c.prefix[v][s]
+}
+
+// TotalW returns the sum of all task weights on core type v.
+func (c *Chain) TotalW(v CoreType) float64 { return c.prefix[v][len(c.tasks)] }
+
+// IsRep reports whether the interval [s, e] (inclusive, 0-based) contains
+// only replicable tasks (paper's IsRep, Algo 3).
+func (c *Chain) IsRep(s, e int) bool {
+	return c.seqPrefix[e+1] == c.seqPrefix[s]
+}
+
+// FinalRepTask returns the largest index i ≥ e such that [s, i] is fully
+// replicable (paper's FinalRepTask, Algo 3). It assumes IsRep(s, e).
+func (c *Chain) FinalRepTask(s, e int) int {
+	i := e
+	for i+1 < len(c.tasks) && c.tasks[i+1].Replicable {
+		i++
+	}
+	return i
+}
+
+// Weight implements Eq. 1: the weight of the stage holding tasks s..e
+// (inclusive, 0-based) when executed by r cores of type v. A stage
+// containing a sequential task cannot exploit more than one core; a fully
+// replicable stage divides its work across the r replicas; r < 1 yields
+// +Inf (no valid execution).
+func (c *Chain) Weight(s, e, r int, v CoreType) float64 {
+	if r < 1 {
+		return math.Inf(1)
+	}
+	w := c.SumW(s, e, v)
+	if c.IsRep(s, e) {
+		return w / float64(r)
+	}
+	return w
+}
+
+// MaxWeight returns the largest single-task weight on core type v.
+func (c *Chain) MaxWeight(v CoreType) float64 {
+	m := 0.0
+	for _, t := range c.tasks {
+		if t.Weight[v] > m {
+			m = t.Weight[v]
+		}
+	}
+	return m
+}
+
+// MaxSeqWeight returns the largest weight among sequential tasks on core
+// type v, or 0 if every task is replicable.
+func (c *Chain) MaxSeqWeight(v CoreType) float64 {
+	m := 0.0
+	for _, t := range c.tasks {
+		if !t.Replicable && t.Weight[v] > m {
+			m = t.Weight[v]
+		}
+	}
+	return m
+}
+
+// SeqCount returns the number of sequential (stateful) tasks.
+func (c *Chain) SeqCount() int { return c.seqPrefix[len(c.tasks)] }
+
+// Stage is one pipeline stage of a schedule: the contiguous interval of
+// tasks [Start, End] (inclusive, 0-based) executed by Cores cores of type
+// Type.
+type Stage struct {
+	Start, End int
+	Cores      int
+	Type       CoreType
+}
+
+// Tasks returns the number of tasks in the stage.
+func (s Stage) Tasks() int { return s.End - s.Start + 1 }
+
+// String formats the stage in the paper's (n_tasks, r_v) notation.
+func (s Stage) String() string {
+	return fmt.Sprintf("(%d,%d%s)", s.Tasks(), s.Cores, s.Type)
+}
+
+// Solution is a pipelined-and-replicated schedule: an ordered list of
+// stages. The zero value is the empty (invalid) solution used by the
+// heuristics to signal failure.
+type Solution struct {
+	Stages []Stage
+}
+
+// IsEmpty reports whether the solution holds no stages (the (∅,∅,∅)
+// failure marker of the paper's algorithms).
+func (s Solution) IsEmpty() bool { return len(s.Stages) == 0 }
+
+// Period implements Eq. 2: the maximum stage weight of the solution.
+// The period of an empty solution is +Inf.
+func (s Solution) Period(c *Chain) float64 {
+	if s.IsEmpty() {
+		return math.Inf(1)
+	}
+	p := 0.0
+	for _, st := range s.Stages {
+		if w := c.Weight(st.Start, st.End, st.Cores, st.Type); w > p {
+			p = w
+		}
+	}
+	return p
+}
+
+// CoresUsed returns the total number of big and little cores consumed by
+// the solution.
+func (s Solution) CoresUsed() (big, little int) {
+	for _, st := range s.Stages {
+		if st.Type == Big {
+			big += st.Cores
+		} else {
+			little += st.Cores
+		}
+	}
+	return big, little
+}
+
+// IsValid implements the paper's IsValid (Algo 3): the solution is
+// non-empty, its period does not exceed target, and it respects the
+// available resources.
+func (s Solution) IsValid(c *Chain, r Resources, target float64) bool {
+	if s.IsEmpty() {
+		return false
+	}
+	b, l := s.CoresUsed()
+	return b <= r.Big && l <= r.Little && s.Period(c) <= target
+}
+
+// Validate performs the structural checks that IsValid leaves implicit:
+// stages must tile the whole chain contiguously and each stage must use at
+// least one core. It returns a descriptive error on the first violation.
+func (s Solution) Validate(c *Chain, r Resources) error {
+	if s.IsEmpty() {
+		return errors.New("core: empty solution")
+	}
+	next := 0
+	for i, st := range s.Stages {
+		if st.Start != next {
+			return fmt.Errorf("core: stage %d starts at task %d, want %d", i, st.Start, next)
+		}
+		if st.End < st.Start || st.End >= c.Len() {
+			return fmt.Errorf("core: stage %d has invalid interval [%d,%d]", i, st.Start, st.End)
+		}
+		if st.Cores < 1 {
+			return fmt.Errorf("core: stage %d uses %d cores", i, st.Cores)
+		}
+		if st.Cores > 1 && !c.IsRep(st.Start, st.End) {
+			return fmt.Errorf("core: stage %d replicates a sequential interval [%d,%d]",
+				i, st.Start, st.End)
+		}
+		next = st.End + 1
+	}
+	if next != c.Len() {
+		return fmt.Errorf("core: solution covers tasks [0,%d), chain has %d tasks", next, c.Len())
+	}
+	b, l := s.CoresUsed()
+	if b > r.Big || l > r.Little {
+		return fmt.Errorf("core: solution uses (%dB,%dL) cores, available %v", b, l, r)
+	}
+	return nil
+}
+
+// Prepend returns a new solution with st inserted before the stages of s
+// (the paper's "·" concatenation used while unwinding recursions).
+func (s Solution) Prepend(st Stage) Solution {
+	out := make([]Stage, 0, len(s.Stages)+1)
+	out = append(out, st)
+	out = append(out, s.Stages...)
+	return Solution{Stages: out}
+}
+
+// MergeReplicable returns a copy of s where consecutive stages that are
+// both fully replicable and use the same core type are fused into a single
+// stage holding the union of their tasks and cores. The paper applies this
+// post-pass to HeRAD's schedules: it never changes the period but yields
+// shorter pipelines.
+func (s Solution) MergeReplicable(c *Chain) Solution {
+	if s.IsEmpty() {
+		return s
+	}
+	out := []Stage{s.Stages[0]}
+	for _, st := range s.Stages[1:] {
+		last := &out[len(out)-1]
+		if last.Type == st.Type &&
+			c.IsRep(last.Start, last.End) && c.IsRep(st.Start, st.End) {
+			last.End = st.End
+			last.Cores += st.Cores
+			continue
+		}
+		out = append(out, st)
+	}
+	return Solution{Stages: out}
+}
+
+// Throughput converts a period expressed in microseconds into processed
+// frames per second, given the number of frames handled per pipeline slot
+// (the "interframe" level of the DVB-S2 experiments).
+func Throughput(periodMicros float64, interframe int) float64 {
+	if periodMicros <= 0 {
+		return math.Inf(1)
+	}
+	return 1e6 / periodMicros * float64(interframe)
+}
+
+// String formats the solution as the paper's pipeline decompositions,
+// e.g. "(5,1B),(1,1B),(9,1B),(1,2B),(2,1L)".
+func (s Solution) String() string {
+	if s.IsEmpty() {
+		return "(∅)"
+	}
+	parts := make([]string, len(s.Stages))
+	for i, st := range s.Stages {
+		parts[i] = st.String()
+	}
+	return strings.Join(parts, ",")
+}

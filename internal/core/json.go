@@ -1,0 +1,84 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// JSON serialization: chains and solutions round-trip through stable,
+// human-editable JSON so schedules can be computed offline and shipped
+// to a runtime (the cmd/ampsched -json output uses the same shapes).
+
+// MarshalJSON encodes the core type as "B" or "L".
+func (t CoreType) MarshalJSON() ([]byte, error) {
+	return json.Marshal(t.String())
+}
+
+// UnmarshalJSON accepts "B"/"L" (and lowercase variants).
+func (t *CoreType) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	switch s {
+	case "B", "b", "big":
+		*t = Big
+	case "L", "l", "little":
+		*t = Little
+	default:
+		return fmt.Errorf("core: unknown core type %q", s)
+	}
+	return nil
+}
+
+// taskJSON is the wire shape of a Task.
+type taskJSON struct {
+	Name       string  `json:"name"`
+	Big        float64 `json:"big"`
+	Little     float64 `json:"little"`
+	Replicable bool    `json:"replicable"`
+}
+
+// MarshalJSON encodes the task with named per-type weights.
+func (t Task) MarshalJSON() ([]byte, error) {
+	return json.Marshal(taskJSON{
+		Name: t.Name, Big: t.Weight[Big], Little: t.Weight[Little],
+		Replicable: t.Replicable,
+	})
+}
+
+// UnmarshalJSON decodes the named-weight shape.
+func (t *Task) UnmarshalJSON(data []byte) error {
+	var j taskJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	*t = Task{Name: j.Name, Replicable: j.Replicable,
+		Weight: [NumCoreTypes]float64{Big: j.Big, Little: j.Little}}
+	return nil
+}
+
+// chainJSON is the wire shape of a Chain.
+type chainJSON struct {
+	Tasks []Task `json:"tasks"`
+}
+
+// MarshalJSON encodes the chain as its task list.
+func (c *Chain) MarshalJSON() ([]byte, error) {
+	return json.Marshal(chainJSON{Tasks: c.Tasks()})
+}
+
+// UnmarshalJSON rebuilds the chain (including prefix sums) from a task
+// list; invalid chains (empty, negative weights) are rejected.
+func (c *Chain) UnmarshalJSON(data []byte) error {
+	var j chainJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	nc, err := NewChain(j.Tasks)
+	if err != nil {
+		return err
+	}
+	*c = *nc
+	return nil
+}

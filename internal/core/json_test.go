@@ -1,0 +1,94 @@
+package core
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestCoreTypeJSONRoundTrip(t *testing.T) {
+	for _, v := range []CoreType{Big, Little} {
+		data, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back CoreType
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back != v {
+			t.Errorf("%v round-tripped to %v", v, back)
+		}
+	}
+	var ct CoreType
+	for _, s := range []string{`"big"`, `"l"`, `"B"`} {
+		if err := json.Unmarshal([]byte(s), &ct); err != nil {
+			t.Errorf("%s rejected: %v", s, err)
+		}
+	}
+	if err := json.Unmarshal([]byte(`"X"`), &ct); err == nil {
+		t.Error("unknown core type accepted")
+	}
+	if err := json.Unmarshal([]byte(`7`), &ct); err == nil {
+		t.Error("numeric core type accepted")
+	}
+}
+
+func TestChainJSONRoundTrip(t *testing.T) {
+	orig := MustChain([]Task{
+		{Name: "a", Weight: [NumCoreTypes]float64{Big: 10, Little: 25}, Replicable: false},
+		{Name: "b", Weight: [NumCoreTypes]float64{Big: 4, Little: 9}, Replicable: true},
+	})
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"big":10`) || !strings.Contains(string(data), `"little":25`) {
+		t.Errorf("unexpected wire shape: %s", data)
+	}
+	var back Chain
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 || back.Task(1) != orig.Task(1) {
+		t.Errorf("round trip lost data: %+v", back.Tasks())
+	}
+	// Prefix sums must be rebuilt, not zero.
+	if back.TotalW(Little) != 34 {
+		t.Errorf("prefix sums not rebuilt: %v", back.TotalW(Little))
+	}
+}
+
+func TestChainJSONRejectsInvalid(t *testing.T) {
+	var c Chain
+	if err := json.Unmarshal([]byte(`{"tasks":[]}`), &c); err == nil {
+		t.Error("empty chain accepted")
+	}
+	if err := json.Unmarshal([]byte(`{"tasks":[{"name":"x","big":-1,"little":1}]}`), &c); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if err := json.Unmarshal([]byte(`{"tasks":`), &c); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}
+
+func TestSolutionJSONRoundTrip(t *testing.T) {
+	s := Solution{Stages: []Stage{
+		{Start: 0, End: 2, Cores: 1, Type: Big},
+		{Start: 3, End: 5, Cores: 4, Type: Little},
+	}}
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"Type":"L"`) {
+		t.Errorf("core type not symbolic: %s", data)
+	}
+	var back Solution
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.String() != s.String() {
+		t.Errorf("round trip: %v vs %v", back, s)
+	}
+}

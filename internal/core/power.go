@@ -1,0 +1,63 @@
+package core
+
+// Power modeling and stage co-location: the paper's secondary objective
+// uses little-core count as a power proxy and lists "direct power
+// measurements" and "placing multiple stages on the same core" as future
+// work (§VII). This file implements both extensions: a per-core-type
+// power model for comparing schedules in watts, and a fusion post-pass
+// that packs adjacent lightly-loaded stages onto a single core without
+// raising the period.
+
+// PowerModel assigns an active power draw to each core type.
+type PowerModel struct {
+	// Watts holds the per-core active power by core type.
+	Watts [NumCoreTypes]float64
+}
+
+// DefaultPowerModel returns a big.LITTLE-style assumption (documented,
+// not measured): big cores draw 4 W, little cores 1 W.
+func DefaultPowerModel() PowerModel {
+	return PowerModel{Watts: [NumCoreTypes]float64{Big: 4, Little: 1}}
+}
+
+// Power returns the total active power of the solution's cores.
+func (m PowerModel) Power(s Solution) float64 {
+	b, l := s.CoresUsed()
+	return float64(b)*m.Watts[Big] + float64(l)*m.Watts[Little]
+}
+
+// EnergyPerFrame returns the energy (joules) spent per processed frame:
+// active power times the pipeline period (periodMicros in µs).
+func (m PowerModel) EnergyPerFrame(s Solution, periodMicros float64) float64 {
+	return m.Power(s) * periodMicros * 1e-6
+}
+
+// Fuse implements the co-location post-pass: adjacent single-core stages
+// of the same core type are merged onto one core whenever the fused
+// stage still respects the target period, freeing one core per fusion
+// with no throughput cost. (A fused stage containing a sequential task
+// weighs the plain sum of its tasks — exactly the time-multiplexed
+// execution of both stages on one core.) The pass runs greedily left to
+// right until no fusion applies.
+func (s Solution) Fuse(c *Chain, target float64) Solution {
+	if s.IsEmpty() {
+		return s
+	}
+	stages := append([]Stage(nil), s.Stages...)
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i+1 < len(stages); i++ {
+			a, b := stages[i], stages[i+1]
+			if a.Cores != 1 || b.Cores != 1 || a.Type != b.Type {
+				continue
+			}
+			if c.Weight(a.Start, b.End, 1, a.Type) > target {
+				continue
+			}
+			stages[i] = Stage{Start: a.Start, End: b.End, Cores: 1, Type: a.Type}
+			stages = append(stages[:i+1], stages[i+2:]...)
+			changed = true
+		}
+	}
+	return Solution{Stages: stages}
+}

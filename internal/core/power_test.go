@@ -1,0 +1,124 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPowerModel(t *testing.T) {
+	m := DefaultPowerModel()
+	s := Solution{Stages: []Stage{
+		{Start: 0, End: 0, Cores: 2, Type: Big},
+		{Start: 1, End: 1, Cores: 3, Type: Little},
+	}}
+	if got := m.Power(s); got != 2*4+3*1 {
+		t.Errorf("Power = %v", got)
+	}
+	// 11 W at a 1000 µs period → 11 mJ per frame.
+	if got := m.EnergyPerFrame(s, 1000); got != 0.011 {
+		t.Errorf("EnergyPerFrame = %v", got)
+	}
+	if got := m.Power(Solution{}); got != 0 {
+		t.Errorf("empty power = %v", got)
+	}
+}
+
+func TestFuseKnownCase(t *testing.T) {
+	// Two light single-core stages of the same type fuse; the heavy one
+	// does not.
+	c := MustChain([]Task{
+		task(10, 20, false), task(15, 30, false), task(40, 80, false),
+	})
+	s := Solution{Stages: []Stage{
+		{Start: 0, End: 0, Cores: 1, Type: Big},
+		{Start: 1, End: 1, Cores: 1, Type: Big},
+		{Start: 2, End: 2, Cores: 1, Type: Big},
+	}}
+	f := s.Fuse(c, 40)
+	if len(f.Stages) != 2 {
+		t.Fatalf("fused to %d stages: %v", len(f.Stages), f)
+	}
+	if f.Stages[0] != (Stage{Start: 0, End: 1, Cores: 1, Type: Big}) {
+		t.Errorf("first fused stage %+v", f.Stages[0])
+	}
+	if p := f.Period(c); p > 40 {
+		t.Errorf("fusion raised period to %v", p)
+	}
+	b, _ := f.CoresUsed()
+	if b != 2 {
+		t.Errorf("fusion saved nothing: %d big cores", b)
+	}
+	// Different core types never fuse.
+	s2 := Solution{Stages: []Stage{
+		{Start: 0, End: 0, Cores: 1, Type: Big},
+		{Start: 1, End: 2, Cores: 1, Type: Little},
+	}}
+	if f2 := s2.Fuse(c, 1e9); len(f2.Stages) != 2 {
+		t.Errorf("cross-type fusion happened: %v", f2)
+	}
+	if e := (Solution{}).Fuse(c, 10); !e.IsEmpty() {
+		t.Error("fusing empty solution")
+	}
+}
+
+func TestFuseChainsAcrossMultipleStages(t *testing.T) {
+	// Greedy fusion must cascade: four 10-weight stages fuse into one at
+	// target 40.
+	c := MustChain([]Task{
+		task(10, 10, false), task(10, 10, false), task(10, 10, false), task(10, 10, false),
+	})
+	var stages []Stage
+	for i := 0; i < 4; i++ {
+		stages = append(stages, Stage{Start: i, End: i, Cores: 1, Type: Little})
+	}
+	f := Solution{Stages: stages}.Fuse(c, 40)
+	if len(f.Stages) != 1 {
+		t.Fatalf("cascaded fusion produced %d stages", len(f.Stages))
+	}
+	if f.Period(c) != 40 {
+		t.Errorf("period %v", f.Period(c))
+	}
+}
+
+func TestFuseProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	f := func() bool {
+		n := 1 + rng.Intn(10)
+		tasks := make([]Task, n)
+		for i := range tasks {
+			w := 1 + float64(rng.Intn(40))
+			tasks[i] = task(w, 2*w, rng.Intn(2) == 0)
+		}
+		c := MustChain(tasks)
+		var stages []Stage
+		s0 := 0
+		for s0 < n {
+			e := s0 + rng.Intn(n-s0)
+			cores := 1
+			if c.IsRep(s0, e) && rng.Intn(2) == 0 {
+				cores = 1 + rng.Intn(2)
+			}
+			stages = append(stages, Stage{Start: s0, End: e, Cores: cores, Type: CoreType(rng.Intn(2))})
+			s0 = e + 1
+		}
+		sol := Solution{Stages: stages}
+		target := sol.Period(c) * (1 + rng.Float64())
+		fused := sol.Fuse(c, target)
+		// Invariants: structurally valid, period within target, and the
+		// core usage never grows for either type.
+		if err := fused.Validate(c, Resources{Big: 99, Little: 99}); err != nil {
+			t.Logf("structural: %v", err)
+			return false
+		}
+		if fused.Period(c) > target+1e-9 {
+			return false
+		}
+		b0, l0 := sol.CoresUsed()
+		b1, l1 := fused.CoresUsed()
+		return b1 <= b0 && l1 <= l0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

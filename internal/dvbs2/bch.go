@@ -1,0 +1,180 @@
+package dvbs2
+
+import "fmt"
+
+// BCH is a systematic narrow-sense binary BCH codec over GF(2^m),
+// shortened to the requested information length. Encoding is LFSR
+// division by the generator polynomial; decoding is the classic
+// hard-input hard-output (HIHO) pipeline: syndrome computation,
+// Berlekamp–Massey, and Chien search — the same kernel as the paper's
+// "Decoder BCH – decode HIHO" task.
+type BCH struct {
+	field *gf
+	m, t  int
+	k     int    // information bits
+	nCW   int    // codeword bits = k + parity
+	gen   []byte // generator polynomial bits, index = degree
+	deg   int    // parity bits = degree of gen
+}
+
+// NewBCH builds a BCH codec over GF(2^m) correcting t errors with k
+// information bits. The shortened codeword is k + deg(g) bits and must
+// fit the field bound 2^m − 1.
+func NewBCH(m, t, k int) (*BCH, error) {
+	field, err := newGF(m)
+	if err != nil {
+		return nil, err
+	}
+	// Generator = lcm of the minimal polynomials of α, α^3, …, α^(2t−1).
+	gen := []byte{1}
+	seen := map[string]bool{}
+	for i := 1; i <= 2*t-1; i += 2 {
+		mp := f2key(field.minimalPoly(i))
+		if seen[mp] {
+			continue
+		}
+		seen[mp] = true
+		gen = polyMulGF2(gen, field.minimalPoly(i))
+	}
+	b := &BCH{field: field, m: m, t: t, k: k, gen: gen, deg: len(gen) - 1}
+	b.nCW = k + b.deg
+	if b.nCW > field.n {
+		return nil, fmt.Errorf("dvbs2: BCH codeword %d exceeds 2^%d−1=%d", b.nCW, m, field.n)
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("dvbs2: BCH k=%d", k)
+	}
+	return b, nil
+}
+
+func f2key(p []byte) string { return string(p) }
+
+// K returns the information length in bits.
+func (b *BCH) K() int { return b.k }
+
+// N returns the (shortened) codeword length in bits.
+func (b *BCH) N() int { return b.nCW }
+
+// ParityBits returns the number of parity bits (m·t for a full-strength
+// narrow-sense code).
+func (b *BCH) ParityBits() int { return b.deg }
+
+// T returns the correction capability.
+func (b *BCH) T() int { return b.t }
+
+// Encode appends the BCH parity to info (length K) and returns the
+// systematic codeword of length N: info followed by parity.
+func (b *BCH) Encode(info []byte) []byte {
+	if len(info) != b.k {
+		panic(fmt.Sprintf("dvbs2: BCH encode: %d info bits, want %d", len(info), b.k))
+	}
+	cw := make([]byte, b.nCW)
+	copy(cw, info)
+	// LFSR division: remainder of info(x)·x^deg by gen(x).
+	reg := make([]byte, b.deg)
+	for _, bit := range info {
+		fb := (bit & 1) ^ reg[b.deg-1]
+		copy(reg[1:], reg[:b.deg-1])
+		reg[0] = 0
+		if fb != 0 {
+			for d := 0; d < b.deg; d++ {
+				reg[d] ^= b.gen[d]
+			}
+		}
+	}
+	// Parity bits, highest-degree first to mirror the systematic layout.
+	for d := 0; d < b.deg; d++ {
+		cw[b.k+d] = reg[b.deg-1-d]
+	}
+	return cw
+}
+
+// Decode corrects up to t bit errors in the codeword cw (length N) in
+// place and returns the corrected information bits, the number of
+// corrected errors, and whether decoding succeeded. On failure the
+// information bits are returned uncorrected.
+func (b *BCH) Decode(cw []byte) (info []byte, corrected int, ok bool) {
+	if len(cw) != b.nCW {
+		panic(fmt.Sprintf("dvbs2: BCH decode: %d bits, want %d", len(cw), b.nCW))
+	}
+	f := b.field
+	// Syndromes S_j = r(α^j), j = 1..2t, with bit i ↦ coefficient of
+	// x^(nCW−1−i) (Horner evaluation high-degree first).
+	synd := make([]uint32, 2*b.t+1)
+	anyErr := false
+	for j := 1; j <= 2*b.t; j++ {
+		aj := f.pow(j)
+		var acc uint32
+		for _, bit := range cw {
+			acc = f.mul(acc, aj) ^ uint32(bit&1)
+		}
+		synd[j] = acc
+		if acc != 0 {
+			anyErr = true
+		}
+	}
+	if !anyErr {
+		return cw[:b.k], 0, true
+	}
+
+	// Berlekamp–Massey: find the error-locator polynomial Λ.
+	lambda := make([]uint32, 2*b.t+2)
+	prev := make([]uint32, 2*b.t+2)
+	lambda[0], prev[0] = 1, 1
+	L := 0
+	mShift := 1
+	bDisc := uint32(1)
+	for n := 1; n <= 2*b.t; n++ {
+		// Discrepancy d = S_n + Σ λ_i S_{n−i}.
+		d := synd[n]
+		for i := 1; i <= L; i++ {
+			d ^= f.mul(lambda[i], synd[n-i])
+		}
+		if d == 0 {
+			mShift++
+			continue
+		}
+		if 2*L <= n-1 {
+			tmp := append([]uint32(nil), lambda...)
+			coef := f.mul(d, f.inv(bDisc))
+			for i := 0; i+mShift < len(lambda); i++ {
+				lambda[i+mShift] ^= f.mul(coef, prev[i])
+			}
+			L = n - L
+			prev = tmp
+			bDisc = d
+			mShift = 1
+		} else {
+			coef := f.mul(d, f.inv(bDisc))
+			for i := 0; i+mShift < len(lambda); i++ {
+				lambda[i+mShift] ^= f.mul(coef, prev[i])
+			}
+			mShift++
+		}
+	}
+	if L > b.t {
+		return cw[:b.k], 0, false // too many errors
+	}
+
+	// Chien search over the shortened positions: bit i corresponds to
+	// x^(nCW−1−i); an error at i means Λ(α^(−(nCW−1−i))) = 0.
+	roots := 0
+	for i := 0; i < b.nCW && roots < L; i++ {
+		e := b.nCW - 1 - i
+		x := f.pow(-e)
+		var acc uint32
+		xp := uint32(1)
+		for d := 0; d <= L; d++ {
+			acc ^= f.mul(lambda[d], xp)
+			xp = f.mul(xp, x)
+		}
+		if acc == 0 {
+			cw[i] ^= 1
+			roots++
+		}
+	}
+	if roots != L {
+		return cw[:b.k], roots, false // roots outside the shortened range
+	}
+	return cw[:b.k], roots, true
+}

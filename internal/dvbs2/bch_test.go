@@ -1,0 +1,193 @@
+package dvbs2
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestGFFieldProperties(t *testing.T) {
+	for _, m := range []int{4, 8, 11, 14} {
+		f, err := newGF(m)
+		if err != nil {
+			t.Fatalf("GF(2^%d): %v", m, err)
+		}
+		// α generates the full multiplicative group (checked in newGF),
+		// exp/log are inverses, and basic identities hold.
+		for _, a := range []uint32{1, 2, 3, uint32(f.n)} {
+			if f.mul(a, 1) != a {
+				t.Errorf("m=%d: a·1 != a for a=%d", m, a)
+			}
+			if f.mul(a, f.inv(a)) != 1 {
+				t.Errorf("m=%d: a·a⁻¹ != 1 for a=%d", m, a)
+			}
+		}
+		if f.mul(0, 5) != 0 || f.mul(7, 0) != 0 {
+			t.Errorf("m=%d: multiplication by zero broken", m)
+		}
+		rng := rand.New(rand.NewSource(int64(m)))
+		for i := 0; i < 200; i++ {
+			a := uint32(rng.Intn(f.n)) + 1
+			b := uint32(rng.Intn(f.n)) + 1
+			c := uint32(rng.Intn(f.n)) + 1
+			if f.mul(a, b) != f.mul(b, a) {
+				t.Fatalf("m=%d: commutativity broken", m)
+			}
+			if f.mul(a, f.mul(b, c)) != f.mul(f.mul(a, b), c) {
+				t.Fatalf("m=%d: associativity broken", m)
+			}
+		}
+	}
+}
+
+func TestGFUnsupportedField(t *testing.T) {
+	if _, err := newGF(3); err == nil {
+		t.Error("GF(2^3) should be unsupported")
+	}
+}
+
+func TestMinimalPolyDividesFieldPoly(t *testing.T) {
+	// Each minimal polynomial must have α^i as a root: evaluate over the
+	// field and check.
+	f, err := newGF(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{1, 3, 5, 7} {
+		mp := f.minimalPoly(i)
+		root := f.pow(i)
+		var acc uint32
+		xp := uint32(1)
+		for _, c := range mp {
+			if c != 0 {
+				acc ^= xp
+			}
+			xp = f.mul(xp, root)
+		}
+		if acc != 0 {
+			t.Errorf("minimalPoly(%d) does not vanish at α^%d", i, i)
+		}
+	}
+}
+
+func TestBCHEncodeDecodeNoErrors(t *testing.T) {
+	b, err := NewBCH(11, 4, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.ParityBits() != 44 {
+		t.Errorf("parity bits = %d, want 44 (= m·t)", b.ParityBits())
+	}
+	rng := rand.New(rand.NewSource(1))
+	info := randomBits(rng, b.K())
+	cw := b.Encode(info)
+	if len(cw) != b.N() {
+		t.Fatalf("codeword length %d, want %d", len(cw), b.N())
+	}
+	dec, corrected, ok := b.Decode(append([]byte(nil), cw...))
+	if !ok || corrected != 0 {
+		t.Fatalf("clean decode failed: ok=%v corrected=%d", ok, corrected)
+	}
+	if CountBitErrors(dec, info) != 0 {
+		t.Error("clean decode corrupted the info bits")
+	}
+}
+
+func TestBCHCorrectsUpToT(t *testing.T) {
+	b, err := NewBCH(11, 4, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 25; trial++ {
+		info := randomBits(rng, b.K())
+		cw := b.Encode(info)
+		nerr := 1 + rng.Intn(b.T())
+		flip(rng, cw, nerr)
+		dec, corrected, ok := b.Decode(cw)
+		if !ok {
+			t.Fatalf("trial %d: decode failed with %d ≤ t errors", trial, nerr)
+		}
+		if corrected != nerr {
+			t.Fatalf("trial %d: corrected %d, want %d", trial, corrected, nerr)
+		}
+		if CountBitErrors(dec, info) != 0 {
+			t.Fatalf("trial %d: residual errors after decode", trial)
+		}
+	}
+}
+
+func TestBCHDetectsBeyondT(t *testing.T) {
+	b, err := NewBCH(11, 4, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	failures := 0
+	for trial := 0; trial < 20; trial++ {
+		info := randomBits(rng, b.K())
+		cw := b.Encode(info)
+		flip(rng, cw, b.T()+2+rng.Intn(5))
+		if _, _, ok := b.Decode(cw); !ok {
+			failures++
+		}
+	}
+	// Beyond-t patterns usually fail (they may occasionally alias to a
+	// valid codeword); require that detection fires most of the time.
+	if failures < 15 {
+		t.Errorf("only %d/20 beyond-t patterns detected", failures)
+	}
+}
+
+func TestBCHPaperDimensions(t *testing.T) {
+	// The paper's configuration: GF(2^14), t=12, K_bch=14232 → N=14400.
+	p := Default()
+	b, err := NewBCH(p.BCHM, p.BCHT, p.KBch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.N() != p.KLdpc {
+		t.Fatalf("BCH codeword %d, want K_ldpc=%d", b.N(), p.KLdpc)
+	}
+	rng := rand.New(rand.NewSource(4))
+	info := randomBits(rng, b.K())
+	cw := b.Encode(info)
+	flip(rng, cw, 12)
+	dec, corrected, ok := b.Decode(cw)
+	if !ok || corrected != 12 {
+		t.Fatalf("full-size decode: ok=%v corrected=%d", ok, corrected)
+	}
+	if CountBitErrors(dec, info) != 0 {
+		t.Error("full-size decode left residual errors")
+	}
+}
+
+func TestBCHValidation(t *testing.T) {
+	if _, err := NewBCH(4, 2, 2000); err == nil {
+		t.Error("oversized codeword accepted")
+	}
+	if _, err := NewBCH(11, 4, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := NewBCH(3, 1, 2); err == nil {
+		t.Error("unsupported field accepted")
+	}
+}
+
+func randomBits(rng *rand.Rand, n int) []byte {
+	bits := make([]byte, n)
+	for i := range bits {
+		bits[i] = byte(rng.Intn(2))
+	}
+	return bits
+}
+
+func flip(rng *rand.Rand, bits []byte, n int) {
+	done := map[int]bool{}
+	for len(done) < n {
+		i := rng.Intn(len(bits))
+		if !done[i] {
+			done[i] = true
+			bits[i] ^= 1
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package dvbs2
+
+import (
+	"math/rand"
+	"testing"
+
+	"ampsched/internal/streampu"
+)
+
+// BenchmarkLDPCDecode measures the layered NMS decoder at the paper's
+// full short-FECFRAME size (N=16200) on a mildly noisy frame.
+func BenchmarkLDPCDecode(b *testing.B) {
+	l, err := NewLDPC(Default())
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := l.NewDecoder()
+	rng := rand.New(rand.NewSource(1))
+	info := make([]byte, l.K())
+	for i := range info {
+		info[i] = byte(rng.Intn(2))
+	}
+	cw := l.Encode(info)
+	llr := make([]float64, l.N())
+	for i, bit := range cw {
+		x := 1.0
+		if bit == 1 {
+			x = -1
+		}
+		llr[i] = 2 * (x + 0.3*rng.NormFloat64()) / 0.09
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, res := d.Decode(llr); !res.Converged {
+			b.Fatal("decode diverged")
+		}
+	}
+}
+
+// BenchmarkLDPCEncode measures the linear-time IRA encoder.
+func BenchmarkLDPCEncode(b *testing.B) {
+	l, err := NewLDPC(Default())
+	if err != nil {
+		b.Fatal(err)
+	}
+	info := make([]byte, l.K())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Encode(info)
+	}
+}
+
+// BenchmarkBCHDecode measures the HIHO pipeline (syndromes, BM, Chien) at
+// the paper's GF(2^14), t=12 configuration with t errors injected.
+func BenchmarkBCHDecode(b *testing.B) {
+	p := Default()
+	codec, err := NewBCH(p.BCHM, p.BCHT, p.KBch())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	info := make([]byte, codec.K())
+	for i := range info {
+		info[i] = byte(rng.Intn(2))
+	}
+	clean := codec.Encode(info)
+	cw := make([]byte, len(clean))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(cw, clean)
+		for e := 0; e < codec.T(); e++ {
+			cw[(i*7919+e*131)%len(cw)] ^= 1
+		}
+		if _, _, ok := codec.Decode(cw); !ok {
+			b.Fatal("decode failed")
+		}
+	}
+}
+
+// BenchmarkBCHEncode measures the LFSR-division encoder.
+func BenchmarkBCHEncode(b *testing.B) {
+	p := Default()
+	codec, err := NewBCH(p.BCHM, p.BCHT, p.KBch())
+	if err != nil {
+		b.Fatal(err)
+	}
+	info := make([]byte, codec.K())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		codec.Encode(info)
+	}
+}
+
+// BenchmarkReceiverFrame measures one full receiver pass (all 23 tasks,
+// sequentially) over one frame at the reduced test numerology.
+func BenchmarkReceiverFrame(b *testing.B) {
+	tx, err := NewTransmitter(Test())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rx := NewReceiver(tx, NewTxStream(tx, DefaultChannel()))
+	tasks := rx.Tasks()
+	// Warm up past frame lock.
+	if _, err := streampu.RunChain(tasks, 6, nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	if _, err := streampu.RunChain(tasks, b.N, nil); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkTransmitterFrame measures one full transmit pass.
+func BenchmarkTransmitterFrame(b *testing.B) {
+	tx, err := NewTransmitter(Test())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx.EncodeFrame()
+	}
+}

@@ -1,0 +1,124 @@
+package dvbs2
+
+import (
+	"fmt"
+	"math"
+)
+
+// Root-raised-cosine pulse shaping and matched filtering at SPS samples
+// per symbol. The receiver splits its matched filter into two pipeline
+// tasks (Table III's "Filter Matched – filter (part 1/2)"), each
+// convolving half of the frame while carrying the FIR tail across calls.
+
+// RRCTaps returns root-raised-cosine taps with the given roll-off, span
+// (half-length in symbols) and samples per symbol, normalized to unit
+// energy. The filter has 2·span·sps + 1 taps.
+func RRCTaps(rolloff float64, span, sps int) []float64 {
+	if rolloff <= 0 || rolloff >= 1 || span < 1 || sps < 1 {
+		panic(fmt.Sprintf("dvbs2: invalid RRC parameters β=%v span=%d sps=%d", rolloff, span, sps))
+	}
+	n := 2*span*sps + 1
+	taps := make([]float64, n)
+	b := rolloff
+	for i := 0; i < n; i++ {
+		t := float64(i-span*sps) / float64(sps) // in symbol periods
+		var h float64
+		switch {
+		case t == 0:
+			h = 1 - b + 4*b/math.Pi
+		case math.Abs(math.Abs(t)-1/(4*b)) < 1e-9:
+			h = b / math.Sqrt2 * ((1+2/math.Pi)*math.Sin(math.Pi/(4*b)) +
+				(1-2/math.Pi)*math.Cos(math.Pi/(4*b)))
+		default:
+			num := math.Sin(math.Pi*t*(1-b)) + 4*b*t*math.Cos(math.Pi*t*(1+b))
+			den := math.Pi * t * (1 - 16*b*b*t*t)
+			h = num / den
+		}
+		taps[i] = h
+	}
+	// Unit energy normalization.
+	e := 0.0
+	for _, h := range taps {
+		e += h * h
+	}
+	e = math.Sqrt(e)
+	for i := range taps {
+		taps[i] /= e
+	}
+	return taps
+}
+
+// FIR is a streaming complex FIR filter that preserves its delay-line
+// state across calls, so a frame-partitioned pipeline can filter a
+// continuous sample stream.
+type FIR struct {
+	taps []float64
+	hist []complex128 // delay line, hist[0] = most recent past sample
+}
+
+// NewFIR creates a streaming filter with the given taps.
+func NewFIR(taps []float64) *FIR {
+	return &FIR{taps: append([]float64(nil), taps...), hist: make([]complex128, len(taps)-1)}
+}
+
+// Clone returns an independent copy of the filter including its state.
+func (f *FIR) Clone() *FIR {
+	return &FIR{taps: append([]float64(nil), f.taps...), hist: append([]complex128(nil), f.hist...)}
+}
+
+// Reset clears the delay line.
+func (f *FIR) Reset() {
+	for i := range f.hist {
+		f.hist[i] = 0
+	}
+}
+
+// Process filters in into dst (allocated if nil) and returns dst. Output
+// sample i corresponds to input sample i (the filter's group delay is
+// not compensated here; the caller accounts for it).
+func (f *FIR) Process(in []complex128, dst []complex128) []complex128 {
+	if dst == nil {
+		dst = make([]complex128, len(in))
+	}
+	nh := len(f.hist)
+	for i := range in {
+		var acc complex128
+		for j, tap := range f.taps {
+			var x complex128
+			if idx := i - j; idx >= 0 {
+				x = in[idx]
+			} else {
+				x = f.hist[-idx-1]
+			}
+			acc += complex(tap, 0) * x
+		}
+		dst[i] = acc
+	}
+	// Update the delay line with the most recent nh input samples.
+	if len(in) >= nh {
+		for j := 0; j < nh; j++ {
+			f.hist[j] = in[len(in)-1-j]
+		}
+	} else {
+		copy(f.hist[len(in):], f.hist[:nh-len(in)])
+		for j := 0; j < len(in); j++ {
+			f.hist[j] = in[len(in)-1-j]
+		}
+	}
+	return dst
+}
+
+// Upsample inserts sps−1 zeros after every symbol (zero-stuffing) for
+// pulse shaping.
+func Upsample(syms []complex128, sps int, dst []complex128) []complex128 {
+	if dst == nil {
+		dst = make([]complex128, len(syms)*sps)
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	for i, s := range syms {
+		dst[i*sps] = s
+	}
+	return dst
+}

@@ -1,0 +1,173 @@
+package dvbs2
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func TestRRCTapsProperties(t *testing.T) {
+	taps := RRCTaps(0.2, 10, 2)
+	if len(taps) != 41 {
+		t.Fatalf("%d taps, want 2·10·2+1", len(taps))
+	}
+	// Unit energy.
+	e := 0.0
+	for _, h := range taps {
+		e += h * h
+	}
+	if math.Abs(e-1) > 1e-12 {
+		t.Errorf("energy %v", e)
+	}
+	// Symmetric around the center.
+	for i := 0; i < len(taps)/2; i++ {
+		if math.Abs(taps[i]-taps[len(taps)-1-i]) > 1e-12 {
+			t.Fatalf("asymmetry at tap %d", i)
+		}
+	}
+	// Peak at the center.
+	mid := taps[len(taps)/2]
+	for i, h := range taps {
+		if math.Abs(h) > mid+1e-12 {
+			t.Errorf("tap %d (%v) above center (%v)", i, h, mid)
+		}
+	}
+	// The singular point |t| = 1/(4β) (β=0.25 makes it land on a tap) is
+	// handled by the closed form, not a NaN.
+	for _, h := range RRCTaps(0.25, 4, 1) {
+		if math.IsNaN(h) || math.IsInf(h, 0) {
+			t.Fatal("RRC taps contain NaN/Inf at the singular point")
+		}
+	}
+}
+
+func TestRRCTapsPanicsOnBadParams(t *testing.T) {
+	for _, fn := range []func(){
+		func() { RRCTaps(0, 4, 2) },
+		func() { RRCTaps(1.2, 4, 2) },
+		func() { RRCTaps(0.2, 0, 2) },
+		func() { RRCTaps(0.2, 4, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid RRC parameters accepted")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestRRCCascadeIsNyquist(t *testing.T) {
+	// RRC ⊗ RRC = raised cosine: sampling the cascade at symbol strobes
+	// must give (nearly) zero ISI. Send an impulse train and check.
+	sps := 2
+	span := 10
+	tx := NewFIR(RRCTaps(0.2, span, sps))
+	rx := NewFIR(RRCTaps(0.2, span, sps))
+	n := 64
+	syms := make([]complex128, n)
+	syms[n/2] = 1 // single impulse
+	up := Upsample(syms, sps, nil)
+	shaped := tx.Process(up, nil)
+	matched := rx.Process(shaped, nil)
+	// The peak appears at the impulse position + the cascade group delay
+	// (two filters, each delaying by (len-1)/2 = span·sps samples).
+	peak := n/2*sps + 2*span*sps
+	if cmplx.Abs(matched[peak]) < 0.95 {
+		t.Fatalf("cascade peak %v at %d", matched[peak], peak)
+	}
+	// Other symbol strobes see ≈0 (Nyquist criterion).
+	for k := 1; k < 8; k++ {
+		v := cmplx.Abs(matched[peak+k*sps])
+		if v > 0.02 {
+			t.Errorf("ISI at strobe +%d: %v", k, v)
+		}
+	}
+}
+
+func TestFIRStreamingMatchesBatch(t *testing.T) {
+	// Filtering in chunks with carried state must equal one-shot
+	// filtering.
+	rng := rand.New(rand.NewSource(31))
+	taps := RRCTaps(0.3, 4, 2)
+	in := make([]complex128, 300)
+	for i := range in {
+		in[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	batch := NewFIR(taps).Process(in, nil)
+	stream := NewFIR(taps)
+	var out []complex128
+	for i := 0; i < len(in); {
+		end := i + 1 + rng.Intn(40)
+		if end > len(in) {
+			end = len(in)
+		}
+		out = append(out, stream.Process(in[i:end], nil)...)
+		i = end
+	}
+	for i := range batch {
+		if cmplx.Abs(batch[i]-out[i]) > 1e-12 {
+			t.Fatalf("streaming mismatch at %d: %v vs %v", i, out[i], batch[i])
+		}
+	}
+}
+
+func TestFIRCloneIndependence(t *testing.T) {
+	taps := []float64{0.5, 0.5}
+	a := NewFIR(taps)
+	a.Process([]complex128{1, 2, 3}, nil)
+	b := a.Clone()
+	// Same state right after cloning…
+	outA := a.Process([]complex128{4}, nil)
+	outB := b.Process([]complex128{4}, nil)
+	if outA[0] != outB[0] {
+		t.Fatalf("clone state differs: %v vs %v", outA[0], outB[0])
+	}
+	// …but divergent afterwards.
+	a.Process([]complex128{100}, nil)
+	outB2 := b.Process([]complex128{5}, nil)
+	outA2 := a.Process([]complex128{5}, nil)
+	if outA2[0] == outB2[0] {
+		t.Error("clone shares the delay line")
+	}
+	a.Reset()
+	if got := a.Process([]complex128{0}, nil); got[0] != 0 {
+		t.Errorf("reset filter output %v", got[0])
+	}
+}
+
+func TestUpsample(t *testing.T) {
+	out := Upsample([]complex128{1, 2i}, 3, nil)
+	want := []complex128{1, 0, 0, 2i, 0, 0}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("upsample[%d] = %v", i, out[i])
+		}
+	}
+	// Reuses dst and clears it.
+	dst := []complex128{9, 9, 9, 9, 9, 9}
+	out2 := Upsample([]complex128{1, 2i}, 3, dst)
+	if &out2[0] != &dst[0] || out2[1] != 0 {
+		t.Error("dst not reused/cleared")
+	}
+}
+
+func TestFIRSmallChunksShorterThanDelayLine(t *testing.T) {
+	// Chunks shorter than the delay line exercise the partial history
+	// shift path.
+	taps := make([]float64, 9)
+	taps[8] = 1 // pure 8-sample delay
+	f := NewFIR(taps)
+	var out []complex128
+	for i := 0; i < 20; i++ {
+		out = append(out, f.Process([]complex128{complex(float64(i), 0)}, nil)...)
+	}
+	for i := 8; i < 20; i++ {
+		if real(out[i]) != float64(i-8) {
+			t.Fatalf("delayed output wrong at %d: %v", i, out[i])
+		}
+	}
+}

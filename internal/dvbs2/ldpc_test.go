@@ -1,0 +1,260 @@
+package dvbs2
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func testLDPC(t *testing.T) *LDPC {
+	t.Helper()
+	l, err := NewLDPC(Test())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestLDPCConstruction(t *testing.T) {
+	l := testLDPC(t)
+	if l.N() != 1620 || l.K() != 1440 {
+		t.Fatalf("dimensions (%d,%d)", l.N(), l.K())
+	}
+	// Every information bit has dv check connections; every check has at
+	// least one information connection in expectation (not guaranteed per
+	// check, but the total edge count must match).
+	edges := 0
+	for _, vs := range l.checkVars {
+		edges += len(vs)
+	}
+	if want := l.K() * 3; edges != want {
+		t.Errorf("info edges = %d, want %d", edges, want)
+	}
+	for v, cs := range l.varChecks {
+		if len(cs) != 3 {
+			t.Fatalf("info bit %d has %d checks, want 3", v, len(cs))
+		}
+	}
+	if _, err := NewLDPC(Params{}); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestLDPCEncodeSatisfiesChecks(t *testing.T) {
+	l := testLDPC(t)
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		info := randomBits(rng, l.K())
+		cw := l.Encode(info)
+		if len(cw) != l.N() {
+			t.Fatalf("codeword length %d", len(cw))
+		}
+		if !l.CheckSyndrome(cw) {
+			t.Fatalf("trial %d: encoder output fails the parity checks", trial)
+		}
+		// Systematic: info bits preserved.
+		if CountBitErrors(cw[:l.K()], info) != 0 {
+			t.Fatal("encoder is not systematic")
+		}
+	}
+	// A corrupted codeword must fail the syndrome check.
+	info := randomBits(rng, l.K())
+	cw := l.Encode(info)
+	cw[7] ^= 1
+	if l.CheckSyndrome(cw) {
+		t.Error("syndrome check passed on a corrupted codeword")
+	}
+}
+
+// bpskLLR converts codeword bits to noisy channel LLRs at the given noise
+// standard deviation (BPSK mapping per bit: 0 → +1, 1 → −1).
+func bpskLLR(rng *rand.Rand, cw []byte, sigma float64) []float64 {
+	llr := make([]float64, len(cw))
+	for i, b := range cw {
+		x := 1.0
+		if b&1 == 1 {
+			x = -1
+		}
+		y := x + sigma*rng.NormFloat64()
+		llr[i] = 2 * y / (sigma * sigma)
+	}
+	return llr
+}
+
+func TestLDPCDecodeClean(t *testing.T) {
+	l := testLDPC(t)
+	d := l.NewDecoder()
+	rng := rand.New(rand.NewSource(6))
+	info := randomBits(rng, l.K())
+	cw := l.Encode(info)
+	llr := bpskLLR(rng, cw, 0.05) // essentially noiseless
+	hard, res := d.Decode(llr)
+	if !res.Converged || res.Iterations != 1 {
+		t.Fatalf("clean decode: %+v", res)
+	}
+	if CountBitErrors(hard, cw) != 0 {
+		t.Error("clean decode corrupted the codeword")
+	}
+}
+
+func TestLDPCDecodeCorrectsNoise(t *testing.T) {
+	// Rate 8/9 QPSK needs a fairly clean channel; at sigma=0.42
+	// (Eb/N0 ≈ 8 dB) the decoder should fix all flips in a few
+	// iterations for most frames.
+	l := testLDPC(t)
+	d := l.NewDecoder()
+	rng := rand.New(rand.NewSource(7))
+	okFrames := 0
+	const trials = 20
+	for trial := 0; trial < trials; trial++ {
+		info := randomBits(rng, l.K())
+		cw := l.Encode(info)
+		llr := bpskLLR(rng, cw, 0.42)
+		// Confirm the channel actually introduced hard-decision errors.
+		preErrs := 0
+		for i, v := range llr {
+			if (v < 0) != (cw[i] == 1) {
+				preErrs++
+			}
+		}
+		hard, res := d.Decode(llr)
+		if res.Converged && CountBitErrors(hard, cw) == 0 {
+			okFrames++
+			if preErrs > 0 && res.Iterations < 1 {
+				t.Fatal("impossible iteration count")
+			}
+		}
+	}
+	if okFrames < trials*3/4 {
+		t.Errorf("decoder fixed only %d/%d noisy frames", okFrames, trials)
+	}
+}
+
+func TestLDPCEarlyStopSavesIterations(t *testing.T) {
+	l := testLDPC(t)
+	d := l.NewDecoder()
+	rng := rand.New(rand.NewSource(8))
+	info := randomBits(rng, l.K())
+	cw := l.Encode(info)
+	clean := bpskLLR(rng, cw, 0.05)
+	_, resClean := d.Decode(clean)
+	noisy := bpskLLR(rng, cw, 0.5)
+	_, resNoisy := d.Decode(noisy)
+	if resClean.Iterations > resNoisy.Iterations && resNoisy.Converged {
+		t.Errorf("clean frame used %d iterations, noisy only %d",
+			resClean.Iterations, resNoisy.Iterations)
+	}
+	if resClean.Iterations != 1 {
+		t.Errorf("clean frame should stop after 1 iteration, used %d", resClean.Iterations)
+	}
+}
+
+func TestLDPCIterationCap(t *testing.T) {
+	l := testLDPC(t)
+	d := l.NewDecoder()
+	rng := rand.New(rand.NewSource(9))
+	// Garbage input: decoder must stop at the iteration cap, unconverged.
+	llr := make([]float64, l.N())
+	for i := range llr {
+		llr[i] = rng.NormFloat64() * 0.1
+	}
+	_, res := d.Decode(llr)
+	if res.Converged {
+		t.Skip("random LLRs happened to converge (vanishingly unlikely)")
+	}
+	if res.Iterations != 10 {
+		t.Errorf("iterations = %d, want the cap 10", res.Iterations)
+	}
+}
+
+func TestLDPCFullSizeRoundTrip(t *testing.T) {
+	l, err := NewLDPC(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.N() != 16200 || l.K() != 14400 {
+		t.Fatalf("full-size dimensions (%d,%d)", l.N(), l.K())
+	}
+	d := l.NewDecoder()
+	rng := rand.New(rand.NewSource(10))
+	info := randomBits(rng, l.K())
+	cw := l.Encode(info)
+	if !l.CheckSyndrome(cw) {
+		t.Fatal("full-size encoder fails parity")
+	}
+	hard, res := d.Decode(bpskLLR(rng, cw, 0.3))
+	if !res.Converged || CountBitErrors(hard, cw) != 0 {
+		t.Fatalf("full-size decode failed: %+v, %d errors", res, CountBitErrors(hard, cw))
+	}
+}
+
+func TestDecoderScratchIsolation(t *testing.T) {
+	// Two decoders over the same code must not share state.
+	l := testLDPC(t)
+	d1, d2 := l.NewDecoder(), l.NewDecoder()
+	rng := rand.New(rand.NewSource(11))
+	infoA := randomBits(rng, l.K())
+	infoB := randomBits(rng, l.K())
+	cwA, cwB := l.Encode(infoA), l.Encode(infoB)
+	hardA, _ := d1.Decode(bpskLLR(rng, cwA, 0.1))
+	hardB, _ := d2.Decode(bpskLLR(rng, cwB, 0.1))
+	if CountBitErrors(hardA, cwA) != 0 || CountBitErrors(hardB, cwB) != 0 {
+		t.Fatal("decodes failed")
+	}
+	if CountBitErrors(hardA, hardB) == 0 {
+		t.Fatal("distinct frames decoded identically — scratch shared?")
+	}
+}
+
+func TestLDPCDecodeRejectsWrongLength(t *testing.T) {
+	l := testLDPC(t)
+	d := l.NewDecoder()
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong-length LLR slice accepted")
+		}
+	}()
+	d.Decode(make([]float64, 3))
+}
+
+func TestEncodePanicsOnWrongLength(t *testing.T) {
+	l := testLDPC(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong-length info accepted")
+		}
+	}()
+	l.Encode(make([]byte, 3))
+}
+
+func TestNormalizationFactorApplied(t *testing.T) {
+	// Indirect check: with norm = 0 the decoder can never flip a bit, so
+	// a noisy frame stays unconverged; with the default 0.75 it converges.
+	p := Test()
+	p.LdpcNorm = 0
+	l0, err := NewLDPC(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(12))
+	info := randomBits(rng, l0.K())
+	cw := l0.Encode(info)
+	llr := bpskLLR(rng, cw, 0.5)
+	// Force some hard errors.
+	hardErrs := 0
+	for i := range llr {
+		if (llr[i] < 0) != (cw[i] == 1) {
+			hardErrs++
+		}
+	}
+	if hardErrs == 0 {
+		t.Skip("no channel errors at this seed")
+	}
+	_, res0 := l0.NewDecoder().Decode(llr)
+	if res0.Converged {
+		t.Error("zero-normalization decoder converged on a noisy frame")
+	}
+	if math.Abs(Test().LdpcNorm-0.75) > 1e-12 {
+		t.Error("default normalization changed")
+	}
+}

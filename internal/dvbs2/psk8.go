@@ -1,0 +1,95 @@
+package dvbs2
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// 8PSK modem — DVB-S2's next modulation order (MODCODs 13–17). The paper
+// evaluates the QPSK transceiver (MODCOD 2); this extension adds the
+// 8PSK mapper and max-log soft demapper so higher-rate chains can be
+// modeled with the same scheduling machinery. DVB-S2's 8PSK also engages
+// the bit interleaver (3 columns), which this package's Interleaver
+// already provides.
+
+// psk8Map is the DVB-S2 8PSK constellation: index = 3-bit symbol
+// (b0 b1 b2), points on the unit circle following the standard's Gray-ish
+// layout (EN 302 307 figure 10).
+var psk8Map = [8]complex128{}
+
+func init() {
+	angles := [8]float64{
+		// bits 000..111 → angle in units of π/4, per the DVB-S2 mapping:
+		// 000→π/4, 001→0, 010→4π/4... laid out for Gray transitions.
+		1, 0, 4, 5, 2, 7, 3, 6,
+	}
+	for i, a := range angles {
+		psk8Map[i] = cmplx.Exp(complex(0, a*math.Pi/4))
+	}
+}
+
+// PSK8Modulate maps bit triplets to unit-energy 8PSK symbols. The bit
+// slice length must be divisible by 3.
+func PSK8Modulate(bits []byte) []complex128 {
+	if len(bits)%3 != 0 {
+		panic(fmt.Sprintf("dvbs2: 8PSK modulate: %d bits not divisible by 3", len(bits)))
+	}
+	out := make([]complex128, len(bits)/3)
+	for i := range out {
+		idx := bits[3*i]&1<<2 | bits[3*i+1]&1<<1 | bits[3*i+2]&1
+		out[i] = psk8Map[idx]
+	}
+	return out
+}
+
+// PSK8Demodulate computes per-bit max-log LLRs (positive ⇒ bit 0) for
+// 8PSK symbols under the given complex noise variance.
+func PSK8Demodulate(syms []complex128, noiseVar float64, llr []float64) []float64 {
+	if noiseVar <= 0 {
+		noiseVar = 1e-9
+	}
+	llr = llr[:0]
+	for _, y := range syms {
+		// Max-log: LLR_b = (min_{s: b=1} |y−s|² − min_{s: b=0} |y−s|²)/σ².
+		var min0, min1 [3]float64
+		for b := 0; b < 3; b++ {
+			min0[b], min1[b] = math.MaxFloat64, math.MaxFloat64
+		}
+		for idx, s := range psk8Map {
+			d := y - s
+			dist := real(d)*real(d) + imag(d)*imag(d)
+			for b := 0; b < 3; b++ {
+				if idx>>(2-b)&1 == 0 {
+					if dist < min0[b] {
+						min0[b] = dist
+					}
+				} else if dist < min1[b] {
+					min1[b] = dist
+				}
+			}
+		}
+		for b := 0; b < 3; b++ {
+			llr = append(llr, (min1[b]-min0[b])/noiseVar)
+		}
+	}
+	return llr
+}
+
+// PSK8Hard performs hard-decision demapping (nearest constellation
+// point).
+func PSK8Hard(syms []complex128) []byte {
+	out := make([]byte, 0, 3*len(syms))
+	for _, y := range syms {
+		best, bestDist := 0, math.MaxFloat64
+		for idx, s := range psk8Map {
+			d := y - s
+			dist := real(d)*real(d) + imag(d)*imag(d)
+			if dist < bestDist {
+				best, bestDist = idx, dist
+			}
+		}
+		out = append(out, byte(best>>2&1), byte(best>>1&1), byte(best&1))
+	}
+	return out
+}

@@ -1,0 +1,122 @@
+package dvbs2
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPSK8ConstellationProperties(t *testing.T) {
+	seen := map[int]bool{}
+	for i, s := range psk8Map {
+		if math.Abs(cmplx.Abs(s)-1) > 1e-12 {
+			t.Errorf("point %d energy %v", i, cmplx.Abs(s))
+		}
+		// All constellation points are distinct multiples of π/4.
+		k := int(math.Round(cmplx.Phase(s) / (math.Pi / 4)))
+		k = ((k % 8) + 8) % 8
+		if seen[k] {
+			t.Errorf("duplicate constellation angle %d", k)
+		}
+		seen[k] = true
+	}
+	if len(seen) != 8 {
+		t.Errorf("%d distinct points", len(seen))
+	}
+}
+
+func TestPSK8HardRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	f := func() bool {
+		n := 3 * (1 + rng.Intn(100))
+		bits := randomBits(rng, n)
+		return CountBitErrors(PSK8Hard(PSK8Modulate(bits)), bits) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPSK8ModulatePanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-multiple-of-3 accepted")
+		}
+	}()
+	PSK8Modulate(make([]byte, 4))
+}
+
+func TestPSK8SoftLLRSigns(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	bits := randomBits(rng, 300)
+	syms := PSK8Modulate(bits)
+	for i := range syms {
+		syms[i] += complex(rng.NormFloat64()*0.02, rng.NormFloat64()*0.02)
+	}
+	llr := PSK8Demodulate(syms, 0.01, nil)
+	if len(llr) != len(bits) {
+		t.Fatalf("%d LLRs for %d bits", len(llr), len(bits))
+	}
+	for i, l := range llr {
+		if (l < 0) != (bits[i] == 1) {
+			t.Fatalf("LLR %d sign wrong (llr %v bit %d)", i, l, bits[i])
+		}
+	}
+	// Zero noise variance is clamped.
+	if out := PSK8Demodulate(syms, 0, nil); len(out) != len(bits) {
+		t.Error("zero noise variance mishandled")
+	}
+}
+
+func TestPSK8GrayishMapping(t *testing.T) {
+	// Adjacent constellation points should mostly differ in few bits; at
+	// minimum, the average Hamming distance between angular neighbors
+	// must stay below 2 (a random mapping averages 1.5 per bit × 3).
+	angleToIdx := map[int]int{}
+	for idx, s := range psk8Map {
+		k := int(math.Round(cmplx.Phase(s) / (math.Pi / 4)))
+		angleToIdx[((k%8)+8)%8] = idx
+	}
+	total := 0
+	for k := 0; k < 8; k++ {
+		a, b := angleToIdx[k], angleToIdx[(k+1)%8]
+		total += hamming3(a, b)
+	}
+	if avg := float64(total) / 8; avg > 1.8 {
+		t.Errorf("average neighbor Hamming distance %.2f", avg)
+	}
+}
+
+func hamming3(a, b int) int {
+	d := a ^ b
+	return d&1 + d>>1&1 + d>>2&1
+}
+
+func TestPSK8WithLDPCChain(t *testing.T) {
+	// End-to-end at the coding level: LDPC-encode, 8PSK-modulate, add
+	// noise, demap to LLRs, decode — error-free at moderate SNR.
+	p := Test()
+	l, err := NewLDPC(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := l.NewDecoder()
+	rng := rand.New(rand.NewSource(83))
+	info := randomBits(rng, l.K())
+	cw := l.Encode(info)
+	syms := PSK8Modulate(cw)
+	sigma := 0.08 // high SNR: rate 8/9 with 8PSK needs a clean channel
+	for i := range syms {
+		syms[i] += complex(rng.NormFloat64()*sigma, rng.NormFloat64()*sigma)
+	}
+	llr := PSK8Demodulate(syms, 2*sigma*sigma, nil)
+	hard, res := d.Decode(llr)
+	if !res.Converged {
+		t.Fatalf("LDPC diverged over 8PSK: %+v", res)
+	}
+	if CountBitErrors(hard, cw) != 0 {
+		t.Fatal("residual errors after 8PSK + LDPC")
+	}
+}

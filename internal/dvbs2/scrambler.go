@@ -1,0 +1,92 @@
+package dvbs2
+
+import "math/cmplx"
+
+// Scramblers: the baseband (binary) scrambler applied to BB frames and
+// the physical-layer (symbol) scrambler applied to payload symbols. Both
+// restart at each frame (as DVB-S2's do at each BBFRAME/PLFRAME), which
+// is what makes the descrambling tasks stateless and hence replicable in
+// Table III.
+
+// bbScramblerPoly is the DVB-S2 BB scrambler LFSR x^15 + x^14 + 1 with
+// initialization sequence 100101010000000.
+const bbScramblerInit = 0x4A80 // 100101010000000 in bits 14..0
+
+// BBScramble XORs bits in place with the DVB-S2 baseband scrambling
+// sequence, restarting the LFSR at the frame start. Scrambling is an
+// involution: applying it twice restores the input.
+func BBScramble(bits []byte) {
+	state := uint16(bbScramblerInit)
+	for i := range bits {
+		bit := byte((state>>14 ^ state>>13) & 1)
+		state = state<<1 | uint16(bit)
+		bits[i] ^= bit
+	}
+}
+
+// plScrambleSeq generates n physical-layer scrambling phases as unit
+// complex factors. DVB-S2 uses a Gold-code-derived quaternary sequence;
+// this implementation derives the quaternary symbols from two LFSRs of
+// degree 18 (x^18+x^7+1 and x^18+x^10+x^7+x^5+1), matching the standard's
+// structure.
+func plScrambleSeq(n int) []complex128 {
+	x := uint32(1)       // x sequence init: 000...01
+	y := uint32(0x3FFFF) // y sequence init: all ones
+	out := make([]complex128, n)
+	// Unit roots i^k for k = 0..3.
+	roots := [4]complex128{1, 1i, -1, -1i}
+	for i := 0; i < n; i++ {
+		xb := x & 1
+		yb := y & 1
+		// z_n per the PL scrambler: c2*2 + c1.
+		c1 := xb ^ yb
+		c2 := (x >> 4 & 1) ^ (x >> 6 & 1) ^ (x >> 15 & 1) ^
+			(y >> 5 & 1) ^ (y >> 6 & 1) ^ (y >> 8 & 1) ^ (y >> 9 & 1) ^
+			(y >> 10 & 1) ^ (y >> 11 & 1) ^ (y >> 12 & 1) ^ (y >> 13 & 1) ^
+			(y >> 14 & 1) ^ (y >> 15 & 1)
+		k := c2*2 + c1
+		out[i] = roots[k]
+		// Advance LFSRs (Fibonacci form).
+		xn := (x >> 0 & 1) ^ (x >> 7 & 1)
+		yn := (y >> 0 & 1) ^ (y >> 5 & 1) ^ (y >> 7 & 1) ^ (y >> 10 & 1)
+		x = x>>1 | xn<<17
+		y = y>>1 | yn<<17
+	}
+	return out
+}
+
+// PLScrambler multiplies payload symbols by the PL scrambling sequence;
+// descrambling multiplies by the conjugate. The sequence restarts at each
+// frame, so per-frame (de)scrambling carries no state.
+type PLScrambler struct {
+	seq []complex128
+}
+
+// NewPLScrambler precomputes the scrambling sequence for n payload
+// symbols per frame.
+func NewPLScrambler(n int) *PLScrambler {
+	return &PLScrambler{seq: plScrambleSeq(n)}
+}
+
+// Scramble multiplies syms (one frame's payload) by the sequence in
+// place.
+func (s *PLScrambler) Scramble(syms []complex128) {
+	n := len(syms)
+	if n > len(s.seq) {
+		n = len(s.seq)
+	}
+	for i := 0; i < n; i++ {
+		syms[i] *= s.seq[i]
+	}
+}
+
+// Descramble multiplies syms by the conjugate sequence in place.
+func (s *PLScrambler) Descramble(syms []complex128) {
+	n := len(syms)
+	if n > len(s.seq) {
+		n = len(s.seq)
+	}
+	for i := 0; i < n; i++ {
+		syms[i] *= cmplx.Conj(s.seq[i])
+	}
+}

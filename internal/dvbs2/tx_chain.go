@@ -1,0 +1,163 @@
+package dvbs2
+
+import (
+	"fmt"
+	"sync"
+
+	"ampsched/internal/streampu"
+)
+
+// The transmitter as a streaming task chain. The paper schedules the
+// DVB-S2 *receiver*; its open-source workload also ships the transmitter
+// as a StreamPU sequence. TxChain exposes the same decomposition here —
+// a 10-task chain (source, BB scrambler, BCH, LDPC, interleaver, QPSK,
+// PLH framer, PL scrambler, shaping filter, radio send) that can be
+// profiled, scheduled and executed on the streampu runtime exactly like
+// the receiver.
+
+// TxPayload is the per-frame data of the transmit chain.
+type TxPayload struct {
+	Counter uint32
+	Bits    []byte       // information bits (K_bch), then scrambled
+	BCHCW   []byte       // BCH codeword (K_ldpc)
+	LDPCCW  []byte       // LDPC codeword (N_ldpc)
+	Inter   []byte       // interleaved codeword
+	Payload []complex128 // payload symbols
+	Frame   []complex128 // PLFRAME symbols (header + scrambled payload)
+	Samples []complex128 // pulse-shaped output samples
+}
+
+// TxChain is the transmitter decomposed into pipeline tasks.
+type TxChain struct {
+	p      Params
+	bch    *BCH
+	ldpc   *LDPC
+	il     *Interleaver
+	pls    *PLScrambler
+	header []complex128
+	shaper *FIR
+	mu     sync.Mutex // guards shaper (single sequential filter task)
+
+	// Emit receives each frame's samples in order; nil discards them.
+	Emit func(samples []complex128)
+
+	SentFrames int64
+	SentBits   int64
+}
+
+// NewTxChain builds the transmit chain for the given parameters.
+func NewTxChain(p Params, emit func([]complex128)) (*TxChain, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	bch, err := NewBCH(p.BCHM, p.BCHT, p.KBch())
+	if err != nil {
+		return nil, err
+	}
+	if bch.N() != p.KLdpc {
+		return nil, fmt.Errorf("dvbs2: BCH codeword %d != K_ldpc %d", bch.N(), p.KLdpc)
+	}
+	ldpc, err := NewLDPC(p)
+	if err != nil {
+		return nil, err
+	}
+	il, err := NewInterleaver(p.NLdpc, interleaverColumns(p))
+	if err != nil {
+		return nil, err
+	}
+	return &TxChain{
+		p: p, bch: bch, ldpc: ldpc, il: il,
+		pls:    NewPLScrambler(p.PayloadSymbols()),
+		header: PLHeader(p.SOFLen, p.PLSCLen),
+		shaper: NewFIR(RRCTaps(p.RollOff, p.FilterSpan, p.SPS)),
+		Emit:   emit,
+	}, nil
+}
+
+func txPayloadOf(f *streampu.Frame) *TxPayload {
+	if f.Data == nil {
+		f.Data = &TxPayload{}
+	}
+	return f.Data.(*TxPayload)
+}
+
+func txSeq(name string, fn func(pl *TxPayload) error) streampu.Task {
+	return &streampu.FuncTask{TaskName: name, Rep: false, Fn: func(w *streampu.Worker, f *streampu.Frame) error {
+		return fn(txPayloadOf(f))
+	}}
+}
+
+func txRep(name string, fn func(pl *TxPayload) error) streampu.Task {
+	return &streampu.FuncTask{TaskName: name, Rep: true, Fn: func(w *streampu.Worker, f *streampu.Frame) error {
+		return fn(txPayloadOf(f))
+	}}
+}
+
+// Tasks returns the 10-task transmit chain. The source derives each
+// frame's content from the pipeline sequence number, so the chain's
+// replicable tasks really are stateless; only the source counter
+// assignment, the shaping filter (FIR state) and the radio sink are
+// sequential.
+func (t *TxChain) Tasks() []streampu.Task {
+	p := t.p
+	tasks := []streampu.Task{
+		txSeq("Source – generate", func(pl *TxPayload) error { // stateful by contract
+			pl.Bits = GenerateBBFrame(pl.Counter, p.KBch())
+			return nil
+		}),
+		txRep("Scrambler Binary – scramble", func(pl *TxPayload) error {
+			BBScramble(pl.Bits)
+			return nil
+		}),
+		txRep("Encoder BCH – encode", func(pl *TxPayload) error {
+			pl.BCHCW = t.bch.Encode(pl.Bits)
+			return nil
+		}),
+		txRep("Encoder LDPC – encode", func(pl *TxPayload) error {
+			pl.LDPCCW = t.ldpc.Encode(pl.BCHCW)
+			return nil
+		}),
+		txRep("Interleaver – interleave", func(pl *TxPayload) error {
+			pl.Inter = t.il.Interleave(pl.LDPCCW, nil)
+			return nil
+		}),
+		txRep("Modem QPSK – modulate", func(pl *TxPayload) error {
+			pl.Payload = QPSKModulate(pl.Inter)
+			return nil
+		}),
+		txRep("Framer PLH – insert", func(pl *TxPayload) error {
+			pl.Frame = make([]complex128, 0, p.FrameSymbols())
+			pl.Frame = append(pl.Frame, t.header...)
+			pl.Frame = append(pl.Frame, pl.Payload...)
+			return nil
+		}),
+		txRep("Scrambler Symbol – scramble", func(pl *TxPayload) error {
+			t.pls.Scramble(pl.Frame[p.HeaderSymbols():])
+			return nil
+		}),
+		txSeq("Filter Shaping – filter", func(pl *TxPayload) error {
+			up := Upsample(pl.Frame, p.SPS, nil)
+			t.mu.Lock()
+			pl.Samples = t.shaper.Process(up, nil)
+			t.mu.Unlock()
+			return nil
+		}),
+		txSeq("Radio – send", func(pl *TxPayload) error {
+			t.SentFrames++
+			t.SentBits += int64(p.KBch())
+			if t.Emit != nil {
+				t.Emit(pl.Samples)
+			}
+			return nil
+		}),
+	}
+	// Wire the counter from the frame sequence at the source.
+	src := tasks[0].(*streampu.FuncTask)
+	inner := src.Fn
+	src.Fn = func(w *streampu.Worker, f *streampu.Frame) error {
+		pl := txPayloadOf(f)
+		pl.Counter = uint32(f.Seq)
+		return inner(w, f)
+	}
+	return tasks
+}

@@ -1,0 +1,167 @@
+package dvbs2
+
+import (
+	"math/cmplx"
+	"testing"
+
+	"ampsched/internal/core"
+	"ampsched/internal/streampu"
+)
+
+func TestTxChainMatchesMonolithicTransmitter(t *testing.T) {
+	p := Test()
+	// Reference: the monolithic transmitter.
+	ref, err := NewTransmitter(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]complex128{}
+	for i := 0; i < 4; i++ {
+		want = append(want, append([]complex128(nil), ref.EncodeFrame()...))
+	}
+	// Chain under test, sequential execution.
+	var got [][]complex128
+	tc, err := NewTxChain(p, func(s []complex128) {
+		got = append(got, append([]complex128(nil), s...))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := streampu.RunChain(tc.Tasks(), 4, nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("emitted %d frames", len(got))
+	}
+	for k := range want {
+		if len(got[k]) != len(want[k]) {
+			t.Fatalf("frame %d length %d vs %d", k, len(got[k]), len(want[k]))
+		}
+		for i := range want[k] {
+			if cmplx.Abs(got[k][i]-want[k][i]) > 1e-12 {
+				t.Fatalf("frame %d sample %d differs: %v vs %v", k, i, got[k][i], want[k][i])
+			}
+		}
+	}
+	if tc.SentFrames != 4 || tc.SentBits != int64(4*p.KBch()) {
+		t.Errorf("sink counters %d/%d", tc.SentFrames, tc.SentBits)
+	}
+}
+
+func TestTxChainShape(t *testing.T) {
+	tc, err := NewTxChain(Test(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks := tc.Tasks()
+	if len(tasks) != 10 {
+		t.Fatalf("%d tasks", len(tasks))
+	}
+	// Source, shaping filter and radio sink are sequential; the coding
+	// and modulation stack is replicable.
+	wantRep := []bool{false, true, true, true, true, true, true, true, false, false}
+	for i, task := range tasks {
+		if task.Replicable() != wantRep[i] {
+			t.Errorf("task %d (%s) replicable=%v, want %v",
+				i, task.Name(), task.Replicable(), wantRep[i])
+		}
+	}
+	if _, err := NewTxChain(Params{}, nil); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestTxChainPipelinedWithReplication(t *testing.T) {
+	// Replicate the coding block across 3 workers and verify the emitted
+	// sample stream is identical to the sequential reference (order
+	// preservation + statelessness of the replicated tasks).
+	p := Test()
+	var seqOut [][]complex128
+	tcSeq, err := NewTxChain(p, func(s []complex128) {
+		seqOut = append(seqOut, append([]complex128(nil), s...))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := streampu.RunChain(tcSeq.Tasks(), 12, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	var pipeOut [][]complex128
+	tcPipe, err := NewTxChain(p, func(s []complex128) {
+		pipeOut = append(pipeOut, append([]complex128(nil), s...))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol := core.Solution{Stages: []core.Stage{
+		{Start: 0, End: 0, Cores: 1, Type: core.Big},
+		{Start: 1, End: 7, Cores: 3, Type: core.Big}, // replicated coding block
+		{Start: 8, End: 9, Cores: 1, Type: core.Little},
+	}}
+	pipe, err := streampu.New(tcPipe.Tasks(), sol, streampu.Options{QueueCap: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := pipe.Run(12, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Frames != 12 || st.Errored != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	if len(pipeOut) != len(seqOut) {
+		t.Fatalf("pipelined emitted %d frames, sequential %d", len(pipeOut), len(seqOut))
+	}
+	for k := range seqOut {
+		for i := range seqOut[k] {
+			if cmplx.Abs(pipeOut[k][i]-seqOut[k][i]) > 1e-12 {
+				t.Fatalf("frame %d sample %d differs under replication", k, i)
+			}
+		}
+	}
+}
+
+func TestTxChainFeedsReceiver(t *testing.T) {
+	// Full loopback: the Tx *chain* produces the sample stream, an
+	// impairment-free channel hands it to the receiver chain, and every
+	// decoded frame must be error-free. This exercises both pipelines'
+	// code paths end to end.
+	p := Test()
+	var stream []complex128
+	tc, err := NewTxChain(p, func(s []complex128) {
+		stream = append(stream, s...)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := 12
+	if _, err := streampu.RunChain(tc.Tasks(), frames, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Receiver fed from the recorded stream rather than a TxStream.
+	tx, err := NewTransmitter(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx := NewReceiver(tx, nil)
+	pos := 0
+	rxTasks := rx.Tasks()
+	rxTasks[0] = &streampu.FuncTask{TaskName: "Radio – receive (loopback)", Rep: false,
+		Fn: func(w *streampu.Worker, f *streampu.Frame) error {
+			pl := payloadOf(f)
+			pl.Samples = make([]complex128, p.FrameSamples())
+			n := copy(pl.Samples, stream[pos:])
+			pos += n
+			return nil
+		}}
+	if _, err := streampu.RunChain(rxTasks, frames, nil); err != nil {
+		t.Fatal(err)
+	}
+	if rx.Monitor.Frames.Load() < int64(frames)-4 {
+		t.Fatalf("only %d frames decoded", rx.Monitor.Frames.Load())
+	}
+	if rx.Monitor.BitErrors.Load() != 0 {
+		t.Fatalf("loopback BER %.2e", rx.Monitor.BER())
+	}
+}

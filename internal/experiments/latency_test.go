@@ -1,0 +1,34 @@
+package experiments
+
+import "testing"
+
+func TestLatencyExtension(t *testing.T) {
+	rows, err := Latency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 20 {
+		t.Fatalf("%d rows, want 20", len(rows))
+	}
+	byKey := map[string]LatencyRow{}
+	for _, r := range rows {
+		byKey[r.Platform+r.R.String()+r.Strategy] = r
+		if r.LatencyMicros < r.PeriodMicros {
+			t.Errorf("%s/%s/%v: latency %v below one period %v",
+				r.Platform, r.Strategy, r.R, r.LatencyMicros, r.PeriodMicros)
+		}
+		// Latency must at least cover the stage count (every frame
+		// traverses each stage once).
+		if r.LatencyPeriods < float64(r.Stages)-1 {
+			t.Errorf("%s/%s/%v: latency %.1f periods below %d stages",
+				r.Platform, r.Strategy, r.R, r.LatencyPeriods, r.Stages)
+		}
+	}
+	// Fig. 6's claim: 2CATAC builds shorter pipelines than HeRAD on the
+	// Mac half configuration (5 vs 7 stages, Table II S1/S2).
+	h := byKey["Mac Studio(8B,2L)"+StratHeRAD]
+	c := byKey["Mac Studio(8B,2L)"+StratTwoCAT]
+	if c.Stages >= h.Stages {
+		t.Errorf("2CATAC stages %d not below HeRAD %d", c.Stages, h.Stages)
+	}
+}

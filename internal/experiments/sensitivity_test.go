@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"testing"
+
+	"ampsched/internal/core"
+)
+
+func TestSensitivityTasksTrend(t *testing.T) {
+	cfg := SensitivityConfig{Chains: 40, SR: 0.5, Seed: 11}
+	pts := SensitivityTasks(cfg, core.Resources{Big: 10, Little: 10}, []int{10, 40, 80})
+	byKey := map[string]map[int]SensitivityPoint{}
+	for _, p := range pts {
+		if byKey[p.Strategy] == nil {
+			byKey[p.Strategy] = map[int]SensitivityPoint{}
+		}
+		byKey[p.Strategy][p.X] = p
+	}
+	// 2CATAC is capped at 60 tasks: no point at 80.
+	if _, ok := byKey[StratTwoCAT][80]; ok {
+		t.Error("2CATAC ran at 80 tasks")
+	}
+	// The paper's claim: heuristics find fewer optima as tasks grow.
+	f := byKey[StratFERTAC]
+	if f[10].PctOptimal < f[40].PctOptimal || f[40].PctOptimal < f[80].PctOptimal {
+		t.Errorf("FERTAC %%opt not degrading with tasks: %v %v %v",
+			f[10].PctOptimal, f[40].PctOptimal, f[80].PctOptimal)
+	}
+	for _, p := range pts {
+		if p.AvgSlowdown < 1-1e-9 {
+			t.Errorf("%s at %d: slowdown %v below 1", p.Strategy, p.X, p.AvgSlowdown)
+		}
+	}
+}
+
+func TestSensitivityResourcesTrend(t *testing.T) {
+	cfg := SensitivityConfig{Chains: 40, SR: 0.5, Seed: 12}
+	pts := SensitivityResources(cfg, 20, []core.Resources{
+		{Big: 4, Little: 4}, {Big: 30, Little: 30},
+	})
+	var small, large SensitivityPoint
+	for _, p := range pts {
+		if p.Strategy != StratFERTAC {
+			continue
+		}
+		if p.X == 8 {
+			small = p
+		} else {
+			large = p
+		}
+	}
+	// The paper's claim: heuristics improve with more resources.
+	if large.PctOptimal < small.PctOptimal {
+		t.Errorf("FERTAC %%opt did not improve with resources: %v (8 cores) vs %v (60 cores)",
+			small.PctOptimal, large.PctOptimal)
+	}
+}

@@ -1,0 +1,51 @@
+// Package experiments implements the paper's evaluation campaign (§VI):
+// the synthetic simulation study (Table I, Figs. 1–4) and the real-world
+// DVB-S2 experiment (Tables II–III, Fig. 5), plus the qualitative summary
+// (Fig. 6). Each experiment is a pure function from parameters to
+// structured results; cmd/experiments renders them and bench_test.go
+// exposes one benchmark per table/figure.
+package experiments
+
+import (
+	"fmt"
+
+	"ampsched/internal/core"
+	"ampsched/internal/fertac"
+	"ampsched/internal/herad"
+	"ampsched/internal/otac"
+	"ampsched/internal/twocatac"
+)
+
+// Strategy names, in the paper's presentation order.
+const (
+	StratHeRAD  = "HeRAD"
+	StratTwoCAT = "2CATAC"
+	StratFERTAC = "FERTAC"
+	StratOTACB  = "OTAC (B)"
+	StratOTACL  = "OTAC (L)"
+)
+
+// Strategies lists every evaluated scheduling strategy in order.
+var Strategies = []string{StratHeRAD, StratTwoCAT, StratFERTAC, StratOTACB, StratOTACL}
+
+// HeuristicStrategies lists the strategies compared against HeRAD.
+var HeuristicStrategies = []string{StratTwoCAT, StratFERTAC, StratOTACB, StratOTACL}
+
+// Run dispatches to the named scheduling strategy. OTAC variants use only
+// the corresponding component of r.
+func Run(name string, c *core.Chain, r core.Resources) core.Solution {
+	switch name {
+	case StratHeRAD:
+		return herad.Schedule(c, r)
+	case StratTwoCAT:
+		return twocatac.Schedule(c, r)
+	case StratFERTAC:
+		return fertac.Schedule(c, r)
+	case StratOTACB:
+		return otac.Schedule(c, r.Big, core.Big)
+	case StratOTACL:
+		return otac.Schedule(c, r.Little, core.Little)
+	default:
+		panic(fmt.Sprintf("experiments: unknown strategy %q", name))
+	}
+}

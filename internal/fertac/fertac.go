@@ -1,0 +1,47 @@
+// Package fertac implements FERTAC (First Efficient Resources for TAsk
+// Chains, Algo 4 of the paper): a greedy heuristic that builds every stage
+// with little cores first and falls back to big cores only when the target
+// period cannot be respected. Complexity O(n·log(w_max·(b+l)) + n²).
+package fertac
+
+import (
+	"ampsched/internal/core"
+	"ampsched/internal/sched"
+)
+
+// Schedule computes a FERTAC schedule of c on the resources r.
+func Schedule(c *core.Chain, r core.Resources) core.Solution {
+	return sched.Schedule(c, r, ComputeSolution)
+}
+
+// ComputeSolution implements Algo 4: for the stage starting at task s it
+// first tries little cores, then big cores, then recurses on the remaining
+// tasks with the remaining resources. It returns the empty solution when
+// neither core type yields a valid stage or the recursion fails.
+func ComputeSolution(c *core.Chain, s int, r core.Resources, target float64) core.Solution {
+	e, u := sched.ComputeStage(c, s, r.Little, core.Little, target)
+	v := core.Little
+	if !stageValid(c, s, e, u, r, v, target) {
+		e, u = sched.ComputeStage(c, s, r.Big, core.Big, target)
+		v = core.Big
+		if !stageValid(c, s, e, u, r, v, target) {
+			return core.Solution{} // no valid stage with either core type
+		}
+	}
+	st := core.Stage{Start: s, End: e, Cores: u, Type: v}
+	if e == c.Len()-1 {
+		return core.Solution{Stages: []core.Stage{st}} // valid final stage
+	}
+	rest := ComputeSolution(c, e+1, r.Minus(v, u), target)
+	if rest.IsEmpty() {
+		return core.Solution{}
+	}
+	return rest.Prepend(st)
+}
+
+// stageValid is the paper's IsValid applied to a single candidate stage:
+// the stage must meet the target period and fit in the available cores of
+// its type.
+func stageValid(c *core.Chain, s, e, u int, r core.Resources, v core.CoreType, target float64) bool {
+	return u >= 1 && u <= r.Of(v) && c.Weight(s, e, u, v) <= target
+}

@@ -1,0 +1,57 @@
+package fertac
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ampsched/internal/core"
+	"ampsched/internal/herad"
+	"ampsched/internal/twocatac"
+)
+
+// Inverted/mixed-speed platforms (paper footnote 1): the greedy
+// heuristics must stay valid and never beat the optimum even when tasks
+// run faster on little cores.
+
+func mixedChain(rng *rand.Rand, n int) *core.Chain {
+	tasks := make([]core.Task, n)
+	for i := range tasks {
+		wb := 1 + float64(rng.Intn(60))
+		wl := wb
+		switch rng.Intn(3) {
+		case 0:
+			wl = math.Ceil(wb * (1 + 2*rng.Float64()))
+		case 1:
+			wl = math.Ceil(wb / (1 + 2*rng.Float64()))
+		}
+		tasks[i] = core.Task{
+			Weight:     [core.NumCoreTypes]float64{core.Big: wb, core.Little: wl},
+			Replicable: rng.Intn(2) == 0,
+		}
+	}
+	return core.MustChain(tasks)
+}
+
+func TestHeuristicsValidOnMixedSpeedPlatforms(t *testing.T) {
+	rng := rand.New(rand.NewSource(223))
+	for iter := 0; iter < 120; iter++ {
+		c := mixedChain(rng, 1+rng.Intn(16))
+		r := core.Resources{Big: 1 + rng.Intn(5), Little: 1 + rng.Intn(5)}
+		opt := herad.Period(c, r)
+		for name, s := range map[string]core.Solution{
+			"FERTAC": Schedule(c, r),
+			"2CATAC": twocatac.Schedule(c, r),
+		} {
+			if s.IsEmpty() {
+				t.Fatalf("iter %d: %s found no schedule", iter, name)
+			}
+			if err := s.Validate(c, r); err != nil {
+				t.Fatalf("iter %d: %s invalid: %v", iter, name, err)
+			}
+			if p := s.Period(c); p < opt-1e-9 {
+				t.Fatalf("iter %d: %s period %v beats optimum %v", iter, name, p, opt)
+			}
+		}
+	}
+}

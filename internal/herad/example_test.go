@@ -1,0 +1,24 @@
+package herad_test
+
+import (
+	"fmt"
+
+	"ampsched/internal/core"
+	"ampsched/internal/herad"
+)
+
+// ExampleSchedule computes the optimal schedule of a small
+// partially-replicable chain on a 1-big + 2-little platform.
+func ExampleSchedule() {
+	chain := core.MustChain([]core.Task{
+		{Name: "ingest", Weight: [core.NumCoreTypes]float64{core.Big: 10, core.Little: 20}, Replicable: false},
+		{Name: "decode", Weight: [core.NumCoreTypes]float64{core.Big: 8, core.Little: 16}, Replicable: true},
+		{Name: "check", Weight: [core.NumCoreTypes]float64{core.Big: 8, core.Little: 16}, Replicable: true},
+	})
+	sol := herad.Schedule(chain, core.Resources{Big: 1, Little: 2})
+	fmt.Println(sol)
+	fmt.Println("period:", sol.Period(chain))
+	// Output:
+	// (1,1B),(2,2L)
+	// period: 16
+}

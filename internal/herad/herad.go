@@ -1,0 +1,251 @@
+// Package herad implements HeRAD (Heterogeneous Resource Allocation using
+// Dynamic programming, Algos 7–11 of the paper): the optimal solution to
+// the period-minimization problem for partially-replicable task chains on
+// two types of resources, with the secondary objective of using as many
+// little cores as necessary (and otherwise as few cores as possible).
+//
+// The DP computes P*(j, b, l) — the best period for the first j tasks with
+// up to b big and l little cores — via the recurrence of Eq. 4, resolving
+// period ties with CompareCells (Algo 10). Complexity is O(n²·b·l·(b+l))
+// time and O(n·b·l) space; two published optimizations are implemented
+// (single-core inner loop for sequential intervals, plus the stage-merge
+// post-pass), along with a period-dominance pruning of the reverse stage
+// loop that cannot alter either objective.
+package herad
+
+import (
+	"math"
+
+	"ampsched/internal/core"
+)
+
+// cell is one entry of the DP solution matrix S (Algo 7 lines 1–7).
+type cell struct {
+	pbest        float64 // minimal maximum period for this subproblem
+	accB, accL   int32   // accumulated cores of each type used by the solution
+	prevB, prevL int32   // resources available to the predecessor subproblem
+	start        int32   // 0-based index of the first task of the last stage
+	v            core.CoreType
+}
+
+// matrix is the flattened (n+1)×(b+1)×(l+1) DP matrix. Row j holds the
+// subproblems covering the first j tasks.
+type matrix struct {
+	cells []cell
+	b, l  int
+}
+
+func newMatrix(n, b, l int) *matrix {
+	m := &matrix{cells: make([]cell, (n+1)*(b+1)*(l+1)), b: b, l: l}
+	inf := math.Inf(1)
+	for i := range m.cells {
+		m.cells[i].pbest = inf
+	}
+	// Row 0 is the empty-prefix base case: P*(0, ·, ·) = 0.
+	for i := 0; i < (b+1)*(l+1); i++ {
+		m.cells[i].pbest = 0
+	}
+	return m
+}
+
+func (m *matrix) at(j, rb, rl int) *cell {
+	return &m.cells[(j*(m.b+1)+rb)*(m.l+1)+rl]
+}
+
+// Schedule computes the optimal schedule of c on the resources r,
+// including the replicable-stage merge post-pass. It returns the empty
+// solution when no resources are available.
+func Schedule(c *core.Chain, r core.Resources) core.Solution {
+	s := ScheduleRaw(c, r)
+	return s.MergeReplicable(c)
+}
+
+// ScheduleRaw is Schedule without the stage-merge post-pass, exposing the
+// schedules exactly as extracted from the DP matrix.
+func ScheduleRaw(c *core.Chain, r core.Resources) core.Solution {
+	if c == nil || c.Len() == 0 || r.Total() <= 0 || r.Big < 0 || r.Little < 0 {
+		return core.Solution{}
+	}
+	n, b, l := c.Len(), r.Big, r.Little
+	m := newMatrix(n, b, l)
+	singleStageSolution(m, c, 1)
+	for e := 2; e <= n; e++ {
+		singleStageSolution(m, c, e)
+		for ub := 0; ub <= b; ub++ {
+			for ul := 0; ul <= l; ul++ {
+				if ub != 0 || ul != 0 {
+					recomputeCell(m, c, e, ub, ul)
+				}
+			}
+		}
+	}
+	return extractSolution(m, c, n, b, l)
+}
+
+// Period returns the optimal period of c on r without materializing the
+// schedule (it still fills the DP matrix).
+func Period(c *core.Chain, r core.Resources) float64 {
+	s := ScheduleRaw(c, r)
+	return s.Period(c)
+}
+
+// singleStageSolution implements Algo 8: it fills row t with the best
+// solutions that place the first t tasks in a single stage, comparing
+// increasing numbers of big cores against increasing numbers of little
+// cores and solving ties in favor of the little ones.
+func singleStageSolution(m *matrix, c *core.Chain, t int) {
+	rep := c.IsRep(0, t-1)
+	// Stages using little cores only (rb = 0 column).
+	for rl := 1; rl <= m.l; rl++ {
+		cl := m.at(t, 0, rl)
+		cl.pbest = c.Weight(0, t-1, rl, core.Little)
+		if rep {
+			cl.accB, cl.accL = 0, int32(rl)
+		} else {
+			cl.accB, cl.accL = 0, 1
+		}
+		cl.v = core.Little
+		cl.start = 0
+		cl.prevB, cl.prevL = 0, 0
+	}
+	// m.at(t, 0, 0) keeps its +Inf initialization: no cores, no schedule.
+	for rb := 1; rb <= m.b; rb++ {
+		wb := c.Weight(0, t-1, rb, core.Big)
+		ub := int32(1)
+		if rep {
+			ub = int32(rb)
+		}
+		for rl := 0; rl <= m.l; rl++ {
+			dst := m.at(t, rb, rl)
+			little := m.at(t, 0, rl)
+			if wb < little.pbest {
+				dst.pbest = wb
+				dst.accB, dst.accL = ub, 0
+				dst.v = core.Big
+				dst.start = 0
+				dst.prevB, dst.prevL = 0, 0
+			} else {
+				*dst = *little
+			}
+		}
+	}
+}
+
+// recomputeCell implements Algo 9: it computes P*(j, b, l) by comparing
+// the single-stage seed, the neighbor cells with one less core of either
+// type, and every split point i / core count u for both core types
+// (Eq. 4). The reverse i loop is pruned once even the widest replicated
+// stage exceeds the current best period, and sequential intervals only try
+// a single core.
+func recomputeCell(m *matrix, c *core.Chain, j, b, l int) {
+	cur := *m.at(j, b, l) // seed from singleStageSolution
+	if l > 0 {
+		compareCells(&cur, m.at(j, b, l-1))
+	}
+	if b > 0 {
+		compareCells(&cur, m.at(j, b-1, l))
+	}
+	for i := j; i >= 1; i-- {
+		// The candidate stage holds tasks [i-1, j-1] (0-based); its
+		// predecessor subproblem is row i-1. i == 1 reproduces the
+		// single-stage candidates with intermediate core counts.
+		rep := c.IsRep(i-1, j-1)
+		// Period-dominance pruning: stage weight grows as i decreases, so
+		// once the lightest possible stage (all cores of the cheaper type)
+		// exceeds cur.pbest, no candidate at this or any smaller i can win.
+		if c.Weight(i-1, j-1, b, core.Big) > cur.pbest &&
+			c.Weight(i-1, j-1, l, core.Little) > cur.pbest {
+			break
+		}
+		maxUB := b
+		maxUL := l
+		if !rep {
+			// Sequential stages cannot benefit from extra cores.
+			if maxUB > 1 {
+				maxUB = 1
+			}
+			if maxUL > 1 {
+				maxUL = 1
+			}
+		}
+		for u := 1; u <= maxUB; u++ {
+			prev := m.at(i-1, b-u, l)
+			p := c.Weight(i-1, j-1, u, core.Big)
+			if prev.pbest > p {
+				p = prev.pbest
+			}
+			cand := cell{
+				pbest: p,
+				accB:  prev.accB + 1, accL: prev.accL,
+				prevB: int32(b - u), prevL: int32(l),
+				start: int32(i - 1), v: core.Big,
+			}
+			if rep {
+				cand.accB = prev.accB + int32(u)
+			}
+			compareCells(&cur, &cand)
+		}
+		for u := 1; u <= maxUL; u++ {
+			prev := m.at(i-1, b, l-u)
+			p := c.Weight(i-1, j-1, u, core.Little)
+			if prev.pbest > p {
+				p = prev.pbest
+			}
+			cand := cell{
+				pbest: p,
+				accB:  prev.accB, accL: prev.accL + 1,
+				prevB: int32(b), prevL: int32(l - u),
+				start: int32(i - 1), v: core.Little,
+			}
+			if rep {
+				cand.accL = prev.accL + int32(u)
+			}
+			compareCells(&cur, &cand)
+		}
+	}
+	*m.at(j, b, l) = cur
+}
+
+// compareCells implements Algo 10: cur is replaced by cand when cand has a
+// strictly smaller period or, at equal periods, when cand better exchanges
+// big cores for little ones or uses fewer (or equal) cores of both types.
+func compareCells(cur *cell, cand *cell) {
+	switch {
+	case cur.pbest > cand.pbest:
+		*cur = *cand
+	case cur.pbest == cand.pbest &&
+		((cur.accL < cand.accL && cur.accB > cand.accB) ||
+			(cur.accL >= cand.accL && cur.accB >= cand.accB)):
+		*cur = *cand
+	}
+}
+
+// extractSolution implements Algo 11: it walks the DP matrix backwards
+// from the full problem, recovering each stage's interval, core type and
+// per-stage core count (by subtracting the predecessor's accumulated
+// usage).
+func extractSolution(m *matrix, c *core.Chain, n, b, l int) core.Solution {
+	e, rb, rl := n, b, l
+	var sol core.Solution
+	for e >= 1 {
+		cl := m.at(e, rb, rl)
+		if math.IsInf(cl.pbest, 1) {
+			return core.Solution{} // unschedulable (no cores)
+		}
+		s := int(cl.start)
+		ub, ul := cl.accB, cl.accL
+		pb, pl := int(cl.prevB), int(cl.prevL)
+		if s >= 1 {
+			prev := m.at(s, pb, pl)
+			ub -= prev.accB
+			ul -= prev.accL
+		}
+		r := int(ub)
+		if cl.v == core.Little {
+			r = int(ul)
+		}
+		sol = sol.Prepend(core.Stage{Start: s, End: e - 1, Cores: r, Type: cl.v})
+		e, rb, rl = s, pb, pl
+	}
+	return sol
+}

@@ -1,0 +1,203 @@
+package herad
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ampsched/internal/brute"
+	"ampsched/internal/chaingen"
+	"ampsched/internal/core"
+)
+
+func task(wb, wl float64, rep bool) core.Task {
+	return core.Task{Weight: [core.NumCoreTypes]float64{core.Big: wb, core.Little: wl}, Replicable: rep}
+}
+
+func TestDegenerate(t *testing.T) {
+	c := core.MustChain([]core.Task{task(5, 10, true)})
+	if s := Schedule(nil, core.Resources{Big: 1}); !s.IsEmpty() {
+		t.Error("nil chain")
+	}
+	if s := Schedule(c, core.Resources{}); !s.IsEmpty() {
+		t.Error("no cores")
+	}
+	if s := Schedule(c, core.Resources{Big: -2, Little: 1}); !s.IsEmpty() {
+		t.Error("negative cores")
+	}
+}
+
+func TestSingleTask(t *testing.T) {
+	c := core.MustChain([]core.Task{task(10, 30, true)})
+	s := Schedule(c, core.Resources{Big: 2, Little: 2})
+	if err := s.Validate(c, core.Resources{Big: 2, Little: 2}); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	if p := s.Period(c); p != 5 {
+		t.Errorf("period = %v, want 5 (replicated on both big cores)", p)
+	}
+	// Sequential single task: period is its big-core weight, one core.
+	cs := core.MustChain([]core.Task{task(10, 30, false)})
+	ss := Schedule(cs, core.Resources{Big: 2, Little: 2})
+	if p := ss.Period(cs); p != 10 {
+		t.Errorf("seq period = %v, want 10", p)
+	}
+	b, l := ss.CoresUsed()
+	if b != 1 || l != 0 {
+		t.Errorf("seq usage = (%d,%d), want (1,0)", b, l)
+	}
+}
+
+func TestLittlePreferredOnTies(t *testing.T) {
+	// Equal weights on both types: the optimum must prefer little cores
+	// (Lemma 1: ties solved in favor of little).
+	c := core.MustChain([]core.Task{task(10, 10, false)})
+	s := Schedule(c, core.Resources{Big: 3, Little: 3})
+	if p := s.Period(c); p != 10 {
+		t.Fatalf("period = %v", p)
+	}
+	b, l := s.CoresUsed()
+	if b != 0 || l != 1 {
+		t.Errorf("usage = (%d,%d), want (0,1): little preferred on tie", b, l)
+	}
+}
+
+func TestKnownTwoStage(t *testing.T) {
+	// seq 10 | rep 8 8 (16): with 1 big + 2 little (little = 2× slower):
+	// optimal splits [seq] on big (10) and [rep,rep] on 2 little (32/2=16)
+	// → period 16.
+	c := core.MustChain([]core.Task{
+		task(10, 20, false), task(8, 16, true), task(8, 16, true),
+	})
+	r := core.Resources{Big: 1, Little: 2}
+	s := Schedule(c, r)
+	if err := s.Validate(c, r); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	if p := s.Period(c); p != 16 {
+		t.Errorf("period = %v, want 16 (%v)", p, s)
+	}
+}
+
+func TestPeriodHelper(t *testing.T) {
+	c := core.MustChain([]core.Task{task(10, 20, false), task(8, 16, true)})
+	r := core.Resources{Big: 1, Little: 1}
+	if got, want := Period(c, r), Schedule(c, r).Period(c); got != want {
+		t.Errorf("Period = %v, Schedule period = %v", got, want)
+	}
+	if p := Period(c, core.Resources{}); !math.IsInf(p, 1) {
+		t.Errorf("Period with no cores = %v, want +Inf", p)
+	}
+}
+
+func TestMatchesBruteForcePeriod(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for iter := 0; iter < 120; iter++ {
+		n := 1 + rng.Intn(7)
+		cfg := chaingen.Default(n, []float64{0, 0.2, 0.5, 0.8, 1}[rng.Intn(5)])
+		c := chaingen.Generate(cfg, rng)
+		r := core.Resources{Big: rng.Intn(4), Little: rng.Intn(4)}
+		if r.Total() == 0 {
+			r.Big = 1
+		}
+		want := brute.MinPeriod(c, r)
+		s := Schedule(c, r)
+		if err := s.Validate(c, r); err != nil {
+			t.Fatalf("iter %d: invalid solution: %v (chain %v, R=%v)", iter, err, c.Tasks(), r)
+		}
+		got := s.Period(c)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("iter %d: HeRAD period %v, brute force %v\nchain=%+v R=%v sol=%v",
+				iter, got, want, c.Tasks(), r, s)
+		}
+	}
+}
+
+func TestSecondaryObjectiveNotDominated(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for iter := 0; iter < 60; iter++ {
+		n := 1 + rng.Intn(6)
+		c := chaingen.Generate(chaingen.Default(n, 0.5), rng)
+		r := core.Resources{Big: 1 + rng.Intn(3), Little: 1 + rng.Intn(3)}
+		s := ScheduleRaw(c, r)
+		p := s.Period(c)
+		bH, lH := s.CoresUsed()
+		period, usages := brute.OptimalUsages(c, r)
+		if math.Abs(p-period) > 1e-9 {
+			t.Fatalf("iter %d: period %v vs brute %v", iter, p, period)
+		}
+		for _, u := range usages {
+			if brute.Beats(u[0], u[1], bH, lH) {
+				t.Fatalf("iter %d: HeRAD usage (%d,%d) dominated by (%d,%d)\nchain=%+v R=%v sol=%v",
+					iter, bH, lH, u[0], u[1], c.Tasks(), r, s)
+			}
+		}
+	}
+}
+
+func TestMergePostPass(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for iter := 0; iter < 40; iter++ {
+		c := chaingen.Generate(chaingen.Default(2+rng.Intn(10), 0.8), rng)
+		r := core.Resources{Big: 1 + rng.Intn(4), Little: 1 + rng.Intn(4)}
+		raw := ScheduleRaw(c, r)
+		merged := Schedule(c, r)
+		if math.Abs(raw.Period(c)-merged.Period(c)) > 1e-9 {
+			t.Fatalf("merge changed period: %v -> %v", raw.Period(c), merged.Period(c))
+		}
+		if len(merged.Stages) > len(raw.Stages) {
+			t.Fatalf("merge grew the pipeline: %d -> %d", len(raw.Stages), len(merged.Stages))
+		}
+		if err := merged.Validate(c, r); err != nil {
+			t.Fatalf("merged invalid: %v", err)
+		}
+	}
+}
+
+func TestHomogeneousOnlyResources(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for iter := 0; iter < 30; iter++ {
+		c := chaingen.Generate(chaingen.Default(1+rng.Intn(8), 0.5), rng)
+		for _, r := range []core.Resources{{Big: 3}, {Little: 3}} {
+			s := Schedule(c, r)
+			if err := s.Validate(c, r); err != nil {
+				t.Fatalf("invalid on %v: %v", r, err)
+			}
+			want := brute.MinPeriod(c, r)
+			if got := s.Period(c); math.Abs(got-want) > 1e-9 {
+				t.Fatalf("homogeneous %v: got %v want %v", r, got, want)
+			}
+		}
+	}
+}
+
+func TestMonotoneInResources(t *testing.T) {
+	// Adding cores never worsens the optimal period.
+	rng := rand.New(rand.NewSource(59))
+	for iter := 0; iter < 25; iter++ {
+		c := chaingen.Generate(chaingen.Default(1+rng.Intn(10), 0.5), rng)
+		prev := math.Inf(1)
+		for total := 1; total <= 6; total++ {
+			p := Period(c, core.Resources{Big: total, Little: total})
+			if p > prev+1e-9 {
+				t.Fatalf("period increased with more cores: %v -> %v", prev, p)
+			}
+			prev = p
+		}
+	}
+}
+
+func TestAllReplicableUsesEverything(t *testing.T) {
+	// Fully replicable chain with identical per-type speeds: the optimum
+	// is a single stage over all cores of the faster type plus stages on
+	// the others — at minimum, period ≤ ΣwB/(b) and ≤ bound with both.
+	c := core.MustChain([]core.Task{
+		task(10, 20, true), task(10, 20, true), task(10, 20, true), task(10, 20, true),
+	})
+	r := core.Resources{Big: 2, Little: 2}
+	s := Schedule(c, r)
+	want := brute.MinPeriod(c, r)
+	if got := s.Period(c); math.Abs(got-want) > 1e-9 {
+		t.Errorf("period %v, brute %v (%v)", got, want, s)
+	}
+}

@@ -1,0 +1,74 @@
+package herad
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ampsched/internal/brute"
+	"ampsched/internal/core"
+)
+
+// The paper's footnote 1 assumes tasks run fastest on big cores and notes
+// the period bounds "can easily be changed" otherwise. These tests cover
+// the inverted and mixed cases: chains where some or all tasks are faster
+// on little cores must still be scheduled optimally (HeRAD's DP does not
+// depend on the assumption; sched.DefaultBounds was generalized).
+
+func invertedChain(rng *rand.Rand, n int) *core.Chain {
+	tasks := make([]core.Task, n)
+	for i := range tasks {
+		wb := 1 + float64(rng.Intn(50))
+		var wl float64
+		switch rng.Intn(3) {
+		case 0: // classic: little slower
+			wl = math.Ceil(wb * (1 + 3*rng.Float64()))
+		case 1: // inverted: little faster
+			wl = math.Ceil(wb / (1 + 3*rng.Float64()))
+		default: // equal
+			wl = wb
+		}
+		tasks[i] = core.Task{
+			Weight:     [core.NumCoreTypes]float64{core.Big: wb, core.Little: wl},
+			Replicable: rng.Intn(2) == 0,
+		}
+	}
+	return core.MustChain(tasks)
+}
+
+func TestOptimalOnMixedSpeedPlatforms(t *testing.T) {
+	rng := rand.New(rand.NewSource(211))
+	for iter := 0; iter < 60; iter++ {
+		c := invertedChain(rng, 1+rng.Intn(7))
+		r := core.Resources{Big: rng.Intn(4), Little: rng.Intn(4)}
+		if r.Total() == 0 {
+			r.Little = 2
+		}
+		want := brute.MinPeriod(c, r)
+		s := Schedule(c, r)
+		if err := s.Validate(c, r); err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		if got := s.Period(c); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("iter %d: HeRAD %v vs brute %v on mixed-speed chain\n%+v R=%v",
+				iter, got, want, c.Tasks(), r)
+		}
+	}
+}
+
+func TestLittleFasterTaskGoesLittle(t *testing.T) {
+	// A single task that is faster on little cores: the optimum uses the
+	// little core, and the period is the little-core weight.
+	c := core.MustChain([]core.Task{{
+		Weight:     [core.NumCoreTypes]float64{core.Big: 100, core.Little: 40},
+		Replicable: false,
+	}})
+	s := Schedule(c, core.Resources{Big: 2, Little: 2})
+	if p := s.Period(c); p != 40 {
+		t.Errorf("period %v, want 40", p)
+	}
+	b, l := s.CoresUsed()
+	if b != 0 || l != 1 {
+		t.Errorf("usage (%d,%d), want (0,1)", b, l)
+	}
+}

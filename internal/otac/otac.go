@@ -1,0 +1,51 @@
+// Package otac implements OTAC (Optimal scheduling for pipelined and
+// replicated TAsk Chains), the homogeneous-resource baseline of the paper
+// (Orhan et al. 2023). OTAC runs the common binary search (sched.Schedule)
+// with a greedy ComputeSolution that packs stages on a single core type.
+// It is optimal for homogeneous platforms; the paper evaluates it as
+// OTAC (B) (big cores only) and OTAC (L) (little cores only) to show the
+// cost of ignoring heterogeneity.
+package otac
+
+import (
+	"ampsched/internal/core"
+	"ampsched/internal/sched"
+)
+
+// Schedule computes an OTAC schedule of c over cores homogeneous cores of
+// type v. It returns the empty solution when cores ≤ 0.
+func Schedule(c *core.Chain, cores int, v core.CoreType) core.Solution {
+	if cores <= 0 {
+		return core.Solution{}
+	}
+	r := core.Resources{}
+	if v == core.Big {
+		r.Big = cores
+	} else {
+		r.Little = cores
+	}
+	return sched.Schedule(c, r, func(ch *core.Chain, s int, res core.Resources, target float64) core.Solution {
+		return computeSolution(ch, s, res.Of(v), v, target)
+	})
+}
+
+// computeSolution greedily builds stages left to right with ComputeStage,
+// consuming cores of the single type v. It returns the empty solution as
+// soon as a stage cannot respect the target with the remaining cores.
+func computeSolution(c *core.Chain, s, avail int, v core.CoreType, target float64) core.Solution {
+	var stages []core.Stage
+	for s < c.Len() {
+		if avail <= 0 {
+			return core.Solution{}
+		}
+		e, u := sched.ComputeStage(c, s, avail, v, target)
+		st := core.Stage{Start: s, End: e, Cores: u, Type: v}
+		if u > avail || c.Weight(s, e, u, v) > target {
+			return core.Solution{}
+		}
+		stages = append(stages, st)
+		avail -= u
+		s = e + 1
+	}
+	return core.Solution{Stages: stages}
+}

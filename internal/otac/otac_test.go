@@ -1,0 +1,113 @@
+package otac
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ampsched/internal/brute"
+	"ampsched/internal/chaingen"
+	"ampsched/internal/core"
+	"ampsched/internal/herad"
+)
+
+func task(wb, wl float64, rep bool) core.Task {
+	return core.Task{Weight: [core.NumCoreTypes]float64{core.Big: wb, core.Little: wl}, Replicable: rep}
+}
+
+func TestDegenerate(t *testing.T) {
+	c := core.MustChain([]core.Task{task(5, 10, true)})
+	if s := Schedule(c, 0, core.Big); !s.IsEmpty() {
+		t.Error("0 cores should be empty")
+	}
+	if s := Schedule(c, -3, core.Little); !s.IsEmpty() {
+		t.Error("negative cores should be empty")
+	}
+}
+
+func TestValiditySingleType(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	for iter := 0; iter < 150; iter++ {
+		n := 1 + rng.Intn(25)
+		sr := []float64{0, 0.2, 0.5, 0.8, 1}[rng.Intn(5)]
+		c := chaingen.Generate(chaingen.Default(n, sr), rng)
+		cores := 1 + rng.Intn(8)
+		for _, v := range []core.CoreType{core.Big, core.Little} {
+			s := Schedule(c, cores, v)
+			if s.IsEmpty() {
+				t.Fatalf("iter %d: OTAC(%v) found no schedule", iter, v)
+			}
+			r := core.Resources{}
+			if v == core.Big {
+				r.Big = cores
+			} else {
+				r.Little = cores
+			}
+			if err := s.Validate(c, r); err != nil {
+				t.Fatalf("iter %d: OTAC(%v) invalid: %v", iter, v, err)
+			}
+			for _, st := range s.Stages {
+				if st.Type != v {
+					t.Fatalf("iter %d: OTAC(%v) used a %v stage", iter, v, st.Type)
+				}
+			}
+		}
+	}
+}
+
+func TestOptimalOnHomogeneousPlatforms(t *testing.T) {
+	// OTAC is optimal for homogeneous resources: it must match HeRAD
+	// restricted to the same single core type, and the brute force.
+	rng := rand.New(rand.NewSource(107))
+	for iter := 0; iter < 60; iter++ {
+		c := chaingen.Generate(chaingen.Default(1+rng.Intn(9), 0.5), rng)
+		cores := 1 + rng.Intn(4)
+		for _, v := range []core.CoreType{core.Big, core.Little} {
+			r := core.Resources{}
+			if v == core.Big {
+				r.Big = cores
+			} else {
+				r.Little = cores
+			}
+			got := Schedule(c, cores, v).Period(c)
+			wantH := herad.Period(c, r)
+			wantB := brute.MinPeriod(c, r)
+			if math.Abs(got-wantB) > 1e-9 || math.Abs(wantH-wantB) > 1e-9 {
+				t.Fatalf("iter %d OTAC(%v,%d): otac=%v herad=%v brute=%v\nchain=%+v",
+					iter, v, cores, got, wantH, wantB, c.Tasks())
+			}
+		}
+	}
+}
+
+func TestNeverBelowHeterogeneousOptimum(t *testing.T) {
+	// Using a single core type can never beat the two-type optimum with
+	// the same pool partitioned as (b, l).
+	rng := rand.New(rand.NewSource(109))
+	for iter := 0; iter < 40; iter++ {
+		c := chaingen.Generate(chaingen.Default(1+rng.Intn(12), 0.5), rng)
+		b, l := 1+rng.Intn(4), 1+rng.Intn(4)
+		opt := herad.Period(c, core.Resources{Big: b, Little: l})
+		if p := Schedule(c, b, core.Big).Period(c); p < opt-1e-9 {
+			t.Fatalf("OTAC(B) %v beats heterogeneous optimum %v", p, opt)
+		}
+		if p := Schedule(c, l, core.Little).Period(c); p < opt-1e-9 {
+			t.Fatalf("OTAC(L) %v beats heterogeneous optimum %v", p, opt)
+		}
+	}
+}
+
+func TestFullyReplicableSingleStage(t *testing.T) {
+	// When all tasks are replicable, the homogeneous optimum is a single
+	// stage replicated over all cores (Benoit & Robert); OTAC must reach
+	// that period.
+	var tasks []core.Task
+	for i := 0; i < 5; i++ {
+		tasks = append(tasks, task(10, 20, true))
+	}
+	c := core.MustChain(tasks)
+	s := Schedule(c, 4, core.Big)
+	if p, want := s.Period(c), 50.0/4; math.Abs(p-want) > 1e-9 {
+		t.Errorf("period %v, want %v (%v)", p, want, s)
+	}
+}

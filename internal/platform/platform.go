@@ -1,0 +1,116 @@
+// Package platform describes the heterogeneous evaluation platforms of the
+// paper's real-world SDR experiment (§VI-A2) and embeds the DVB-S2
+// receiver's per-task latency profiles of Table III. The profiles are the
+// exact input the paper's schedulers consume; the Go runtime realizes them
+// on virtual big/little cores (see internal/streampu).
+package platform
+
+import (
+	"fmt"
+
+	"ampsched/internal/core"
+)
+
+// InfoBitsPerFrame is K, the number of information bits per DVB-S2 frame
+// in the paper's configuration (short FECFRAME, rate 8/9).
+const InfoBitsPerFrame = 14232
+
+// Platform is one evaluation machine: its full resource complement, the
+// interframe level used on it, and the profiled DVB-S2 receiver chain.
+type Platform struct {
+	// Name identifies the machine ("Mac Studio", "X7 Ti").
+	Name string
+	// Full is the complete resource set of the machine.
+	Full core.Resources
+	// Interframe is the number of frames processed per pipeline slot.
+	Interframe int
+	// tasks is the profiled receiver chain (Table III latencies in µs).
+	tasks []core.Task
+}
+
+// Chain returns the platform's profiled DVB-S2 receiver chain.
+func (p *Platform) Chain() *core.Chain { return core.MustChain(p.tasks) }
+
+// Configs returns the paper's two scheduling configurations for the
+// platform: half the cores and all the cores (Table II).
+func (p *Platform) Configs() []core.Resources {
+	return []core.Resources{
+		{Big: p.Full.Big / 2, Little: p.Full.Little / 2},
+		p.Full,
+	}
+}
+
+// MbPerSecond converts a frame rate into the paper's information
+// throughput metric (Mb/s at K information bits per frame).
+func MbPerSecond(fps float64) float64 {
+	return fps * InfoBitsPerFrame / 1e6
+}
+
+// taskSpec is one Table III row: latencies on both platforms.
+type taskSpec struct {
+	name       string
+	replicable bool
+	macB, macL float64
+	x7B, x7L   float64
+}
+
+// TableIII lists the DVB-S2 receiver's tasks in chain order with their
+// average latencies (µs) on the Mac Studio (interframe 4) and the X7 Ti
+// (interframe 8), exactly as published.
+var tableIII = []taskSpec{
+	{"Radio – receive", false, 52.3, 248.3, 131.7, 133.2},
+	{"Multiplier AGC – imultiply", false, 75.2, 149.9, 138.3, 318.1},
+	{"Sync. Freq. Coarse – synchronize", false, 96.4, 496.6, 113.7, 429.0},
+	{"Filter Matched – filter (part 1)", false, 318.9, 902.9, 334.8, 711.9},
+	{"Filter Matched – filter (part 2)", false, 315.1, 883.2, 329.3, 712.6},
+	{"Sync. Timing – synchronize", false, 950.6, 1468.9, 1341.9, 2387.1},
+	{"Sync. Timing – extract", false, 55.5, 106.0, 58.7, 135.1},
+	{"Multiplier AGC – imultiply (2)", false, 37.1, 75.4, 63.5, 157.4},
+	{"Sync. Frame – synchronize (part 1)", false, 361.0, 1064.7, 365.9, 848.1},
+	{"Sync. Frame – synchronize (part 2)", false, 52.9, 169.1, 81.1, 197.9},
+	{"Scrambler Symbol – descramble", true, 16.0, 61.0, 25.1, 65.9},
+	{"Sync. Freq. Fine L&R – synchronize", false, 50.5, 247.1, 54.3, 203.2},
+	{"Sync. Freq. Fine P/F – synchronize", true, 99.2, 597.8, 253.8, 356.2},
+	{"Framer PLH – remove", true, 23.4, 65.1, 47.4, 87.7},
+	{"Noise Estimator – estimate", true, 40.5, 65.4, 32.4, 65.4},
+	{"Modem QPSK – demodulate", true, 2257.5, 4838.6, 2123.1, 5742.4},
+	{"Interleaver – deinterleave", true, 21.1, 58.4, 29.3, 47.6},
+	{"Decoder LDPC – decode SIHO", true, 153.2, 506.7, 239.7, 1024.4},
+	{"Decoder BCH – decode HIHO", true, 3339.9, 7303.5, 6209.0, 8166.2},
+	{"Scrambler Binary – descramble", true, 191.7, 464.9, 559.0, 621.8},
+	{"Sink Binary File – send", false, 9.5, 33.3, 34.6, 75.6},
+	{"Source – generate", false, 4.0, 13.6, 16.9, 23.4},
+	{"Monitor – check errors", true, 9.5, 21.0, 9.2, 20.5},
+}
+
+// MacStudio returns the Apple M1 Ultra platform model: 16 big (p) cores,
+// 4 little (e) cores, interframe level 4.
+func MacStudio() *Platform {
+	return build("Mac Studio", core.Resources{Big: 16, Little: 4}, 4,
+		func(s taskSpec) (float64, float64) { return s.macB, s.macL })
+}
+
+// X7Ti returns the Minisforum AtomMan X7 Ti platform model: 6 big (p)
+// cores, 8 little (e) cores, interframe level 8.
+func X7Ti() *Platform {
+	return build("X7 Ti", core.Resources{Big: 6, Little: 8}, 8,
+		func(s taskSpec) (float64, float64) { return s.x7B, s.x7L })
+}
+
+// All returns both evaluation platforms in the paper's order.
+func All() []*Platform {
+	return []*Platform{MacStudio(), X7Ti()}
+}
+
+func build(name string, full core.Resources, interframe int, pick func(taskSpec) (float64, float64)) *Platform {
+	tasks := make([]core.Task, len(tableIII))
+	for i, s := range tableIII {
+		wb, wl := pick(s)
+		tasks[i] = core.Task{
+			Name:       fmt.Sprintf("τ%02d %s", i+1, s.name),
+			Weight:     [core.NumCoreTypes]float64{core.Big: wb, core.Little: wl},
+			Replicable: s.replicable,
+		}
+	}
+	return &Platform{Name: name, Full: full, Interframe: interframe, tasks: tasks}
+}

@@ -1,0 +1,78 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("name", "value", "note")
+	tb.AddRow("alpha", 3.14159, "first")
+	tb.AddRow("beta", 1000000.0, "big")
+	tb.AddRow("gamma", 42.0, "int-like")
+	tb.AddRow("delta", math.Inf(1), "inf")
+	tb.AddRow("eps", math.NaN(), "nan")
+	var sb strings.Builder
+	tb.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"name", "alpha", "3.14", "42", "inf", "-", "1000000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 7 {
+		t.Errorf("%d lines, want header+sep+5 rows", len(lines))
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.AddRow("plain", `with "quote", comma`)
+	var sb strings.Builder
+	tb.CSV(&sb)
+	out := sb.String()
+	if !strings.Contains(out, `"with ""quote"", comma"`) {
+		t.Errorf("CSV escaping wrong:\n%s", out)
+	}
+	if !strings.HasPrefix(out, "a,b\n") {
+		t.Errorf("CSV header wrong:\n%s", out)
+	}
+}
+
+func TestLogPlot(t *testing.T) {
+	var sb strings.Builder
+	series := []Series{
+		{Name: "fast", X: []float64{1, 2, 3}, Y: []float64{10, 20, 30}},
+		{Name: "slow", X: []float64{1, 2, 3}, Y: []float64{100, 1000, 10000}},
+	}
+	LogPlot(&sb, "timing", series, 40, 10)
+	out := sb.String()
+	if !strings.Contains(out, "timing") || !strings.Contains(out, "fast") {
+		t.Errorf("plot missing labels:\n%s", out)
+	}
+	if !strings.Contains(out, "o") || !strings.Contains(out, "x") {
+		t.Errorf("plot missing marks:\n%s", out)
+	}
+}
+
+func TestLogPlotDegenerate(t *testing.T) {
+	var sb strings.Builder
+	LogPlot(&sb, "empty", nil, 40, 10)
+	if !strings.Contains(sb.String(), "no data") {
+		t.Errorf("empty plot: %s", sb.String())
+	}
+	sb.Reset()
+	// All-zero Y values are skipped (log scale).
+	LogPlot(&sb, "zeros", []Series{{Name: "z", X: []float64{1}, Y: []float64{0}}}, 40, 10)
+	if !strings.Contains(sb.String(), "no data") {
+		t.Errorf("zero plot: %s", sb.String())
+	}
+	sb.Reset()
+	// Single point must not divide by zero.
+	LogPlot(&sb, "one", []Series{{Name: "o", X: []float64{1, 2}, Y: []float64{5, 5}}}, 5, 3)
+	if sb.Len() == 0 {
+		t.Error("single-value plot produced nothing")
+	}
+}

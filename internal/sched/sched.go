@@ -1,0 +1,196 @@
+// Package sched implements the scheduling machinery shared by the greedy
+// strategies of the paper: the binary-search Schedule procedure (Algo 1),
+// the greedy ComputeStage (Algo 2), and the support methods MaxPacking,
+// RequiredCores, IsRep and FinalRepTask (Algo 3). FERTAC, 2CATAC and OTAC
+// plug their ComputeSolution variants into Schedule.
+package sched
+
+import (
+	"math"
+
+	"ampsched/internal/core"
+)
+
+// ComputeSolutionFunc builds a (possibly partial) schedule for the tasks
+// starting at index s (0-based) with the given available resources and a
+// target period. It returns the empty solution when no valid schedule with
+// period ≤ target exists under the strategy's greedy rules.
+type ComputeSolutionFunc func(c *core.Chain, s int, r core.Resources, target float64) core.Solution
+
+// Bounds holds the period interval searched by Schedule.
+type Bounds struct {
+	Min, Max float64
+	// Eps is the termination threshold of the binary search; the paper
+	// uses 1/(b+l) to account for the fractional periods of replicated
+	// stages.
+	Eps float64
+}
+
+// DefaultBounds computes the paper's period bounds (Algo 1 lines 1–3):
+// the lower bound is the maximum of the fully-replicated-everywhere period
+// and the largest sequential task weight; the upper bound adds the largest
+// task weight. The paper assumes tasks run fastest on big cores; to stay
+// correct when one resource type is absent (OTAC usage) the per-task
+// weights are taken on the fastest *available* type.
+func DefaultBounds(c *core.Chain, r core.Resources) Bounds {
+	total := 0.0
+	maxSeq := 0.0
+	maxW := 0.0
+	for i := 0; i < c.Len(); i++ {
+		t := c.Task(i)
+		w := bestWeight(t, r)
+		total += w
+		if !t.Replicable && w > maxSeq {
+			maxSeq = w
+		}
+		// The paper's upper-bound increment uses the little-core weight
+		// (the largest weight of a task on any available type).
+		if ww := worstWeight(t, r); ww > maxW {
+			maxW = ww
+		}
+	}
+	min := total / float64(r.Total())
+	if maxSeq > min {
+		min = maxSeq
+	}
+	return Bounds{Min: min, Max: min + maxW, Eps: 1 / float64(r.Total())}
+}
+
+func bestWeight(t core.Task, r core.Resources) float64 {
+	switch {
+	case r.Big > 0 && r.Little > 0:
+		return math.Min(t.W(core.Big), t.W(core.Little))
+	case r.Big > 0:
+		return t.W(core.Big)
+	default:
+		return t.W(core.Little)
+	}
+}
+
+func worstWeight(t core.Task, r core.Resources) float64 {
+	switch {
+	case r.Big > 0 && r.Little > 0:
+		return math.Max(t.W(core.Big), t.W(core.Little))
+	case r.Big > 0:
+		return t.W(core.Big)
+	default:
+		return t.W(core.Little)
+	}
+}
+
+// Schedule implements Algo 1: a binary search over target periods that
+// repeatedly invokes compute and keeps the best valid schedule found. It
+// returns the empty solution when the chain cannot be scheduled at all
+// (no resources).
+func Schedule(c *core.Chain, r core.Resources, compute ComputeSolutionFunc) core.Solution {
+	if c == nil || c.Len() == 0 || r.Total() <= 0 || r.Big < 0 || r.Little < 0 {
+		return core.Solution{}
+	}
+	best := ScheduleBounds(c, r, DefaultBounds(c, r), compute)
+	if !best.IsEmpty() {
+		return best
+	}
+	// Robustness fallback: the paper's upper bound is safe for its greedy
+	// strategies on its workloads, but a heuristic may fail below it on
+	// adversarial inputs. The whole chain on a single core is always
+	// feasible, so retry with that period as the upper bound.
+	fb := math.Inf(1)
+	if r.Big > 0 {
+		fb = c.TotalW(core.Big)
+	}
+	if r.Little > 0 {
+		fb = math.Min(fb, c.TotalW(core.Little))
+	}
+	b := DefaultBounds(c, r)
+	b.Max = fb * (1 + b.Eps)
+	return ScheduleBounds(c, r, b, compute)
+}
+
+// ScheduleBounds is Schedule with caller-provided period bounds.
+func ScheduleBounds(c *core.Chain, r core.Resources, b Bounds, compute ComputeSolutionFunc) core.Solution {
+	var best core.Solution
+	pmin, pmax := b.Min, b.Max
+	for pmax-pmin >= b.Eps {
+		pmid := (pmax + pmin) / 2
+		s := compute(c, 0, r, pmid)
+		if s.IsValid(c, r, pmid) {
+			best = s
+			pmax = s.Period(c) // can only decrease the target from here
+		} else {
+			pmin = pmid // can only increase the target
+		}
+	}
+	if best.IsEmpty() {
+		// The search may converge without probing the upper bound itself;
+		// give the strategy one last chance exactly at Max.
+		s := compute(c, 0, r, b.Max)
+		if s.IsValid(c, r, b.Max) {
+			best = s
+		}
+	}
+	return best
+}
+
+// MaxPacking (Algo 3) returns the largest task index e ≥ s (0-based,
+// inclusive) such that the stage [s, e] executed by cores cores of type v
+// weighs at most target. Following the paper it returns at least s, even
+// when the single task s alone exceeds the target.
+func MaxPacking(c *core.Chain, s, cores int, v core.CoreType, target float64) int {
+	e := s
+	for i := s; i < c.Len(); i++ {
+		if c.Weight(s, i, cores, v) <= target {
+			e = i
+		} else if i > s {
+			// Stage weights are non-decreasing in the interval end, so the
+			// first failure after s is final.
+			break
+		}
+	}
+	return e
+}
+
+// RequiredCores (Algo 3) returns ⌈w([s,e],1,v)/target⌉: the number of
+// cores of type v needed for the stage [s, e] to meet the target period if
+// it were fully replicable. The result is clamped to at least 1.
+func RequiredCores(c *core.Chain, s, e int, v core.CoreType, target float64) int {
+	u := int(math.Ceil(c.SumW(s, e, v) / target))
+	if u < 1 {
+		u = 1
+	}
+	return u
+}
+
+// ComputeStage implements Algo 2: starting at task s with at most avail
+// cores of type v, it greedily chooses where the stage ends and how many
+// cores it needs to respect the target period. Replicable stages are
+// extended as far as possible, shrunk when the cores run out, and trimmed
+// by one core when the leftover tasks (plus the following sequential task)
+// fit in a single core of the next stage.
+func ComputeStage(c *core.Chain, s, avail int, v core.CoreType, target float64) (end, used int) {
+	n := c.Len()
+	e := MaxPacking(c, s, 1, v, target)
+	u := RequiredCores(c, s, e, v, target)
+	if e != n-1 && c.IsRep(s, e) {
+		e = c.FinalRepTask(s, e)
+		u = RequiredCores(c, s, e, v, target)
+		if u > avail {
+			// Not enough cores for the whole replicable run: keep as many
+			// tasks as avail cores can absorb.
+			e = MaxPacking(c, s, avail, v, target)
+			u = avail
+		} else if e != n-1 && u >= 2 {
+			// The run is followed by a sequential task. Check whether
+			// moving this stage's tail to the next stage saves one core.
+			// The trimmed stage must itself still respect the target:
+			// MaxPacking floors its result at s even when task s alone
+			// exceeds the target with u-1 cores, in which case trimming
+			// would silently produce an over-period stage.
+			f := MaxPacking(c, s, u-1, v, target)
+			if c.Weight(s, f, u-1, v) <= target &&
+				RequiredCores(c, f+1, e+1, v, target) == 1 {
+				e, u = f, u-1
+			}
+		}
+	}
+	return e, u
+}

@@ -1,0 +1,206 @@
+package streampu
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"ampsched/internal/core"
+)
+
+// Dynamic executor: the baseline the paper's related-work section argues
+// against ("dynamic schedulers from current runtime systems are usually
+// inefficient at our task granularity of tens to thousands of µs",
+// §II). Instead of a static interval mapping, a pool of workers pulls
+// (frame, task) work items from a central ready queue, GNU-Radio /
+// generic-runtime style. Stateful tasks are serialized and executed in
+// frame order through per-task sequence gates; stateless tasks run
+// wherever a worker is free. Comparing Dynamic against a static Pipeline
+// on the same workload exposes the central-queue dispatch overhead and
+// loss of stage locality that motivate the paper's static schedules.
+
+// DynamicOptions configures a dynamic execution.
+type DynamicOptions struct {
+	// Workers lists the virtual core type of each pool worker.
+	Workers []core.CoreType
+	// QueueCap bounds the central ready queue (defaults to 4× workers).
+	QueueCap int
+	// TimeScale and Spin mirror Options.
+	TimeScale float64
+	Spin      bool
+	// WarmupFraction mirrors Options.WarmupFraction.
+	WarmupFraction float64
+}
+
+// workItem is one schedulable unit: one task applied to one frame.
+type workItem struct {
+	frame *Frame
+	task  int
+}
+
+// taskGate serializes a stateful task and releases its work in frame
+// order.
+type taskGate struct {
+	mu      sync.Mutex
+	next    uint64
+	pending map[uint64]*Frame
+}
+
+// Dynamic runs the chain over frames frames with a dynamically scheduled
+// worker pool and returns runtime statistics comparable to
+// Pipeline.Run's.
+func Dynamic(tasks []Task, frames int, opt DynamicOptions, src func(*Frame)) (Stats, error) {
+	if len(tasks) == 0 {
+		return Stats{}, errors.New("streampu: no tasks")
+	}
+	if frames <= 0 {
+		return Stats{}, fmt.Errorf("streampu: frames = %d, want > 0", frames)
+	}
+	if len(opt.Workers) == 0 {
+		return Stats{}, errors.New("streampu: no workers")
+	}
+	if opt.TimeScale <= 0 {
+		opt.TimeScale = 1
+	}
+	if opt.QueueCap <= 0 {
+		opt.QueueCap = 4 * len(opt.Workers)
+	}
+	if opt.WarmupFraction <= 0 || opt.WarmupFraction >= 1 {
+		opt.WarmupFraction = 0.25
+	}
+
+	gates := make([]*taskGate, len(tasks))
+	for i, t := range tasks {
+		if !t.Replicable() {
+			gates[i] = &taskGate{pending: map[uint64]*Frame{}}
+		}
+	}
+
+	ready := make(chan workItem, opt.QueueCap)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var doneTimes []time.Time
+	errored := 0
+
+	// offer hands a frame to task ti, honoring stateful ordering: out-of-
+	// order frames park in the gate until their turn.
+	var offer func(f *Frame, ti int)
+	finish := make(chan struct{})
+	offer = func(f *Frame, ti int) {
+		if ti == len(tasks) {
+			mu.Lock()
+			doneTimes = append(doneTimes, time.Now())
+			if f.Err != nil {
+				errored++
+			}
+			n := len(doneTimes)
+			mu.Unlock()
+			if n == frames {
+				close(finish)
+			}
+			return
+		}
+		g := gates[ti]
+		if g == nil {
+			ready <- workItem{frame: f, task: ti}
+			return
+		}
+		g.mu.Lock()
+		if f.Seq != g.next {
+			g.pending[f.Seq] = f
+			g.mu.Unlock()
+			return
+		}
+		g.mu.Unlock()
+		ready <- workItem{frame: f, task: ti}
+	}
+
+	// release advances a stateful task's gate after it processed a frame,
+	// freeing the next in-order frame if it is already waiting.
+	release := func(ti int) {
+		g := gates[ti]
+		if g == nil {
+			return
+		}
+		g.mu.Lock()
+		g.next++
+		nf, ok := g.pending[g.next]
+		if ok {
+			delete(g.pending, g.next)
+		}
+		g.mu.Unlock()
+		if ok {
+			ready <- workItem{frame: nf, task: ti}
+		}
+	}
+
+	for w, ct := range opt.Workers {
+		wg.Add(1)
+		go func(id int, ct core.CoreType) {
+			defer wg.Done()
+			wctx := &Worker{Core: ct, Scale: opt.TimeScale, Spin: opt.Spin, ID: id}
+			for item := range ready {
+				t0 := time.Now()
+				if err := tasks[item.task].Process(wctx, item.frame); err != nil && item.frame.Err == nil {
+					item.frame.Err = fmt.Errorf("%s: %w", tasks[item.task].Name(), err)
+				}
+				wctx.Settle(t0)
+				release(item.task)
+				go offer(item.frame, item.task+1)
+			}
+		}(w, ct)
+	}
+
+	start := time.Now()
+	go func() {
+		for seq := uint64(0); seq < uint64(frames); seq++ {
+			f := &Frame{Seq: seq}
+			if src != nil {
+				src(f)
+			}
+			offer(f, 0)
+		}
+	}()
+	<-finish
+	elapsed := time.Since(start)
+	close(ready)
+	wg.Wait()
+
+	stats := Stats{Frames: len(doneTimes), Errored: errored, Elapsed: elapsed}
+	sort.Slice(doneTimes, func(i, j int) bool { return doneTimes[i].Before(doneTimes[j]) })
+	warm := int(float64(frames) * opt.WarmupFraction)
+	if warm >= len(doneTimes)-1 {
+		warm = 0
+	}
+	if n := len(doneTimes) - warm - 1; n > 0 {
+		span := doneTimes[len(doneTimes)-1].Sub(doneTimes[warm])
+		stats.PeriodMicros = span.Seconds() * 1e6 / float64(n) / opt.TimeScale
+		if stats.PeriodMicros > 0 {
+			stats.FPS = 1e6 / stats.PeriodMicros
+		}
+	}
+	return stats, nil
+}
+
+// HomogeneousWorkers builds a worker pool of n cores of type v.
+func HomogeneousWorkers(n int, v core.CoreType) []core.CoreType {
+	out := make([]core.CoreType, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+// PlatformWorkers builds a worker pool with b big and l little cores.
+func PlatformWorkers(b, l int) []core.CoreType {
+	out := make([]core.CoreType, 0, b+l)
+	for i := 0; i < b; i++ {
+		out = append(out, core.Big)
+	}
+	for i := 0; i < l; i++ {
+		out = append(out, core.Little)
+	}
+	return out
+}

@@ -1,0 +1,162 @@
+package streampu
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"ampsched/internal/core"
+)
+
+func TestDynamicValidation(t *testing.T) {
+	tasks := []Task{timedTask("a", 1, 2, true)}
+	if _, err := Dynamic(nil, 10, DynamicOptions{Workers: PlatformWorkers(1, 0)}, nil); err == nil {
+		t.Error("no tasks accepted")
+	}
+	if _, err := Dynamic(tasks, 0, DynamicOptions{Workers: PlatformWorkers(1, 0)}, nil); err == nil {
+		t.Error("zero frames accepted")
+	}
+	if _, err := Dynamic(tasks, 10, DynamicOptions{}, nil); err == nil {
+		t.Error("no workers accepted")
+	}
+}
+
+func TestDynamicProcessesAllFrames(t *testing.T) {
+	var count atomic.Int64
+	tasks := []Task{
+		timedTask("w1", 5, 10, true),
+		&FuncTask{TaskName: "count", Rep: true, Fn: func(w *Worker, f *Frame) error {
+			count.Add(1)
+			return nil
+		}},
+	}
+	st, err := Dynamic(tasks, 120, DynamicOptions{Workers: PlatformWorkers(2, 2), TimeScale: 5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Frames != 120 || count.Load() != 120 || st.Errored != 0 {
+		t.Fatalf("stats %+v count %d", st, count.Load())
+	}
+	if st.FPS <= 0 {
+		t.Errorf("FPS %v", st.FPS)
+	}
+}
+
+func TestDynamicStatefulTasksRunInOrder(t *testing.T) {
+	// A stateful task records the order it sees frames in; under dynamic
+	// scheduling with many workers it must still be strictly sequential.
+	var mu sync.Mutex
+	var seen []uint64
+	tasks := []Task{
+		timedTask("jitter", 3, 3, true), // replicable: creates reordering pressure
+		&FuncTask{TaskName: "stateful", Rep: false, Fn: func(w *Worker, f *Frame) error {
+			mu.Lock()
+			seen = append(seen, f.Seq)
+			mu.Unlock()
+			return nil
+		}},
+		timedTask("tail", 1, 1, true),
+	}
+	st, err := Dynamic(tasks, 200, DynamicOptions{Workers: PlatformWorkers(4, 0), TimeScale: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Frames != 200 {
+		t.Fatalf("frames %d", st.Frames)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 200 {
+		t.Fatalf("stateful task saw %d frames", len(seen))
+	}
+	for i, s := range seen {
+		if s != uint64(i) {
+			t.Fatalf("stateful order broken at %d: seq %d", i, s)
+		}
+	}
+}
+
+func TestDynamicErrorsCounted(t *testing.T) {
+	tasks := []Task{
+		&FuncTask{TaskName: "fail-3", Rep: true, Fn: func(w *Worker, f *Frame) error {
+			if f.Seq%3 == 0 {
+				return errTest
+			}
+			return nil
+		}},
+	}
+	st, err := Dynamic(tasks, 30, DynamicOptions{Workers: PlatformWorkers(2, 0)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Errored != 10 {
+		t.Errorf("errored %d, want 10", st.Errored)
+	}
+}
+
+var errTest = &testError{}
+
+type testError struct{}
+
+func (*testError) Error() string { return "test error" }
+
+func TestDynamicSourcePopulates(t *testing.T) {
+	var sum atomic.Int64
+	tasks := []Task{
+		&FuncTask{TaskName: "add", Rep: true, Fn: func(w *Worker, f *Frame) error {
+			sum.Add(int64(f.Data.(int)))
+			return nil
+		}},
+	}
+	if _, err := Dynamic(tasks, 10, DynamicOptions{Workers: PlatformWorkers(1, 0)},
+		func(f *Frame) { f.Data = int(f.Seq) * 2 }); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 90 {
+		t.Errorf("sum %d", sum.Load())
+	}
+}
+
+func TestDynamicVsStaticThroughputShape(t *testing.T) {
+	// A fully replicable latency-modeled chain: both executors should
+	// approach the ideal period Σw/r; the dynamic one pays dispatch
+	// overhead. This asserts the *shape* (dynamic ≤ ~static, both within
+	// a factor of the ideal), not a precise ratio.
+	var tasks []Task
+	for i := 0; i < 4; i++ {
+		tasks = append(tasks, timedTask("t", 50, 50, true))
+	}
+	sol := core.Solution{Stages: []core.Stage{{Start: 0, End: 3, Cores: 4, Type: core.Big}}}
+	p, err := New(tasks, sol, Options{TimeScale: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stat, err := p.Run(100, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn, err := Dynamic(tasks, 100, DynamicOptions{Workers: PlatformWorkers(4, 0), TimeScale: 10}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ideal := 200.0 / 4 // Σw / workers
+	if stat.PeriodMicros < ideal*0.9 || dyn.PeriodMicros < ideal*0.9 {
+		t.Errorf("impossible periods: static %.1f dynamic %.1f ideal %.1f",
+			stat.PeriodMicros, dyn.PeriodMicros, ideal)
+	}
+	if dyn.PeriodMicros > ideal*4 {
+		t.Errorf("dynamic period %.1f way above ideal %.1f", dyn.PeriodMicros, ideal)
+	}
+	t.Logf("ideal %.1f µs, static %.1f µs, dynamic %.1f µs", ideal, stat.PeriodMicros, dyn.PeriodMicros)
+}
+
+func TestWorkerPools(t *testing.T) {
+	w := PlatformWorkers(2, 3)
+	if len(w) != 5 || w[0] != core.Big || w[4] != core.Little {
+		t.Errorf("PlatformWorkers = %v", w)
+	}
+	h := HomogeneousWorkers(3, core.Little)
+	if len(h) != 3 || h[1] != core.Little {
+		t.Errorf("HomogeneousWorkers = %v", h)
+	}
+}

@@ -1,0 +1,37 @@
+package streampu_test
+
+import (
+	"fmt"
+
+	"ampsched/internal/core"
+	"ampsched/internal/streampu"
+)
+
+// ExamplePipeline builds a two-stage pipeline with a replicated stateless
+// stage and counts the frames that come out — in order.
+func ExamplePipeline() {
+	double := &streampu.FuncTask{TaskName: "double", Rep: true,
+		Fn: func(w *streampu.Worker, f *streampu.Frame) error {
+			f.Data = f.Data.(int) * 2
+			return nil
+		}}
+	var got []int
+	collect := &streampu.FuncTask{TaskName: "collect", Rep: false,
+		Fn: func(w *streampu.Worker, f *streampu.Frame) error {
+			got = append(got, f.Data.(int))
+			return nil
+		}}
+	sol := core.Solution{Stages: []core.Stage{
+		{Start: 0, End: 0, Cores: 3, Type: core.Big}, // replicated ×3
+		{Start: 1, End: 1, Cores: 1, Type: core.Little},
+	}}
+	p, err := streampu.New([]streampu.Task{double, collect}, sol, streampu.Options{})
+	if err != nil {
+		panic(err)
+	}
+	if _, err := p.Run(5, func(f *streampu.Frame) { f.Data = int(f.Seq) }); err != nil {
+		panic(err)
+	}
+	fmt.Println(got)
+	// Output: [0 2 4 6 8]
+}

@@ -1,0 +1,369 @@
+package streampu
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ampsched/internal/core"
+)
+
+// Options configures a pipeline run.
+type Options struct {
+	// QueueCap is the buffered capacity of each adaptor channel (frames).
+	// Defaults to 2.
+	QueueCap int
+	// TimeScale multiplies modeled latencies before realization; use > 1
+	// on machines with coarse sleep granularity or fewer physical cores
+	// than modeled. Reported periods and FPS are de-scaled back to the
+	// modeled time base. Defaults to 1.
+	TimeScale float64
+	// Spin makes latency-modeled tasks busy-wait instead of sleeping.
+	// Requires at least as many physical cores as pipeline workers.
+	Spin bool
+	// WarmupFraction is the fraction of frames excluded from throughput
+	// measurement at the start of the run. Defaults to 0.25.
+	WarmupFraction float64
+	// Profile enables per-task latency measurement (see Stats.TaskMicros).
+	Profile bool
+	// Tracer, when set, records one timeline event per (frame, stage)
+	// execution for offline analysis (see Tracer.WriteChromeTrace).
+	Tracer *Tracer
+}
+
+func (o Options) withDefaults() Options {
+	if o.QueueCap <= 0 {
+		o.QueueCap = 2
+	}
+	if o.TimeScale <= 0 {
+		o.TimeScale = 1
+	}
+	if o.WarmupFraction <= 0 || o.WarmupFraction >= 1 {
+		o.WarmupFraction = 0.25
+	}
+	return o
+}
+
+// Stats reports the outcome of a pipeline run. Period and FPS are
+// expressed in the modeled time base (µs task weights), i.e. wall-clock
+// measurements divided by the time scale.
+type Stats struct {
+	// Frames is the number of frames that left the pipeline.
+	Frames int
+	// Errored counts frames that finished with a non-nil Err.
+	Errored int
+	// Elapsed is the wall-clock duration of the whole run.
+	Elapsed time.Duration
+	// PeriodMicros is the measured steady-state inter-departure time in
+	// modeled microseconds (wall time ÷ TimeScale).
+	PeriodMicros float64
+	// FPS is the measured steady-state frame rate in the modeled time
+	// base (1e6/PeriodMicros), before applying any interframe factor.
+	FPS float64
+	// TaskMicros holds each task's mean measured latency in modeled µs
+	// (only when Options.Profile is set).
+	TaskMicros []float64
+}
+
+// Throughput returns the measured frame rate scaled by the platform's
+// interframe level.
+func (s Stats) Throughput(interframe int) float64 {
+	return s.FPS * float64(interframe)
+}
+
+// Pipeline is a runnable interval-mapped, replicated streaming pipeline.
+type Pipeline struct {
+	tasks  []Task
+	sol    core.Solution
+	opt    Options
+	stages []pipeStage
+}
+
+type pipeStage struct {
+	core.Stage
+	tasks []Task // task templates for this stage
+}
+
+// New builds a pipeline executing tasks according to the schedule sol.
+// The solution's stage intervals index into tasks; replicated stages must
+// contain only replicable tasks.
+func New(tasks []Task, sol core.Solution, opt Options) (*Pipeline, error) {
+	if len(tasks) == 0 {
+		return nil, errors.New("streampu: no tasks")
+	}
+	if sol.IsEmpty() {
+		return nil, errors.New("streampu: empty solution")
+	}
+	opt = opt.withDefaults()
+	p := &Pipeline{tasks: tasks, sol: sol, opt: opt}
+	next := 0
+	for i, st := range sol.Stages {
+		if st.Start != next || st.End < st.Start || st.End >= len(tasks) {
+			return nil, fmt.Errorf("streampu: stage %d interval [%d,%d] does not tile the %d-task chain",
+				i, st.Start, st.End, len(tasks))
+		}
+		if st.Cores < 1 {
+			return nil, fmt.Errorf("streampu: stage %d has %d cores", i, st.Cores)
+		}
+		sub := tasks[st.Start : st.End+1]
+		if st.Cores > 1 {
+			for _, t := range sub {
+				if !t.Replicable() {
+					return nil, fmt.Errorf("streampu: stage %d replicates stateful task %s",
+						i, t.Name())
+				}
+			}
+		}
+		p.stages = append(p.stages, pipeStage{Stage: st, tasks: sub})
+		next = st.End + 1
+	}
+	if next != len(tasks) {
+		return nil, fmt.Errorf("streampu: solution covers %d of %d tasks", next, len(tasks))
+	}
+	return p, nil
+}
+
+// boundary is the adaptor network between two consecutive stages: a
+// channel matrix ch[u][w] from upstream replica u to downstream replica w.
+// Frame seq flows from upstream replica seq%r1 to downstream replica
+// seq%r2; each downstream replica drains its input channels in the
+// deterministic round-robin order of the sequence numbers it owns, which
+// preserves global frame order without a dedicated adaptor goroutine.
+// This matrix is exactly the "connect two consecutive replicated stages"
+// adaptor introduced for this paper in StreamPU v1.6.0 (r1 > 1 and
+// r2 > 1); with r1 = 1 or r2 = 1 it degenerates to StreamPU's classic
+// fork/join adaptors.
+type boundary struct {
+	ch [][]chan *Frame // [upstream replica][downstream replica]
+}
+
+func newBoundary(r1, r2, cap int) *boundary {
+	b := &boundary{ch: make([][]chan *Frame, r1)}
+	for u := range b.ch {
+		b.ch[u] = make([]chan *Frame, r2)
+		for w := range b.ch[u] {
+			b.ch[u][w] = make(chan *Frame, cap)
+		}
+	}
+	return b
+}
+
+// Run pushes frames frames through the pipeline and blocks until they all
+// left the last stage. src may be nil; when set, it is called to populate
+// each new frame's Data before the first task runs.
+func (p *Pipeline) Run(frames int, src func(f *Frame)) (Stats, error) {
+	if frames <= 0 {
+		return Stats{}, fmt.Errorf("streampu: frames = %d, want > 0", frames)
+	}
+	m := len(p.stages)
+	bounds := make([]*boundary, m-1)
+	for i := 0; i < m-1; i++ {
+		bounds[i] = newBoundary(p.stages[i].Cores, p.stages[i+1].Cores, p.opt.QueueCap)
+	}
+
+	warmup := int(float64(frames) * p.opt.WarmupFraction)
+	if warmup >= frames {
+		warmup = frames - 1
+	}
+
+	var wg sync.WaitGroup
+	type workerResult struct {
+		processed  int
+		errored    int
+		taskTotals []time.Duration
+		taskCounts []int
+		warmAt     time.Time // departure time of frame #warmup (last stage only)
+		lastAt     time.Time
+		warmSeen   bool
+	}
+	results := make([][]*workerResult, m)
+
+	for si := range p.stages {
+		st := p.stages[si]
+		results[si] = make([]*workerResult, st.Cores)
+		for w := 0; w < st.Cores; w++ {
+			res := &workerResult{}
+			if p.opt.Profile {
+				res.taskTotals = make([]time.Duration, len(st.tasks))
+				res.taskCounts = make([]int, len(st.tasks))
+			}
+			results[si][w] = res
+
+			// Per-replica task instances: clone replicable tasks that
+			// carry scratch state.
+			insts := st.tasks
+			if st.Cores > 1 {
+				insts = make([]Task, len(st.tasks))
+				for i, t := range st.tasks {
+					insts[i] = cloneFor(t)
+				}
+			}
+
+			wg.Add(1)
+			go func(si, w int, st pipeStage, insts []Task, res *workerResult) {
+				defer wg.Done()
+				wctx := &Worker{Core: st.Type, Scale: p.opt.TimeScale, Spin: p.opt.Spin, ID: w}
+				r := st.Cores
+				var out *boundary
+				if si < m-1 {
+					out = bounds[si]
+				}
+				var in *boundary
+				if si > 0 {
+					in = bounds[si-1]
+				}
+				upR := 1
+				if si > 0 {
+					upR = p.stages[si-1].Cores
+				}
+				for seq := uint64(w); ; seq += uint64(r) {
+					var f *Frame
+					if si == 0 {
+						if seq >= uint64(frames) {
+							break
+						}
+						f = &Frame{Seq: seq}
+						if src != nil {
+							src(f)
+						}
+					} else {
+						ff, ok := <-in.ch[int(seq)%upR][w]
+						if !ok {
+							break
+						}
+						f = ff
+					}
+					pickup := time.Now()
+					for ti, t := range insts {
+						var t0 time.Time
+						if p.opt.Profile {
+							t0 = time.Now()
+						}
+						if err := t.Process(wctx, f); err != nil && f.Err == nil {
+							f.Err = fmt.Errorf("%s: %w", t.Name(), err)
+						}
+						if p.opt.Profile {
+							// Settle per task so the measurement includes
+							// the task's modeled latency.
+							wctx.Settle(t0)
+							res.taskTotals[ti] += time.Since(t0)
+							res.taskCounts[ti]++
+						}
+					}
+					// Realize the frame's accumulated modeled latency in
+					// one absolute-deadline wait (no-op when profiling or
+					// for purely computational tasks).
+					wctx.Settle(pickup)
+					if p.opt.Tracer != nil {
+						p.opt.Tracer.record(f.Seq, si, w, st.Type.String(),
+							pickup, time.Since(pickup))
+					}
+					res.processed++
+					if f.Err != nil {
+						res.errored++
+					}
+					if si == m-1 {
+						now := time.Now()
+						if f.Seq == uint64(warmup) {
+							res.warmAt = now
+							res.warmSeen = true
+						}
+						if now.After(res.lastAt) {
+							res.lastAt = now
+						}
+					} else {
+						out.ch[w][int(f.Seq)%p.stages[si+1].Cores] <- f
+					}
+				}
+				// Signal downstream that this replica is done.
+				if out != nil {
+					for _, ch := range out.ch[w] {
+						close(ch)
+					}
+				}
+			}(si, w, st, insts, res)
+		}
+	}
+
+	startAll := time.Now()
+	wg.Wait()
+	elapsed := time.Since(startAll)
+
+	stats := Stats{Elapsed: elapsed}
+	var warmAt, lastAt time.Time
+	warmSeen := false
+	for _, res := range results[m-1] {
+		stats.Frames += res.processed
+		stats.Errored += res.errored
+		if res.warmSeen {
+			warmAt = res.warmAt
+			warmSeen = true
+		}
+		if res.lastAt.After(lastAt) {
+			lastAt = res.lastAt
+		}
+	}
+	if warmSeen && stats.Frames > warmup+1 {
+		span := lastAt.Sub(warmAt)
+		n := stats.Frames - warmup - 1
+		stats.PeriodMicros = span.Seconds() * 1e6 / float64(n) / p.opt.TimeScale
+		if stats.PeriodMicros > 0 {
+			stats.FPS = 1e6 / stats.PeriodMicros
+		}
+	}
+	if p.opt.Profile {
+		stats.TaskMicros = make([]float64, len(p.tasks))
+		for si, st := range p.stages {
+			for ti := range st.tasks {
+				var total time.Duration
+				var count int
+				for _, res := range results[si] {
+					total += res.taskTotals[ti]
+					count += res.taskCounts[ti]
+				}
+				if count > 0 {
+					stats.TaskMicros[st.Start+ti] = total.Seconds() * 1e6 / float64(count) / p.opt.TimeScale
+				}
+			}
+		}
+	}
+	return stats, nil
+}
+
+// RunChain executes tasks sequentially (single worker, big core, no
+// pipeline) over frames frames — the reference execution mode used by
+// functional tests and by profiling.
+func RunChain(tasks []Task, frames int, src func(f *Frame)) (Stats, error) {
+	sol := core.Solution{Stages: []core.Stage{{Start: 0, End: len(tasks) - 1, Cores: 1, Type: core.Big}}}
+	// A single all-tasks stage is valid even with stateful tasks.
+	p, err := New(tasks, sol, Options{})
+	if err != nil {
+		return Stats{}, err
+	}
+	return p.Run(frames, src)
+}
+
+// Profile measures each task's mean latency (in µs) by running the chain
+// sequentially on a single virtual core of each type. For latency-modeled
+// tasks this recovers their weights; for computational tasks it measures
+// real execution time. The scale stretches modeled time for measurement
+// stability.
+func Profile(tasks []Task, frames int, scale float64) ([core.NumCoreTypes][]float64, error) {
+	var out [core.NumCoreTypes][]float64
+	for v := 0; v < core.NumCoreTypes; v++ {
+		sol := core.Solution{Stages: []core.Stage{
+			{Start: 0, End: len(tasks) - 1, Cores: 1, Type: core.CoreType(v)},
+		}}
+		p, err := New(tasks, sol, Options{Profile: true, TimeScale: scale})
+		if err != nil {
+			return out, err
+		}
+		st, err := p.Run(frames, nil)
+		if err != nil {
+			return out, err
+		}
+		out[v] = st.TaskMicros
+	}
+	return out, nil
+}

@@ -1,0 +1,125 @@
+package streampu
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Execution tracing: a Tracer records one event per (frame, stage)
+// execution with worker attribution and can export the timeline in the
+// Chrome trace-event format (load it at chrome://tracing or in Perfetto)
+// — the kind of observability a production streaming runtime needs when
+// a schedule underperforms its predicted period.
+
+// TraceEvent is one stage execution of one frame.
+type TraceEvent struct {
+	Frame    uint64
+	Stage    int
+	Worker   int
+	Core     string
+	Start    time.Duration // since trace start
+	Duration time.Duration
+}
+
+// Tracer collects trace events from a pipeline run. It is safe for
+// concurrent use; create one, set Options.Tracer, run, then inspect or
+// export. The zero value is ready to use.
+type Tracer struct {
+	mu     sync.Mutex
+	events []TraceEvent
+	t0     time.Time
+	once   sync.Once
+}
+
+// record appends one event (called by pipeline workers).
+func (tr *Tracer) record(frame uint64, stage, worker int, core string, start time.Time, d time.Duration) {
+	tr.once.Do(func() { tr.t0 = start })
+	tr.mu.Lock()
+	tr.events = append(tr.events, TraceEvent{
+		Frame: frame, Stage: stage, Worker: worker, Core: core,
+		Start: start.Sub(tr.t0), Duration: d,
+	})
+	tr.mu.Unlock()
+}
+
+// Events returns a copy of the recorded events sorted by start time.
+func (tr *Tracer) Events() []TraceEvent {
+	tr.mu.Lock()
+	out := append([]TraceEvent(nil), tr.events...)
+	tr.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Len returns the number of recorded events.
+func (tr *Tracer) Len() int {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return len(tr.events)
+}
+
+// chromeEvent is the Chrome trace-event JSON shape ("X" complete events).
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`  // µs
+	Dur  float64           `json:"dur"` // µs
+	Pid  int               `json:"pid"`
+	Tid  string            `json:"tid"`
+	Args map[string]uint64 `json:"args,omitempty"`
+}
+
+// WriteChromeTrace exports the timeline as a Chrome trace-event JSON
+// array: one track per (stage, worker), one complete event per frame.
+func (tr *Tracer) WriteChromeTrace(w io.Writer) error {
+	events := tr.Events()
+	out := make([]chromeEvent, len(events))
+	for i, e := range events {
+		out[i] = chromeEvent{
+			Name: fmt.Sprintf("frame %d", e.Frame),
+			Ph:   "X",
+			Ts:   float64(e.Start.Nanoseconds()) / 1e3,
+			Dur:  float64(e.Duration.Nanoseconds()) / 1e3,
+			Pid:  e.Stage,
+			Tid:  fmt.Sprintf("stage%d/%s%d", e.Stage, e.Core, e.Worker),
+			Args: map[string]uint64{"frame": e.Frame},
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// StageOccupancy returns, per stage, the fraction of the traced wall
+// time its workers spent busy (aggregate busy time ÷ (span × workers)).
+func (tr *Tracer) StageOccupancy() map[int]float64 {
+	events := tr.Events()
+	if len(events) == 0 {
+		return nil
+	}
+	var span time.Duration
+	busy := map[int]time.Duration{}
+	workers := map[int]map[int]bool{}
+	for _, e := range events {
+		if end := e.Start + e.Duration; end > span {
+			span = end
+		}
+		busy[e.Stage] += e.Duration
+		if workers[e.Stage] == nil {
+			workers[e.Stage] = map[int]bool{}
+		}
+		workers[e.Stage][e.Worker] = true
+	}
+	out := map[int]float64{}
+	for stage, b := range busy {
+		if span <= 0 {
+			out[stage] = 0
+			continue
+		}
+		out[stage] = b.Seconds() / (span.Seconds() * float64(len(workers[stage])))
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+package streampu
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"ampsched/internal/core"
+)
+
+func tracedRun(t *testing.T) *Tracer {
+	t.Helper()
+	tr := &Tracer{}
+	tasks := []Task{
+		timedTask("a", 10, 10, true),
+		timedTask("b", 20, 20, true),
+	}
+	sol := core.Solution{Stages: []core.Stage{
+		{Start: 0, End: 0, Cores: 2, Type: core.Big},
+		{Start: 1, End: 1, Cores: 1, Type: core.Little},
+	}}
+	p, err := New(tasks, sol, Options{TimeScale: 2, Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(40, nil); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestTracerRecordsEveryStageExecution(t *testing.T) {
+	tr := tracedRun(t)
+	// 40 frames × 2 stages.
+	if tr.Len() != 80 {
+		t.Fatalf("%d events, want 80", tr.Len())
+	}
+	events := tr.Events()
+	perStage := map[int]int{}
+	workers := map[[2]int]bool{}
+	for i, e := range events {
+		perStage[e.Stage]++
+		workers[[2]int{e.Stage, e.Worker}] = true
+		if e.Duration <= 0 {
+			t.Fatalf("event %d has non-positive duration", i)
+		}
+		if i > 0 && e.Start < events[i-1].Start {
+			t.Fatal("events not sorted by start")
+		}
+	}
+	if perStage[0] != 40 || perStage[1] != 40 {
+		t.Errorf("per-stage counts %v", perStage)
+	}
+	// Stage 0 has two replicas, stage 1 one worker.
+	if !workers[[2]int{0, 0}] || !workers[[2]int{0, 1}] || !workers[[2]int{1, 0}] {
+		t.Errorf("worker attribution wrong: %v", workers)
+	}
+	// Core labels carried through.
+	if events[0].Core != "B" && events[0].Core != "L" {
+		t.Errorf("core label %q", events[0].Core)
+	}
+}
+
+func TestTracerChromeExport(t *testing.T) {
+	tr := tracedRun(t)
+	var sb strings.Builder
+	if err := tr.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var out []map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &out); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(out) != 80 {
+		t.Fatalf("%d chrome events", len(out))
+	}
+	first := out[0]
+	for _, key := range []string{"name", "ph", "ts", "dur", "pid", "tid"} {
+		if _, ok := first[key]; !ok {
+			t.Errorf("chrome event missing %q: %v", key, first)
+		}
+	}
+	if first["ph"] != "X" {
+		t.Errorf("phase %v, want X", first["ph"])
+	}
+}
+
+func TestTracerStageOccupancy(t *testing.T) {
+	tr := tracedRun(t)
+	occ := tr.StageOccupancy()
+	if len(occ) != 2 {
+		t.Fatalf("occupancy for %d stages", len(occ))
+	}
+	for stage, v := range occ {
+		if v <= 0 || v > 1.01 {
+			t.Errorf("stage %d occupancy %v", stage, v)
+		}
+	}
+	// Stage 1 (weight 20 on 1 worker) is the bottleneck: its occupancy
+	// must exceed stage 0's (weight 10 across 2 workers ⇒ ~25%).
+	if occ[1] <= occ[0] {
+		t.Errorf("bottleneck occupancy %v not above %v", occ[1], occ[0])
+	}
+	empty := &Tracer{}
+	if empty.StageOccupancy() != nil {
+		t.Error("empty tracer occupancy should be nil")
+	}
+}

@@ -1,0 +1,107 @@
+// Package twocatac implements 2CATAC (Two-Choice Allocation for TAsk
+// Chains, Algos 5–6 of the paper): a greedy heuristic that, for every
+// stage, tries both core types and keeps the solution that best exchanges
+// big cores for little ones (or, failing that, uses fewer cores). Its
+// worst-case complexity is O(2^n · log(w_max·(b+l))); the paper limits it
+// to chains of about 60 tasks.
+//
+// ScheduleMemo is an ablation variant that memoizes ComputeSolution on
+// (start, resources) per binary-search probe, collapsing the exponential
+// recursion tree; it returns the same schedules.
+package twocatac
+
+import (
+	"ampsched/internal/core"
+	"ampsched/internal/sched"
+)
+
+// Schedule computes a 2CATAC schedule of c on the resources r using the
+// paper-verbatim exponential recursion.
+func Schedule(c *core.Chain, r core.Resources) core.Solution {
+	return sched.Schedule(c, r, ComputeSolution)
+}
+
+// ScheduleMemo computes the same schedules as Schedule but memoizes the
+// recursion on (start task, remaining big, remaining little) within each
+// binary-search probe. This is an implementation ablation, not a paper
+// algorithm.
+func ScheduleMemo(c *core.Chain, r core.Resources) core.Solution {
+	return sched.Schedule(c, r, func(ch *core.Chain, s int, res core.Resources, target float64) core.Solution {
+		memo := make(map[memoKey]core.Solution)
+		return computeSolutionMemo(ch, s, res, target, memo)
+	})
+}
+
+type memoKey struct {
+	s, b, l int
+}
+
+// ComputeSolution implements Algo 5: it builds the stage starting at task
+// s with both core types, recurses on the remainder for each, and picks
+// the better of the two complete solutions with ChooseBestSolution.
+func ComputeSolution(c *core.Chain, s int, r core.Resources, target float64) core.Solution {
+	return computeSolution(c, s, r, target, nil)
+}
+
+func computeSolutionMemo(c *core.Chain, s int, r core.Resources, target float64, memo map[memoKey]core.Solution) core.Solution {
+	if got, ok := memo[memoKey{s, r.Big, r.Little}]; ok {
+		return got
+	}
+	sol := computeSolution(c, s, r, target, memo)
+	memo[memoKey{s, r.Big, r.Little}] = sol
+	return sol
+}
+
+func computeSolution(c *core.Chain, s int, r core.Resources, target float64, memo map[memoKey]core.Solution) core.Solution {
+	var sols [core.NumCoreTypes]core.Solution
+	for _, v := range []core.CoreType{core.Big, core.Little} {
+		e, u := sched.ComputeStage(c, s, r.Of(v), v, target)
+		switch {
+		case u < 1 || u > r.Of(v) || c.Weight(s, e, u, v) > target:
+			// no valid stage with this type of cores
+		case e == c.Len()-1:
+			sols[v] = core.Solution{Stages: []core.Stage{{Start: s, End: e, Cores: u, Type: v}}}
+		default:
+			rest := core.Solution{}
+			if memo != nil {
+				rest = computeSolutionMemo(c, e+1, r.Minus(v, u), target, memo)
+			} else {
+				rest = computeSolution(c, e+1, r.Minus(v, u), target, nil)
+			}
+			if rest.IsValid(c, r.Minus(v, u), target) {
+				sols[v] = rest.Prepend(core.Stage{Start: s, End: e, Cores: u, Type: v})
+			}
+		}
+	}
+	return ChooseBestSolution(c, sols[core.Big], sols[core.Little], r, target)
+}
+
+// ChooseBestSolution implements Algo 6: between two candidate solutions it
+// returns the only valid one, or — when both are valid — the one that
+// better exchanges big cores for little ones, falling back to the one that
+// uses fewer cores in total.
+func ChooseBestSolution(c *core.Chain, sb, sl core.Solution, r core.Resources, target float64) core.Solution {
+	validB := sb.IsValid(c, r, target)
+	validL := sl.IsValid(c, r, target)
+	switch {
+	case validB && validL:
+		bB, lB := sb.CoresUsed() // usage of the solution whose first stage is Big
+		bL, lL := sl.CoresUsed()
+		switch {
+		case lB > lL && bB < bL:
+			return sb // S_B makes better usage of little cores
+		case lB < lL && bB > bL:
+			return sl // S_L makes better usage of little cores
+		case lB+bB < lL+bL:
+			return sb // S_B uses fewer cores
+		default:
+			return sl // S_L uses fewer cores
+		}
+	case validB:
+		return sb
+	case validL:
+		return sl
+	default:
+		return core.Solution{}
+	}
+}
