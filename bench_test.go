@@ -21,6 +21,7 @@ import (
 	"ampsched/internal/herad"
 	"ampsched/internal/otac"
 	"ampsched/internal/platform"
+	"ampsched/internal/strategy"
 	"ampsched/internal/streampu"
 	"ampsched/internal/twocatac"
 )
@@ -267,6 +268,64 @@ func BenchmarkAblationStaticVsDynamic(b *testing.B) {
 				streampu.DynamicOptions{Workers: streampu.PlatformWorkers(4, 0)}, nil)
 			if err != nil || st.Frames != b.N {
 				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkRegistry drives every registered strategy through the unified
+// interface on the paper's two real platform chains (Table II
+// configurations). Brute is skipped: exhaustive enumeration of the 23-task
+// DVB-S2 chain is intractable.
+func BenchmarkRegistry(b *testing.B) {
+	platforms := []struct {
+		name string
+		c    *core.Chain
+		r    core.Resources
+	}{
+		{"mac", platform.MacStudio().Chain(), core.Resources{Big: 16, Little: 4}},
+		{"x7", platform.X7Ti().Chain(), core.Resources{Big: 6, Little: 8}},
+	}
+	for _, p := range platforms {
+		for _, s := range strategy.AllRegistered() {
+			if s.Name() == "Brute" {
+				continue
+			}
+			b.Run(fmt.Sprintf("%s/%s", p.name, s.Name()), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if sol := s.Schedule(p.c, p.r, strategy.Options{}); sol.IsEmpty() {
+						b.Fatal("no schedule")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkPlanBatch measures the concurrent planning layer against its
+// serial fast path on a Table I-shaped request batch.
+func BenchmarkPlanBatch(b *testing.B) {
+	chains := benchChains(20, 0.5, 16)
+	r := core.Resources{Big: 10, Little: 10}
+	var reqs []strategy.Request
+	for _, c := range chains {
+		for _, s := range strategy.All() {
+			reqs = append(reqs, strategy.Request{Chain: c, Resources: r, Scheduler: s})
+		}
+	}
+	for _, workers := range []int{1, 0} {
+		name := "serial"
+		if workers == 0 {
+			name = "pooled"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res := strategy.PlanBatch(reqs, workers)
+				if len(res) != len(reqs) || res[0].Err != nil {
+					b.Fatalf("bad batch: %d results, err %v", len(res), res[0].Err)
+				}
 			}
 		})
 	}

@@ -14,7 +14,9 @@
 //
 // Flags:
 //
-//	-strategy S   herad|2catac|fertac|otac-b|otac-l|all (default herad)
+//	-strategy S   herad|2catac|fertac|otac-b|otac-l|all (default herad);
+//	              also the hidden registry entries 2catac-memo and brute
+//	              (exhaustive reference — chains of ~12 tasks at most)
 //	-simulate     validate with the discrete-event simulator
 //	-run          execute on the streampu runtime (wall clock)
 //	-frames N     frames for -run (default 100)
@@ -35,9 +37,9 @@ import (
 
 	"ampsched/internal/core"
 	"ampsched/internal/desim"
-	"ampsched/internal/experiments"
 	"ampsched/internal/platform"
 	"ampsched/internal/report"
+	"ampsched/internal/strategy"
 	"ampsched/internal/streampu"
 )
 
@@ -72,7 +74,7 @@ func main() {
 	plat := flag.String("platform", "", `embedded DVB-S2 profile: "mac" or "x7"`)
 	big := flag.Int("big", 0, "number of big cores")
 	little := flag.Int("little", 0, "number of little cores")
-	strategy := flag.String("strategy", "herad", "herad|2catac|fertac|otac-b|otac-l|all")
+	strat := flag.String("strategy", "herad", "herad|2catac|fertac|otac-b|otac-l|all (or 2catac-memo, brute)")
 	simulate := flag.Bool("simulate", false, "validate with the discrete-event simulator")
 	run := flag.Bool("run", false, "execute on the streampu runtime")
 	frames := flag.Int("frames", 100, "frames for -run")
@@ -84,14 +86,14 @@ func main() {
 	tracePath := flag.String("trace", "", "with -run: write a Chrome trace (chrome://tracing) to this file")
 	flag.Parse()
 
-	if err := mainErr(*input, *plat, *big, *little, *strategy, *simulate, *run,
+	if err := mainErr(*input, *plat, *big, *little, *strat, *simulate, *run,
 		*frames, *scale, *interframe, *asJSON, *colocate, *power, *tracePath); err != nil {
 		fmt.Fprintln(os.Stderr, "ampsched:", err)
 		os.Exit(1)
 	}
 }
 
-func mainErr(input, plat string, big, little int, strategy string,
+func mainErr(input, plat string, big, little int, strat string,
 	simulate, run bool, frames int, scale float64, interframe int,
 	asJSON, colocate, power bool, tracePath string) error {
 	chain, defIF, err := loadChain(input, plat)
@@ -106,7 +108,7 @@ func mainErr(input, plat string, big, little int, strategy string,
 		return fmt.Errorf("no resources: pass -big and/or -little")
 	}
 
-	names, err := strategyList(strategy)
+	scheds, err := strategyList(strat)
 	if err != nil {
 		return err
 	}
@@ -116,8 +118,10 @@ func mainErr(input, plat string, big, little int, strategy string,
 	}
 	t := report.NewTable(header...)
 	pm := core.DefaultPowerModel()
-	for _, name := range names {
-		sol := experiments.Run(name, chain, r)
+	opts := strategy.Options{Colocate: colocate}
+	for _, sc := range scheds {
+		name := sc.Name()
+		sol := sc.Schedule(chain, r, opts)
 		if sol.IsEmpty() {
 			return fmt.Errorf("%s found no schedule for R=%v", name, r)
 		}
@@ -125,12 +129,6 @@ func mainErr(input, plat string, big, little int, strategy string,
 			return fmt.Errorf("%s produced an invalid schedule: %v", name, err)
 		}
 		p := sol.Period(chain)
-		if colocate {
-			fused := sol.Fuse(chain, p)
-			if len(fused.Stages) < len(sol.Stages) {
-				sol = fused
-			}
-		}
 		b, l := sol.CoresUsed()
 		if asJSON {
 			out := jsonSolution{Strategy: name, Period: p, BigUsed: b, LitUsed: l}
@@ -238,21 +236,16 @@ func loadChain(input, plat string) (*core.Chain, int, error) {
 	}
 }
 
-func strategyList(s string) ([]string, error) {
-	switch strings.ToLower(s) {
-	case "herad":
-		return []string{experiments.StratHeRAD}, nil
-	case "2catac", "twocatac":
-		return []string{experiments.StratTwoCAT}, nil
-	case "fertac":
-		return []string{experiments.StratFERTAC}, nil
-	case "otac-b", "otacb":
-		return []string{experiments.StratOTACB}, nil
-	case "otac-l", "otacl":
-		return []string{experiments.StratOTACL}, nil
-	case "all":
-		return experiments.Strategies, nil
-	default:
-		return nil, fmt.Errorf("unknown strategy %q", s)
+// strategyList resolves the -strategy flag through the registry: "all"
+// expands to every non-hidden strategy in the paper's order, anything else
+// must parse as a registered name or alias.
+func strategyList(s string) ([]strategy.Scheduler, error) {
+	if strings.EqualFold(strings.TrimSpace(s), "all") {
+		return strategy.All(), nil
 	}
+	sc, err := strategy.Parse(s)
+	if err != nil {
+		return nil, err
+	}
+	return []strategy.Scheduler{sc}, nil
 }

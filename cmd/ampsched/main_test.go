@@ -58,16 +58,29 @@ func TestStrategyList(t *testing.T) {
 	if err != nil || len(all) != 5 {
 		t.Fatalf("all: %v %v", all, err)
 	}
+	for i, name := range experiments.Strategies {
+		if all[i].Name() != name {
+			t.Errorf("all[%d] = %q, want %q", i, all[i].Name(), name)
+		}
+	}
 	for in, want := range map[string]string{
-		"herad":  experiments.StratHeRAD,
-		"2catac": experiments.StratTwoCAT,
-		"FERTAC": experiments.StratFERTAC,
-		"otac-b": experiments.StratOTACB,
-		"OTACL":  experiments.StratOTACL,
+		"herad":       experiments.StratHeRAD,
+		"2catac":      experiments.StratTwoCAT,
+		"twocatac":    experiments.StratTwoCAT,
+		"FERTAC":      experiments.StratFERTAC,
+		"otac-b":      experiments.StratOTACB,
+		"OTACL":       experiments.StratOTACL,
+		"ALL":         "", // expands, checked above; here: no error
+		"2catac-memo": "2CATAC (memo)",
+		"brute":       "Brute",
 	} {
 		got, err := strategyList(in)
-		if err != nil || len(got) != 1 || got[0] != want {
-			t.Errorf("strategyList(%q) = %v, %v", in, got, err)
+		if err != nil {
+			t.Errorf("strategyList(%q): %v", in, err)
+			continue
+		}
+		if want != "" && (len(got) != 1 || got[0].Name() != want) {
+			t.Errorf("strategyList(%q) = %v", in, got)
 		}
 	}
 	if _, err := strategyList("banana"); err == nil {

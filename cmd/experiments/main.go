@@ -16,6 +16,7 @@
 //	-csv         emit CSV instead of text tables
 //	-real        execute Table II schedules on the streampu runtime
 //	-scale S     time scale for -real runs (default 10)
+//	-workers N   concurrent planning workers (default 0 = one per CPU)
 package main
 
 import (
@@ -37,6 +38,7 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	real := flag.Bool("real", false, "run Table II schedules on the streampu runtime (wall clock)")
 	scale := flag.Float64("scale", 10, "time scale for -real runs")
+	workers := flag.Int("workers", 0, "concurrent planning workers (0 = one per CPU, 1 = serial)")
 	flag.Parse()
 
 	if *quick {
@@ -50,7 +52,7 @@ func main() {
 	}
 	app := &app{
 		chains: *chains, runs: *runs, quick: *quick,
-		csv: *csv, real: *real, scale: *scale,
+		csv: *csv, real: *real, scale: *scale, workers: *workers,
 	}
 	if err := app.run(cmd); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -63,6 +65,7 @@ type app struct {
 	quick        bool
 	csv, real    bool
 	scale        float64
+	workers      int
 
 	t1cache []experiments.Table1Cell
 }
@@ -121,6 +124,7 @@ func (a *app) table1Cells() []experiments.Table1Cell {
 	if a.t1cache == nil {
 		cfg := experiments.DefaultTable1Config()
 		cfg.Chains = a.chains
+		cfg.Workers = a.workers
 		a.t1cache = experiments.Table1(cfg)
 	}
 	return a.t1cache
@@ -170,6 +174,7 @@ func (a *app) fig1() error {
 func (a *app) fig2() error {
 	cfg := experiments.DefaultTable1Config()
 	cfg.Chains = a.chains
+	cfg.Workers = a.workers
 	res := experiments.Fig2(cfg)
 	fmt.Printf("Fig. 2 — FERTAC−HeRAD core-usage deltas, R=%v SR=%.1f (%d chains)\n\n",
 		res.R, res.SR, res.All.Total())
@@ -271,6 +276,7 @@ func (a *app) table2() ([]experiments.Table2Row, error) {
 	cfg := experiments.DefaultTable2Config()
 	cfg.RunReal = a.real
 	cfg.TimeScale = a.scale
+	cfg.Workers = a.workers
 	rows, err := experiments.Table2(cfg)
 	if err != nil {
 		return nil, err
@@ -343,9 +349,11 @@ func (a *app) fig5() error {
 func (a *app) fig6() error {
 	cfg := experiments.DefaultTable1Config()
 	cfg.Chains = min(a.chains, 200)
+	cfg.Workers = a.workers
 	t1 := experiments.Table1(cfg)
 	t2cfg := experiments.DefaultTable2Config()
 	t2cfg.RunReal = a.real
+	t2cfg.Workers = a.workers
 	t2, err := experiments.Table2(t2cfg)
 	if err != nil {
 		return err
@@ -371,6 +379,7 @@ func (a *app) fig6() error {
 func (a *app) sensitivity() error {
 	cfg := experiments.DefaultSensitivityConfig()
 	cfg.Chains = min(a.chains, 200)
+	cfg.Workers = a.workers
 	fmt.Printf("Sensitivity extension (%d chains per point, SR=%.1f)\n\n", cfg.Chains, cfg.SR)
 
 	fmt.Println("-- heuristic quality vs number of tasks, R=(10B,10L)")

@@ -13,7 +13,7 @@ import (
 	"ampsched/internal/core"
 	"ampsched/internal/dvbs2"
 	"ampsched/internal/experiments"
-	"ampsched/internal/herad"
+	"ampsched/internal/strategy"
 	"ampsched/internal/streampu"
 )
 
@@ -42,7 +42,7 @@ func main() {
 
 	// 2. Schedule on 3 big + 2 little virtual cores with HeRAD.
 	r := core.Resources{Big: 3, Little: 2}
-	sol := herad.Schedule(chain, r)
+	sol := strategy.MustParse("herad").Schedule(chain, r, strategy.Options{})
 	fmt.Printf("\nHeRAD schedule on R=%v: %v\n", r, sol)
 	fmt.Printf("expected period %.1f µs → %.0f frames/s\n",
 		sol.Period(chain), 1e6/sol.Period(chain))

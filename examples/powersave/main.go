@@ -9,24 +9,25 @@ import (
 	"fmt"
 
 	"ampsched/internal/core"
-	"ampsched/internal/herad"
-	"ampsched/internal/otac"
 	"ampsched/internal/platform"
+	"ampsched/internal/strategy"
 )
 
 func main() {
 	p := platform.X7Ti()
 	chain := p.Chain()
+	herad := strategy.MustParse("herad")
 	fmt.Printf("workload: DVB-S2 receiver profile on %s (23 tasks)\n\n", p.Name)
 
 	fmt.Println("HeRAD with 6 big cores and a growing little-core budget:")
 	fmt.Printf("%-10s %-12s %-12s %-10s %s\n", "R", "period µs", "throughput", "cores b/l", "note")
-	base := otac.Schedule(chain, 6, core.Big).Period(chain)
+	bigOnly := core.Resources{Big: 6}
+	base := strategy.MustParse("otac-b").Schedule(chain, bigOnly, strategy.Options{}).Period(chain)
 	fmt.Printf("%-10s %-12.1f %-12.0f %-10s %s\n", "(6B,0L)", base,
 		core.Throughput(base, p.Interframe), "6/0", "OTAC (B) baseline")
 	for l := 2; l <= 10; l += 2 {
 		r := core.Resources{Big: 6, Little: l}
-		s := herad.Schedule(chain, r)
+		s := herad.Schedule(chain, r, strategy.Options{})
 		b, lu := s.CoresUsed()
 		period := s.Period(chain)
 		note := ""
@@ -43,7 +44,7 @@ func main() {
 	tie := core.MustChain([]core.Task{
 		{Name: "even", Weight: [core.NumCoreTypes]float64{core.Big: 100, core.Little: 100}, Replicable: false},
 	})
-	s := herad.Schedule(tie, core.Resources{Big: 4, Little: 4})
+	s := herad.Schedule(tie, core.Resources{Big: 4, Little: 4}, strategy.Options{})
 	b, l := s.CoresUsed()
 	fmt.Printf("  equal-speed task on (4B,4L): HeRAD uses %d big, %d little\n", b, l)
 
@@ -51,7 +52,7 @@ func main() {
 	// (fusing adjacent light single-core stages at equal period).
 	pm := core.DefaultPowerModel()
 	r := core.Resources{Big: 6, Little: 8}
-	sched := herad.Schedule(chain, r)
+	sched := herad.Schedule(chain, r, strategy.Options{})
 	period := sched.Period(chain)
 	fmt.Printf("\nPower model (%gW big / %gW little cores), period/power trade-off\n",
 		pm.Watts[core.Big], pm.Watts[core.Little])

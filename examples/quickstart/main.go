@@ -1,6 +1,6 @@
 // Quickstart: model a small partially-replicable task chain, schedule it
-// on a heterogeneous platform with every strategy, and validate the best
-// schedule with the discrete-event simulator.
+// on a heterogeneous platform with every registered strategy, and validate
+// the best schedule with the discrete-event simulator.
 package main
 
 import (
@@ -9,10 +9,7 @@ import (
 
 	"ampsched/internal/core"
 	"ampsched/internal/desim"
-	"ampsched/internal/fertac"
-	"ampsched/internal/herad"
-	"ampsched/internal/otac"
-	"ampsched/internal/twocatac"
+	"ampsched/internal/strategy"
 )
 
 func main() {
@@ -30,16 +27,17 @@ func main() {
 
 	fmt.Printf("chain: %d tasks, platform R=%v\n\n", chain.Len(), r)
 	fmt.Printf("%-10s %-10s %-8s %s\n", "strategy", "period µs", "cores", "pipeline")
-	show := func(name string, s core.Solution) {
+	// Every registered strategy, scheduled concurrently on a bounded
+	// worker pool; results come back in registry (paper) order.
+	var best core.Solution
+	for _, res := range strategy.PlanAll(chain, r, strategy.Options{}, 0) {
+		s := res.Solution
+		if res.Request.Label == "HeRAD" {
+			best = s
+		}
 		b, l := s.CoresUsed()
-		fmt.Printf("%-10s %-10.1f (%d,%d)    %v\n", name, s.Period(chain), b, l, s)
+		fmt.Printf("%-10s %-10.1f (%d,%d)    %v\n", res.Request.Label, res.Period, b, l, s)
 	}
-	best := herad.Schedule(chain, r)
-	show("HeRAD", best)
-	show("2CATAC", twocatac.Schedule(chain, r))
-	show("FERTAC", fertac.Schedule(chain, r))
-	show("OTAC (B)", otac.Schedule(chain, r.Big, core.Big))
-	show("OTAC (L)", otac.Schedule(chain, r.Little, core.Little))
 
 	// Validate the optimal schedule by simulating 2000 frames through the
 	// pipeline with bounded buffers.

@@ -51,6 +51,32 @@ func Enumerate(c *core.Chain, r core.Resources, fn func(core.Solution)) {
 	rec(0, r.Big, r.Little)
 }
 
+// Schedule returns an optimal-period solution of c on r, breaking period
+// ties with the paper's secondary objective (Beats). It returns the empty
+// solution when no valid schedule exists. Like the rest of the package it
+// is exponential: do not use beyond ~12 tasks.
+func Schedule(c *core.Chain, r core.Resources) core.Solution {
+	if c == nil || c.Len() == 0 || r.Total() <= 0 || r.Big < 0 || r.Little < 0 {
+		return core.Solution{}
+	}
+	var best core.Solution
+	bestP := math.Inf(1)
+	Enumerate(c, r, func(s core.Solution) {
+		p := s.Period(c)
+		switch {
+		case p < bestP:
+			best, bestP = s, p
+		case p == bestP && !best.IsEmpty():
+			bB, bL := best.CoresUsed()
+			nB, nL := s.CoresUsed()
+			if Beats(nB, nL, bB, bL) {
+				best = s
+			}
+		}
+	})
+	return best
+}
+
 // MinPeriod returns the optimal (minimum) period of c on r, or +Inf when
 // no valid solution exists.
 func MinPeriod(c *core.Chain, r core.Resources) float64 {

@@ -6,6 +6,7 @@ import (
 	"ampsched/internal/chaingen"
 	"ampsched/internal/core"
 	"ampsched/internal/stats"
+	"ampsched/internal/strategy"
 )
 
 // Fig1Series is one cumulative-distribution line of Fig. 1: the CDF of a
@@ -49,14 +50,15 @@ func Fig2(cfg Table1Config) Fig2Result {
 	sr := 0.5
 	res := Fig2Result{R: r, SR: sr, All: stats.NewHist2D(), Opt: stats.NewHist2D()}
 	chains := chaingen.GenerateMany(chaingen.Default(cfg.Tasks, sr), cfg.Seed+int64(sr*1000), cfg.Chains)
-	for _, c := range chains {
-		h := Run(StratHeRAD, c, r)
-		f := Run(StratFERTAC, c, r)
-		hb, hl := h.CoresUsed()
-		fb, fl := f.CoresUsed()
+	pair := []string{StratHeRAD, StratFERTAC}
+	results := strategy.PlanBatch(crossRequests(chains, r, pair), cfg.Workers)
+	for i := range chains {
+		h, f := results[2*i], results[2*i+1]
+		hb, hl := h.Solution.CoresUsed()
+		fb, fl := f.Solution.CoresUsed()
 		db, dl := fb-hb, fl-hl
 		res.All.Add(db, dl)
-		if f.Period(c) <= h.Period(c)*(1+1e-9) {
+		if f.Period <= h.Period*(1+1e-9) {
 			res.Opt.Add(db, dl)
 		}
 	}
@@ -148,11 +150,15 @@ func Fig4(cfg TimingConfig, n int, resources []core.Resources, srs []float64) []
 	return out
 }
 
+// timeStrategy measures one timing point. It runs serially on purpose:
+// the figure reports per-call strategy execution time, which concurrent
+// planning would contaminate with scheduler contention.
 func timeStrategy(cfg TimingConfig, name string, n int, r core.Resources, sr float64) TimingPoint {
 	chains := chaingen.GenerateMany(chaingen.Default(n, sr), cfg.Seed+int64(n)*7+int64(sr*1000), cfg.Chains)
+	sched := mustScheduler(name)
 	start := time.Now()
 	for _, c := range chains {
-		Run(name, c, r)
+		sched.Schedule(c, r, strategy.Options{})
 	}
 	elapsed := time.Since(start)
 	return TimingPoint{

@@ -6,6 +6,7 @@ import (
 	"ampsched/internal/core"
 	"ampsched/internal/desim"
 	"ampsched/internal/platform"
+	"ampsched/internal/strategy"
 )
 
 // Latency extension — the paper's Fig. 6 credits 2CATAC with "shorter
@@ -31,28 +32,45 @@ type LatencyRow struct {
 }
 
 // Latency runs the study over the paper's four platform configurations.
+// Scheduling fans out through strategy.PlanBatch; the discrete-event
+// simulations stay serial (they are the dominant cost but deterministic
+// either way).
 func Latency() ([]LatencyRow, error) {
-	var rows []LatencyRow
+	type job struct {
+		plat *platform.Platform
+		r    core.Resources
+		name string
+	}
+	var jobs []job
+	var reqs []strategy.Request
 	for _, p := range platform.All() {
 		c := p.Chain()
 		for _, r := range p.Configs() {
 			for _, name := range Strategies {
-				sol := Run(name, c, r)
-				if sol.IsEmpty() {
-					return nil, fmt.Errorf("experiments: %s empty on %s %v", name, p.Name, r)
-				}
-				res, err := desim.Simulate(c, sol, desim.Config{Frames: 2000, QueueCap: 2})
-				if err != nil {
-					return nil, err
-				}
-				rows = append(rows, LatencyRow{
-					Platform: p.Name, R: r, Strategy: name,
-					Stages:       len(sol.Stages),
-					PeriodMicros: res.Period, LatencyMicros: res.Latency,
-					LatencyPeriods: res.Latency / res.Period,
+				jobs = append(jobs, job{plat: p, r: r, name: name})
+				reqs = append(reqs, strategy.Request{
+					Chain: c, Resources: r, Scheduler: mustScheduler(name), Label: name,
 				})
 			}
 		}
+	}
+	results := strategy.PlanBatch(reqs, 0)
+	var rows []LatencyRow
+	for i, j := range jobs {
+		sol := results[i].Solution
+		if sol.IsEmpty() {
+			return nil, fmt.Errorf("experiments: %s empty on %s %v", j.name, j.plat.Name, j.r)
+		}
+		res, err := desim.Simulate(reqs[i].Chain, sol, desim.Config{Frames: 2000, QueueCap: 2})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, LatencyRow{
+			Platform: j.plat.Name, R: j.r, Strategy: j.name,
+			Stages:       len(sol.Stages),
+			PeriodMicros: res.Period, LatencyMicros: res.Latency,
+			LatencyPeriods: res.Latency / res.Period,
+		})
 	}
 	return rows, nil
 }

@@ -4,6 +4,7 @@ import (
 	"ampsched/internal/chaingen"
 	"ampsched/internal/core"
 	"ampsched/internal/stats"
+	"ampsched/internal/strategy"
 )
 
 // Sensitivity study — the paper reports (without data, "for the sake of
@@ -26,6 +27,8 @@ type SensitivityConfig struct {
 	Chains int
 	SR     float64
 	Seed   int64
+	// Workers bounds the strategy.PlanBatch pool; ≤ 0 uses GOMAXPROCS.
+	Workers int
 }
 
 // DefaultSensitivityConfig returns a laptop-sized configuration.
@@ -53,15 +56,20 @@ func SensitivityResources(cfg SensitivityConfig, n int, resources []core.Resourc
 
 func sensitivityScenario(cfg SensitivityConfig, n int, r core.Resources, x int) []SensitivityPoint {
 	chains := chaingen.GenerateMany(chaingen.Default(n, cfg.SR), cfg.Seed+int64(n)*13+int64(r.Total()), cfg.Chains)
+	names := []string{StratHeRAD}
+	for _, name := range HeuristicStrategies {
+		if name == StratTwoCAT && n > 60 {
+			continue // the paper's exponential-blow-up cutoff
+		}
+		names = append(names, name)
+	}
+	results := strategy.PlanBatch(crossRequests(chains, r, names), cfg.Workers)
 	slow := map[string][]float64{}
-	for _, c := range chains {
-		opt := Run(StratHeRAD, c, r).Period(c)
-		for _, name := range HeuristicStrategies {
-			if name == StratTwoCAT && n > 60 {
-				continue
-			}
-			s := Run(name, c, r)
-			slow[name] = append(slow[name], s.Period(c)/opt)
+	stride := len(names)
+	for i := range chains {
+		opt := results[i*stride].Period // HeRAD leads every chain's block
+		for k, name := range names[1:] {
+			slow[name] = append(slow[name], results[i*stride+1+k].Period/opt)
 		}
 	}
 	var out []SensitivityPoint

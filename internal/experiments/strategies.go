@@ -4,19 +4,23 @@
 // (Fig. 6). Each experiment is a pure function from parameters to
 // structured results; cmd/experiments renders them and bench_test.go
 // exposes one benchmark per table/figure.
+//
+// Strategy dispatch goes through the internal/strategy registry, and the
+// schedule-heavy campaigns fan their (chain, strategy) requests across
+// strategy.PlanBatch's worker pool — every strategy is deterministic, so
+// the tables and figures are byte-identical to a serial run.
 package experiments
 
 import (
 	"fmt"
 
 	"ampsched/internal/core"
-	"ampsched/internal/fertac"
-	"ampsched/internal/herad"
-	"ampsched/internal/otac"
-	"ampsched/internal/twocatac"
+	"ampsched/internal/strategy"
 )
 
-// Strategy names, in the paper's presentation order.
+// Strategy names, in the paper's presentation order. These are the
+// canonical registry names; strategy.Parse also accepts the documented
+// aliases (2catac, otac-b, …) case-insensitively.
 const (
 	StratHeRAD  = "HeRAD"
 	StratTwoCAT = "2CATAC"
@@ -31,21 +35,36 @@ var Strategies = []string{StratHeRAD, StratTwoCAT, StratFERTAC, StratOTACB, Stra
 // HeuristicStrategies lists the strategies compared against HeRAD.
 var HeuristicStrategies = []string{StratTwoCAT, StratFERTAC, StratOTACB, StratOTACL}
 
-// Run dispatches to the named scheduling strategy. OTAC variants use only
-// the corresponding component of r.
+// Run dispatches to the named scheduling strategy through the registry.
+// It panics on unknown names: the experiment drivers only pass the Strat*
+// constants, so a miss is a programming error.
 func Run(name string, c *core.Chain, r core.Resources) core.Solution {
-	switch name {
-	case StratHeRAD:
-		return herad.Schedule(c, r)
-	case StratTwoCAT:
-		return twocatac.Schedule(c, r)
-	case StratFERTAC:
-		return fertac.Schedule(c, r)
-	case StratOTACB:
-		return otac.Schedule(c, r.Big, core.Big)
-	case StratOTACL:
-		return otac.Schedule(c, r.Little, core.Little)
-	default:
-		panic(fmt.Sprintf("experiments: unknown strategy %q", name))
+	return mustScheduler(name).Schedule(c, r, strategy.Options{})
+}
+
+func mustScheduler(name string) strategy.Scheduler {
+	s, err := strategy.Parse(name)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
 	}
+	return s
+}
+
+// crossRequests builds the (chain × strategy) request matrix used by the
+// batched campaigns: requests are ordered chain-major, matching the
+// serial loops they replace.
+func crossRequests(chains []*core.Chain, r core.Resources, names []string) []strategy.Request {
+	scheds := make([]strategy.Scheduler, len(names))
+	for i, name := range names {
+		scheds[i] = mustScheduler(name)
+	}
+	reqs := make([]strategy.Request, 0, len(chains)*len(names))
+	for _, c := range chains {
+		for i, s := range scheds {
+			reqs = append(reqs, strategy.Request{
+				Chain: c, Resources: r, Scheduler: s, Label: names[i],
+			})
+		}
+	}
+	return reqs
 }

@@ -6,6 +6,7 @@ import (
 	"ampsched/internal/chaingen"
 	"ampsched/internal/core"
 	"ampsched/internal/stats"
+	"ampsched/internal/strategy"
 )
 
 // Table1Resources are the three resource pairs of the simulation study.
@@ -24,6 +25,10 @@ type Table1Config struct {
 	Chains int
 	Tasks  int
 	Seed   int64
+	// Workers bounds the strategy.PlanBatch pool used to schedule the
+	// campaign's (chain, strategy) requests; ≤ 0 uses GOMAXPROCS. The
+	// results do not depend on it.
+	Workers int
 }
 
 // DefaultTable1Config returns the paper's configuration.
@@ -74,17 +79,16 @@ func table1Scenario(cfg Table1Config, r core.Resources, sr float64) []Table1Cell
 	seed := cfg.Seed + int64(sr*1000)
 	chains := chaingen.GenerateMany(chaingen.Default(cfg.Tasks, sr), seed, cfg.Chains)
 
+	results := strategy.PlanBatch(crossRequests(chains, r, Strategies), cfg.Workers)
 	periods := map[string][]float64{}
 	usedB := map[string][]float64{}
 	usedL := map[string][]float64{}
-	for _, c := range chains {
-		for _, name := range Strategies {
-			s := Run(name, c, r)
-			periods[name] = append(periods[name], s.Period(c))
-			b, l := s.CoresUsed()
-			usedB[name] = append(usedB[name], float64(b))
-			usedL[name] = append(usedL[name], float64(l))
-		}
+	for _, res := range results {
+		name := res.Request.Label
+		periods[name] = append(periods[name], res.Period)
+		b, l := res.Solution.CoresUsed()
+		usedB[name] = append(usedB[name], float64(b))
+		usedL[name] = append(usedL[name], float64(l))
 	}
 
 	opt := periods[StratHeRAD]

@@ -7,6 +7,7 @@ import (
 	"ampsched/internal/core"
 	"ampsched/internal/desim"
 	"ampsched/internal/platform"
+	"ampsched/internal/strategy"
 	"ampsched/internal/streampu"
 )
 
@@ -24,6 +25,10 @@ type Table2Config struct {
 	TargetWallSec float64
 	// Platforms restricts the experiment (defaults to both).
 	Platforms []*platform.Platform
+	// Workers bounds the strategy.PlanBatch pool that computes the
+	// schedules; ≤ 0 uses GOMAXPROCS. Simulation and runtime rows stay
+	// serial (the runtime measures wall-clock time).
+	Workers int
 }
 
 // DefaultTable2Config mirrors the paper's campaign at a laptop-friendly
@@ -70,26 +75,41 @@ func Table2(cfg Table2Config) ([]Table2Row, error) {
 	if plats == nil {
 		plats = platform.All()
 	}
-	var rows []Table2Row
+	type job struct {
+		p  *platform.Platform
+		c  *core.Chain
+		r  core.Resources
+		st string
+		id string
+	}
+	var jobs []job
+	var reqs []strategy.Request
 	id := 0
 	for _, p := range plats {
 		c := p.Chain()
 		for _, r := range p.Configs() {
 			for _, name := range Strategies {
 				id++
-				row, err := table2Row(cfg, p, c, r, name, fmt.Sprintf("S%d", id))
-				if err != nil {
-					return nil, err
-				}
-				rows = append(rows, row)
+				jobs = append(jobs, job{p: p, c: c, r: r, st: name, id: fmt.Sprintf("S%d", id)})
+				reqs = append(reqs, strategy.Request{
+					Chain: c, Resources: r, Scheduler: mustScheduler(name), Label: name,
+				})
 			}
 		}
+	}
+	scheds := strategy.PlanBatch(reqs, cfg.Workers)
+	var rows []Table2Row
+	for i, j := range jobs {
+		row, err := table2Row(cfg, j.p, j.c, j.r, j.st, j.id, scheds[i].Solution)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
 	}
 	return rows, nil
 }
 
-func table2Row(cfg Table2Config, p *platform.Platform, c *core.Chain, r core.Resources, strat, id string) (Table2Row, error) {
-	sol := Run(strat, c, r)
+func table2Row(cfg Table2Config, p *platform.Platform, c *core.Chain, r core.Resources, strat, id string, sol core.Solution) (Table2Row, error) {
 	if sol.IsEmpty() {
 		return Table2Row{}, fmt.Errorf("experiments: %s produced no schedule for %s %v", strat, p.Name, r)
 	}

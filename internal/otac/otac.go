@@ -24,9 +24,16 @@ func Schedule(c *core.Chain, cores int, v core.CoreType) core.Solution {
 	} else {
 		r.Little = cores
 	}
-	return sched.Schedule(c, r, func(ch *core.Chain, s int, res core.Resources, target float64) core.Solution {
+	return sched.Schedule(c, r, Compute(v))
+}
+
+// Compute returns OTAC's ComputeSolution restricted to core type v, for use
+// with sched.Schedule/ScheduleBounds. Only the v component of the resources
+// is consumed.
+func Compute(v core.CoreType) sched.ComputeSolutionFunc {
+	return func(ch *core.Chain, s int, res core.Resources, target float64) core.Solution {
 		return computeSolution(ch, s, res.Of(v), v, target)
-	})
+	}
 }
 
 // computeSolution greedily builds stages left to right with ComputeStage,

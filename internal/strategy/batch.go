@@ -1,0 +1,109 @@
+package strategy
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"ampsched/internal/core"
+)
+
+// Request is one unit of batch planning work: schedule Chain on Resources
+// with Scheduler under Options. Label is an optional caller tag carried
+// through to the Result untouched.
+type Request struct {
+	Chain     *core.Chain
+	Resources core.Resources
+	Scheduler Scheduler
+	Options   Options
+	Label     string
+}
+
+// Result is the outcome of one Request. Err is set when the request was
+// malformed (nil chain or scheduler) or the strategy found no schedule; in
+// both cases Solution is empty and Period is +Inf.
+type Result struct {
+	Request  Request
+	Solution core.Solution
+	Period   float64
+	Elapsed  time.Duration
+	Err      error
+}
+
+// PlanBatch schedules every request concurrently on a bounded worker pool
+// and returns one Result per request, in request order. Each strategy is
+// deterministic, so a batch result is byte-for-byte the result of running
+// the requests serially — only the wall-clock changes.
+//
+// workers bounds the pool; workers ≤ 0 uses GOMAXPROCS. The pool never
+// exceeds the number of requests.
+func PlanBatch(reqs []Request, workers int) []Result {
+	out := make([]Result, len(reqs))
+	if len(reqs) == 0 {
+		return out
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	if workers == 1 {
+		for i := range reqs {
+			out[i] = plan(reqs[i])
+		}
+		return out
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i] = plan(reqs[i])
+			}
+		}()
+	}
+	for i := range reqs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}
+
+// PlanAll runs every non-hidden registered strategy over one (chain,
+// resources) pair — the batched form of a "-strategy all" sweep.
+func PlanAll(c *core.Chain, r core.Resources, opts Options, workers int) []Result {
+	all := All()
+	reqs := make([]Request, len(all))
+	for i, s := range all {
+		reqs[i] = Request{Chain: c, Resources: r, Scheduler: s, Options: opts, Label: s.Name()}
+	}
+	return PlanBatch(reqs, workers)
+}
+
+func plan(req Request) Result {
+	res := Result{Request: req}
+	switch {
+	case req.Scheduler == nil:
+		res.Err = errors.New("strategy: request has no scheduler")
+		res.Period = res.Solution.Period(nil)
+	case req.Chain == nil:
+		res.Err = fmt.Errorf("strategy: %s request has no chain", req.Scheduler.Name())
+		res.Period = res.Solution.Period(nil)
+	default:
+		start := time.Now()
+		res.Solution = req.Scheduler.Schedule(req.Chain, req.Resources, req.Options)
+		res.Elapsed = time.Since(start)
+		res.Period = res.Solution.Period(req.Chain)
+		if res.Solution.IsEmpty() {
+			res.Err = fmt.Errorf("strategy: %s found no schedule for R=%v",
+				req.Scheduler.Name(), req.Resources)
+		}
+	}
+	return res
+}

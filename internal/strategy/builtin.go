@@ -1,0 +1,89 @@
+package strategy
+
+import (
+	"ampsched/internal/brute"
+	"ampsched/internal/core"
+	"ampsched/internal/fertac"
+	"ampsched/internal/herad"
+	"ampsched/internal/otac"
+	"ampsched/internal/twocatac"
+)
+
+// The built-in strategies, registered in the paper's presentation order so
+// All() drives "-strategy all" sweeps and the experiment tables unchanged.
+// The memoized 2CATAC ablation and the brute-force reference are hidden:
+// resolvable by name, excluded from sweeps.
+func init() {
+	Register(heradScheduler{})
+	Register(twocatacScheduler{}, "twocatac")
+	Register(fertacScheduler{})
+	Register(otacScheduler{v: core.Big}, "otac-b", "otacb")
+	Register(otacScheduler{v: core.Little}, "otac-l", "otacl")
+	RegisterHidden(twocatacScheduler{memo: true}, "2catac-memo", "twocatac-memo")
+	RegisterHidden(bruteScheduler{}, "brute-force", "exhaustive")
+}
+
+// heradScheduler adapts the optimal dynamic program (Algos 7–11).
+type heradScheduler struct{}
+
+func (heradScheduler) Name() string { return "HeRAD" }
+
+func (heradScheduler) Schedule(c *core.Chain, r core.Resources, o Options) core.Solution {
+	var s core.Solution
+	if o.Raw {
+		s = herad.ScheduleRaw(c, r)
+	} else {
+		s = herad.Schedule(c, r)
+	}
+	return o.finish(c, s)
+}
+
+// twocatacScheduler adapts 2CATAC (Algos 5–6); memo selects the memoized
+// ablation variant (also reachable on the plain entry via Options.Memoize).
+type twocatacScheduler struct{ memo bool }
+
+func (t twocatacScheduler) Name() string {
+	if t.memo {
+		return "2CATAC (memo)"
+	}
+	return "2CATAC"
+}
+
+func (t twocatacScheduler) Schedule(c *core.Chain, r core.Resources, o Options) core.Solution {
+	return o.finish(c, binarySearch(c, r, o, twocatac.Compute(t.memo || o.Memoize)))
+}
+
+// fertacScheduler adapts FERTAC (Algo 4).
+type fertacScheduler struct{}
+
+func (fertacScheduler) Name() string { return "FERTAC" }
+
+func (fertacScheduler) Schedule(c *core.Chain, r core.Resources, o Options) core.Solution {
+	return o.finish(c, binarySearch(c, r, o, fertac.ComputeSolution))
+}
+
+// otacScheduler adapts the homogeneous OTAC baseline: it schedules on the
+// v component of the resources only, ignoring the other type.
+type otacScheduler struct{ v core.CoreType }
+
+func (s otacScheduler) Name() string { return "OTAC (" + s.v.String() + ")" }
+
+func (s otacScheduler) Schedule(c *core.Chain, r core.Resources, o Options) core.Solution {
+	rr := core.Resources{}
+	if s.v == core.Big {
+		rr.Big = r.Big
+	} else {
+		rr.Little = r.Little
+	}
+	return o.finish(c, binarySearch(c, rr, o, otac.Compute(s.v)))
+}
+
+// bruteScheduler adapts the exhaustive reference solver. Exponential — the
+// registry exposes it for tests and tiny chains, not for sweeps.
+type bruteScheduler struct{}
+
+func (bruteScheduler) Name() string { return "Brute" }
+
+func (bruteScheduler) Schedule(c *core.Chain, r core.Resources, o Options) core.Solution {
+	return o.finish(c, brute.Schedule(c, r))
+}

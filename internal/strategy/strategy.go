@@ -1,0 +1,216 @@
+// Package strategy unifies every scheduling strategy of the repository —
+// the paper's five evaluated strategies (HeRAD, 2CATAC, FERTAC, OTAC (B),
+// OTAC (L)), the memoized 2CATAC ablation, and the brute-force reference —
+// behind a single Scheduler interface and a name registry.
+//
+// The registry is the one place that maps strategy names (and their
+// documented aliases) to implementations: cmd/ampsched, cmd/experiments,
+// internal/experiments and the examples all dispatch through Parse/Get
+// instead of maintaining their own string switches. Options carries the
+// cross-cutting knobs (stage co-location, raw extraction, 2CATAC
+// memoization, custom period bounds) that used to be threaded by hand.
+//
+// PlanBatch (batch.go) adds a concurrent planning layer on top: a bounded
+// worker pool that fans (chain, resources, scheduler) requests out across
+// CPUs and returns per-request solutions with timing.
+package strategy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"ampsched/internal/core"
+	"ampsched/internal/sched"
+)
+
+// Scheduler is a scheduling strategy: it computes a pipelined-and-
+// replicated schedule of a task chain on two types of resources.
+// Implementations must be safe for concurrent use (PlanBatch invokes them
+// from multiple goroutines) and must return the empty solution — never
+// panic — when no valid schedule exists.
+type Scheduler interface {
+	// Name returns the canonical display name (e.g. "HeRAD", "OTAC (B)"),
+	// unique within the registry.
+	Name() string
+	// Schedule computes a schedule of c on r under the given options.
+	Schedule(c *core.Chain, r core.Resources, opts Options) core.Solution
+}
+
+// Options carries the cross-cutting scheduling knobs shared by every
+// strategy. The zero value reproduces each strategy's published behavior.
+type Options struct {
+	// Colocate applies the §VII stage co-location post-pass: adjacent
+	// light stages are fused (Solution.Fuse) at the schedule's own period
+	// when that shortens the pipeline. The period never changes.
+	Colocate bool
+	// Raw skips a strategy's embellishing post-pass — currently HeRAD's
+	// replicable-stage merge — exposing schedules exactly as computed.
+	Raw bool
+	// Memoize collapses 2CATAC's exponential recursion tree per
+	// binary-search probe (twocatac.ScheduleMemo); the schedules are
+	// identical. Strategies without a memoized variant ignore it.
+	Memoize bool
+	// Bounds overrides the period interval searched by the binary-search
+	// strategies (2CATAC, FERTAC, OTAC). Nil uses the paper's
+	// sched.DefaultBounds plus the robustness fallback; a non-nil value
+	// disables the fallback. HeRAD and Brute ignore it.
+	Bounds *sched.Bounds
+}
+
+// finish applies the post-passes requested by o to a computed solution.
+func (o Options) finish(c *core.Chain, s core.Solution) core.Solution {
+	if o.Colocate && !s.IsEmpty() {
+		if fused := s.Fuse(c, s.Period(c)); len(fused.Stages) < len(s.Stages) {
+			s = fused
+		}
+	}
+	return s
+}
+
+// schedulable rejects the degenerate inputs that sched.Schedule guards
+// against, so Bounds-overridden runs share the same contract.
+func schedulable(c *core.Chain, r core.Resources) bool {
+	return c != nil && c.Len() > 0 && r.Total() > 0 && r.Big >= 0 && r.Little >= 0
+}
+
+// binarySearch runs compute through the shared binary search, honoring a
+// caller-supplied bounds override.
+func binarySearch(c *core.Chain, r core.Resources, o Options, compute sched.ComputeSolutionFunc) core.Solution {
+	if o.Bounds != nil {
+		if !schedulable(c, r) {
+			return core.Solution{}
+		}
+		return sched.ScheduleBounds(c, r, *o.Bounds, compute)
+	}
+	return sched.Schedule(c, r, compute)
+}
+
+// entry is one registered strategy.
+type entry struct {
+	s       Scheduler
+	aliases []string
+	hidden  bool
+}
+
+var registry = struct {
+	sync.RWMutex
+	byName map[string]*entry // normalized canonical name or alias → entry
+	order  []*entry          // registration order
+}{byName: map[string]*entry{}}
+
+func normalize(name string) string {
+	return strings.ToLower(strings.TrimSpace(name))
+}
+
+// Register adds s to the registry under its canonical name plus the given
+// aliases (all matched case-insensitively by Get/Parse) and includes it in
+// All. It panics on an empty or already-taken name — registering is a
+// package-initialization affair and a clash is a programming error.
+func Register(s Scheduler, aliases ...string) {
+	register(s, false, aliases...)
+}
+
+// RegisterHidden is Register for strategies that Parse/Get should resolve
+// but All should not list: ablation variants and test references that
+// "-strategy all" style sweeps must not pick up.
+func RegisterHidden(s Scheduler, aliases ...string) {
+	register(s, true, aliases...)
+}
+
+func register(s Scheduler, hidden bool, aliases ...string) {
+	if s == nil || normalize(s.Name()) == "" {
+		panic("strategy: Register with no name")
+	}
+	e := &entry{s: s, aliases: aliases, hidden: hidden}
+	registry.Lock()
+	defer registry.Unlock()
+	for _, key := range append([]string{s.Name()}, aliases...) {
+		k := normalize(key)
+		if k == "" || k == "all" {
+			panic(fmt.Sprintf("strategy: reserved or empty name %q", key))
+		}
+		if _, dup := registry.byName[k]; dup {
+			panic(fmt.Sprintf("strategy: duplicate registration of %q", key))
+		}
+		registry.byName[k] = e
+	}
+	registry.order = append(registry.order, e)
+}
+
+// Get returns the strategy registered under name (canonical or alias,
+// case-insensitive) and whether it exists.
+func Get(name string) (Scheduler, bool) {
+	registry.RLock()
+	defer registry.RUnlock()
+	e, ok := registry.byName[normalize(name)]
+	if !ok {
+		return nil, false
+	}
+	return e.s, true
+}
+
+// Parse resolves name like Get but returns a descriptive error listing
+// every valid name and alias when the lookup fails.
+func Parse(name string) (Scheduler, error) {
+	if s, ok := Get(name); ok {
+		return s, nil
+	}
+	registry.RLock()
+	valid := make([]string, 0, len(registry.byName))
+	for _, e := range registry.order {
+		names := append([]string{e.s.Name()}, e.aliases...)
+		valid = append(valid, strings.Join(names, "|"))
+	}
+	registry.RUnlock()
+	sort.Strings(valid)
+	return nil, fmt.Errorf("strategy: unknown strategy %q (valid: %s)",
+		name, strings.Join(valid, ", "))
+}
+
+// MustParse is Parse for known-good names; it panics on failure.
+func MustParse(name string) Scheduler {
+	s, err := Parse(name)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// All returns the non-hidden strategies in registration order — the
+// paper's presentation order for the built-ins (HeRAD, 2CATAC, FERTAC,
+// OTAC (B), OTAC (L)). This is what "-strategy all" sweeps run.
+func All() []Scheduler {
+	registry.RLock()
+	defer registry.RUnlock()
+	var out []Scheduler
+	for _, e := range registry.order {
+		if !e.hidden {
+			out = append(out, e.s)
+		}
+	}
+	return out
+}
+
+// AllRegistered returns every registered strategy, hidden ones included,
+// in registration order.
+func AllRegistered() []Scheduler {
+	registry.RLock()
+	defer registry.RUnlock()
+	out := make([]Scheduler, len(registry.order))
+	for i, e := range registry.order {
+		out[i] = e.s
+	}
+	return out
+}
+
+// Names returns the canonical names of All().
+func Names() []string {
+	all := All()
+	out := make([]string, len(all))
+	for i, s := range all {
+		out[i] = s.Name()
+	}
+	return out
+}

@@ -1,0 +1,274 @@
+package strategy
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ampsched/internal/chaingen"
+	"ampsched/internal/core"
+	"ampsched/internal/sched"
+)
+
+func testChain(t testing.TB) *core.Chain {
+	t.Helper()
+	return core.MustChain([]core.Task{
+		{Name: "a", Weight: [core.NumCoreTypes]float64{core.Big: 40, core.Little: 90}, Replicable: false},
+		{Name: "b", Weight: [core.NumCoreTypes]float64{core.Big: 120, core.Little: 300}, Replicable: true},
+		{Name: "c", Weight: [core.NumCoreTypes]float64{core.Big: 200, core.Little: 520}, Replicable: true},
+		{Name: "d", Weight: [core.NumCoreTypes]float64{core.Big: 310, core.Little: 700}, Replicable: true},
+		{Name: "e", Weight: [core.NumCoreTypes]float64{core.Big: 25, core.Little: 60}, Replicable: false},
+	})
+}
+
+func TestAllOrder(t *testing.T) {
+	want := []string{"HeRAD", "2CATAC", "FERTAC", "OTAC (B)", "OTAC (L)"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("All()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	// Hidden strategies appear in AllRegistered but not in All.
+	reg := AllRegistered()
+	if len(reg) != len(want)+2 {
+		t.Errorf("AllRegistered() has %d entries, want %d", len(reg), len(want)+2)
+	}
+	for _, s := range All() {
+		if s.Name() == "Brute" || s.Name() == "2CATAC (memo)" {
+			t.Errorf("hidden strategy %q leaked into All()", s.Name())
+		}
+	}
+}
+
+func TestParseAliases(t *testing.T) {
+	for in, want := range map[string]string{
+		"herad":         "HeRAD",
+		"HeRAD":         "HeRAD",
+		"  HERAD  ":     "HeRAD",
+		"2catac":        "2CATAC",
+		"twocatac":      "2CATAC",
+		"2CATAC":        "2CATAC",
+		"fertac":        "FERTAC",
+		"otac (b)":      "OTAC (B)",
+		"otac-b":        "OTAC (B)",
+		"OTACB":         "OTAC (B)",
+		"otac-l":        "OTAC (L)",
+		"otacl":         "OTAC (L)",
+		"2catac-memo":   "2CATAC (memo)",
+		"twocatac-memo": "2CATAC (memo)",
+		"brute":         "Brute",
+		"brute-force":   "Brute",
+		"exhaustive":    "Brute",
+	} {
+		s, err := Parse(in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", in, err)
+			continue
+		}
+		if s.Name() != want {
+			t.Errorf("Parse(%q).Name() = %q, want %q", in, s.Name(), want)
+		}
+	}
+}
+
+func TestParseUnknown(t *testing.T) {
+	_, err := Parse("banana")
+	if err == nil {
+		t.Fatal("Parse accepted unknown name")
+	}
+	msg := err.Error()
+	for _, frag := range []string{"banana", "HeRAD", "2CATAC", "otac-b", "brute"} {
+		if !strings.Contains(msg, frag) {
+			t.Errorf("error %q does not mention %q", msg, frag)
+		}
+	}
+	if _, ok := Get("banana"); ok {
+		t.Error("Get resolved unknown name")
+	}
+	// "all" is reserved for sweeps, not a strategy name.
+	if _, ok := Get("all"); ok {
+		t.Error(`Get resolved reserved name "all"`)
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse did not panic on unknown name")
+		}
+	}()
+	MustParse("banana")
+}
+
+func TestRegisterRejectsDuplicates(t *testing.T) {
+	for _, name := range []string{"HeRAD", "otacb", ""} {
+		name := name
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Register(%q) did not panic", name)
+				}
+			}()
+			Register(fakeScheduler{name: name})
+		}()
+	}
+}
+
+func TestScheduleDegenerateInputs(t *testing.T) {
+	c := testChain(t)
+	for _, s := range AllRegistered() {
+		if got := s.Schedule(c, core.Resources{}, Options{}); !got.IsEmpty() {
+			t.Errorf("%s scheduled on zero resources: %v", s.Name(), got)
+		}
+		if got := s.Schedule(nil, core.Resources{Big: 2}, Options{}); !got.IsEmpty() {
+			t.Errorf("%s scheduled a nil chain: %v", s.Name(), got)
+		}
+	}
+}
+
+func TestOptionsColocate(t *testing.T) {
+	c := testChain(t)
+	r := core.Resources{Big: 2, Little: 4}
+	for _, s := range All() {
+		plain := s.Schedule(c, r, Options{})
+		fused := s.Schedule(c, r, Options{Colocate: true})
+		if plain.IsEmpty() || fused.IsEmpty() {
+			t.Fatalf("%s returned empty solution", s.Name())
+		}
+		if got, want := fused.Period(c), plain.Period(c); got > want*(1+1e-12) {
+			t.Errorf("%s: colocation changed period %v -> %v", s.Name(), want, got)
+		}
+		if len(fused.Stages) > len(plain.Stages) {
+			t.Errorf("%s: colocation grew pipeline %d -> %d stages",
+				s.Name(), len(plain.Stages), len(fused.Stages))
+		}
+		if err := fused.Validate(c, r); err != nil {
+			t.Errorf("%s colocated schedule invalid: %v", s.Name(), err)
+		}
+	}
+}
+
+func TestOptionsMemoizeIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	r := core.Resources{Big: 3, Little: 3}
+	plain := MustParse("2catac")
+	memoHidden := MustParse("2catac-memo")
+	for i := 0; i < 20; i++ {
+		c := chaingen.Generate(chaingen.Default(10, 0.5), rng)
+		a := plain.Schedule(c, r, Options{})
+		b := plain.Schedule(c, r, Options{Memoize: true})
+		d := memoHidden.Schedule(c, r, Options{})
+		if a.String() != b.String() || a.String() != d.String() {
+			t.Fatalf("chain %d: memoized 2CATAC diverged:\n plain %v\n opt   %v\n memo  %v",
+				i, a, b, d)
+		}
+	}
+}
+
+func TestOptionsBounds(t *testing.T) {
+	c := testChain(t)
+	r := core.Resources{Big: 2, Little: 4}
+	s := MustParse("2catac")
+	ref := s.Schedule(c, r, Options{})
+	b := sched.DefaultBounds(c, r)
+	got := s.Schedule(c, r, Options{Bounds: &b})
+	if got.String() != ref.String() {
+		t.Errorf("default bounds diverged: %v vs %v", got, ref)
+	}
+	// An infeasible interval (everything below the true period) finds nothing.
+	p := ref.Period(c)
+	bad := sched.Bounds{Min: p / 100, Max: p / 2, Eps: b.Eps}
+	if got := s.Schedule(c, r, Options{Bounds: &bad}); !got.IsEmpty() {
+		t.Errorf("infeasible bounds produced %v", got)
+	}
+	// Bounds-overridden runs keep the degenerate-input guard.
+	if got := s.Schedule(c, core.Resources{}, Options{Bounds: &b}); !got.IsEmpty() {
+		t.Errorf("bounds run scheduled on zero resources: %v", got)
+	}
+}
+
+func TestOptionsRaw(t *testing.T) {
+	// Raw skips HeRAD's replicable-stage merge: the raw pipeline is never
+	// shorter and has the same period.
+	rng := rand.New(rand.NewSource(11))
+	h := MustParse("herad")
+	r := core.Resources{Big: 4, Little: 4}
+	for i := 0; i < 10; i++ {
+		c := chaingen.Generate(chaingen.Default(12, 0.7), rng)
+		merged := h.Schedule(c, r, Options{})
+		raw := h.Schedule(c, r, Options{Raw: true})
+		if raw.Period(c) != merged.Period(c) {
+			t.Errorf("chain %d: raw period %v != merged %v", i, raw.Period(c), merged.Period(c))
+		}
+		if len(raw.Stages) < len(merged.Stages) {
+			t.Errorf("chain %d: raw pipeline shorter than merged (%d < %d)",
+				i, len(raw.Stages), len(merged.Stages))
+		}
+	}
+}
+
+// TestCrossStrategyProperties is the registry-driven property test: on
+// random small chains, every registered strategy must produce a valid
+// schedule, HeRAD must match the brute-force optimum, and no heuristic may
+// beat it.
+func TestCrossStrategyProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	herad := MustParse("herad")
+	resources := []core.Resources{
+		{Big: 1, Little: 1}, {Big: 2, Little: 1}, {Big: 1, Little: 3}, {Big: 3, Little: 3},
+	}
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(6) // 2..7 tasks: brute-force stays tractable
+		sr := float64(rng.Intn(11)) / 10
+		c := chaingen.Generate(chaingen.Default(n, sr), rng)
+		r := resources[rng.Intn(len(resources))]
+		checkChainProperties(t, c, r, herad)
+		if t.Failed() {
+			t.Fatalf("trial %d: n=%d sr=%.1f R=%v", trial, n, sr, r)
+		}
+	}
+}
+
+func checkChainProperties(t *testing.T, c *core.Chain, r core.Resources, herad Scheduler) {
+	t.Helper()
+	opt := MustParse("brute").Schedule(c, r, Options{}).Period(c)
+	hp := herad.Schedule(c, r, Options{}).Period(c)
+	if diff := hp - opt; diff > 1e-9*opt {
+		t.Errorf("HeRAD period %v > brute optimum %v", hp, opt)
+	}
+	for _, s := range AllRegistered() {
+		sol := s.Schedule(c, r, Options{})
+		if sol.IsEmpty() {
+			t.Errorf("%s found no schedule", s.Name())
+			continue
+		}
+		if err := sol.Validate(c, r); err != nil {
+			t.Errorf("%s produced invalid schedule %v: %v", s.Name(), sol, err)
+		}
+		if p := sol.Period(c); p < opt*(1-1e-9) {
+			t.Errorf("%s period %v beats the optimum %v", s.Name(), p, opt)
+		}
+	}
+}
+
+// FuzzParse checks the parser never panics and resolves only known names.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{"herad", "2CATAC", " otac-b ", "all", "", "brute", "banana"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, name string) {
+		s, err := Parse(name)
+		if (s == nil) == (err == nil) {
+			t.Fatalf("Parse(%q) = %v, %v", name, s, err)
+		}
+		if err == nil {
+			if _, ok := Get(name); !ok {
+				t.Fatalf("Parse resolved %q but Get did not", name)
+			}
+		}
+	})
+}

@@ -26,10 +26,20 @@ func Schedule(c *core.Chain, r core.Resources) core.Solution {
 // binary-search probe. This is an implementation ablation, not a paper
 // algorithm.
 func ScheduleMemo(c *core.Chain, r core.Resources) core.Solution {
-	return sched.Schedule(c, r, func(ch *core.Chain, s int, res core.Resources, target float64) core.Solution {
-		memo := make(map[memoKey]core.Solution)
-		return computeSolutionMemo(ch, s, res, target, memo)
-	})
+	return sched.Schedule(c, r, Compute(true))
+}
+
+// Compute returns 2CATAC's ComputeSolution for use with
+// sched.Schedule/ScheduleBounds: the paper-verbatim exponential recursion,
+// or the memoized ablation when memo is true (a fresh memo table per
+// binary-search probe, exactly as ScheduleMemo).
+func Compute(memo bool) sched.ComputeSolutionFunc {
+	if !memo {
+		return ComputeSolution
+	}
+	return func(ch *core.Chain, s int, res core.Resources, target float64) core.Solution {
+		return computeSolutionMemo(ch, s, res, target, make(map[memoKey]core.Solution))
+	}
 }
 
 type memoKey struct {
