@@ -19,6 +19,7 @@ import (
 	"ampsched/internal/experiments"
 	"ampsched/internal/fertac"
 	"ampsched/internal/herad"
+	"ampsched/internal/obs"
 	"ampsched/internal/otac"
 	"ampsched/internal/platform"
 	"ampsched/internal/strategy"
@@ -329,6 +330,55 @@ func BenchmarkPlanBatch(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkObsOverhead pins the cost of the metrics layer around a full
+// HeRAD schedule through the registry:
+//
+//   - baseline: metrics compiled in, no registry supplied (the default).
+//     Must show 0 extra allocs/op vs the pre-instrumentation code — the
+//     nil-sink path is a handful of nil checks.
+//   - enabled: a shared registry collecting every series.
+//   - ops/disabled: the raw nil-sink metric operations alone; must report
+//     exactly 0 allocs/op.
+func BenchmarkObsOverhead(b *testing.B) {
+	chains := benchChains(20, 0.5, 8)
+	r := core.Resources{Big: 10, Little: 10}
+	s := strategy.MustParse("herad")
+	b.Run("schedule/disabled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if sol := s.Schedule(chains[i%len(chains)], r, strategy.Options{}); sol.IsEmpty() {
+				b.Fatal("no schedule")
+			}
+		}
+	})
+	b.Run("schedule/enabled", func(b *testing.B) {
+		b.ReportAllocs()
+		reg := obs.NewRegistry()
+		for i := 0; i < b.N; i++ {
+			if sol := s.Schedule(chains[i%len(chains)], r, strategy.Options{Metrics: reg}); sol.IsEmpty() {
+				b.Fatal("no schedule")
+			}
+		}
+	})
+	b.Run("ops/disabled", func(b *testing.B) {
+		b.ReportAllocs()
+		var reg *obs.Registry // nil sink: every lookup and update below is a nil check
+		for i := 0; i < b.N; i++ {
+			m := reg.Sub("herad")
+			m.Counter("schedule.calls").Inc()
+			m.Counter("dp.cells").Add(64)
+			m.Gauge("workers").Set(8)
+			m.Timer("schedule.ns").Start()()
+			m.Histogram("request_us", obs.DurationBucketsUs).Observe(12)
+		}
+		if n := testing.AllocsPerRun(100, func() {
+			reg.Sub("x").Counter("c").Inc()
+		}); n != 0 {
+			b.Fatalf("disabled metric ops allocate %v/op", n)
+		}
+	})
 }
 
 // BenchmarkSchedulers gives per-strategy single-instance timings at the

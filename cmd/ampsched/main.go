@@ -26,6 +26,11 @@
 //	-colocate     fuse adjacent light single-core stages (§VII extension)
 //	-power        report watts and mJ/frame under the default power model
 //	-trace FILE   with -run: dump a Chrome trace of the pipeline execution
+//	-stats        report scheduler metrics (binary-search probes, DP
+//	              cells, recursion nodes, …) after the schedules: a table
+//	              in text mode, an internal/obs report in -json mode
+//	-cpuprofile F write a pprof CPU profile of the whole invocation
+//	-memprofile F write a pprof heap profile taken at exit
 package main
 
 import (
@@ -33,10 +38,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"ampsched/internal/core"
 	"ampsched/internal/desim"
+	"ampsched/internal/obs"
 	"ampsched/internal/platform"
 	"ampsched/internal/report"
 	"ampsched/internal/strategy"
@@ -69,56 +77,106 @@ type jsonSolution struct {
 	LitUsed  int         `json:"little_used"`
 }
 
+// config carries every CLI flag; mainErr consumes it so tests can drive
+// the whole pipeline without a flag.FlagSet.
+type config struct {
+	input      string // JSON task-chain file
+	platform   string // embedded DVB-S2 profile name
+	big        int
+	little     int
+	strategy   string
+	simulate   bool
+	run        bool
+	frames     int
+	scale      float64
+	interframe int
+	json       bool
+	colocate   bool
+	power      bool
+	trace      string // Chrome trace output path (requires run)
+	stats      bool   // report scheduler metrics after the schedules
+	cpuProfile string // pprof CPU profile output path
+	memProfile string // pprof heap profile output path
+}
+
 func main() {
-	input := flag.String("input", "", "JSON task-chain file")
-	plat := flag.String("platform", "", `embedded DVB-S2 profile: "mac" or "x7"`)
-	big := flag.Int("big", 0, "number of big cores")
-	little := flag.Int("little", 0, "number of little cores")
-	strat := flag.String("strategy", "herad", "herad|2catac|fertac|otac-b|otac-l|all (or 2catac-memo, brute)")
-	simulate := flag.Bool("simulate", false, "validate with the discrete-event simulator")
-	run := flag.Bool("run", false, "execute on the streampu runtime")
-	frames := flag.Int("frames", 100, "frames for -run")
-	scale := flag.Float64("scale", 10, "time scale for -run")
-	interframe := flag.Int("interframe", 1, "frames per pipeline slot for FPS reporting")
-	asJSON := flag.Bool("json", false, "print the schedule as JSON")
-	colocate := flag.Bool("colocate", false, "fuse adjacent light single-core stages (saves cores at equal period)")
-	power := flag.Bool("power", false, "report power/energy under the default power model")
-	tracePath := flag.String("trace", "", "with -run: write a Chrome trace (chrome://tracing) to this file")
+	var cfg config
+	flag.StringVar(&cfg.input, "input", "", "JSON task-chain file")
+	flag.StringVar(&cfg.platform, "platform", "", `embedded DVB-S2 profile: "mac" or "x7"`)
+	flag.IntVar(&cfg.big, "big", 0, "number of big cores")
+	flag.IntVar(&cfg.little, "little", 0, "number of little cores")
+	flag.StringVar(&cfg.strategy, "strategy", "herad", "herad|2catac|fertac|otac-b|otac-l|all (or 2catac-memo, brute)")
+	flag.BoolVar(&cfg.simulate, "simulate", false, "validate with the discrete-event simulator")
+	flag.BoolVar(&cfg.run, "run", false, "execute on the streampu runtime")
+	flag.IntVar(&cfg.frames, "frames", 100, "frames for -run")
+	flag.Float64Var(&cfg.scale, "scale", 10, "time scale for -run")
+	flag.IntVar(&cfg.interframe, "interframe", 1, "frames per pipeline slot for FPS reporting")
+	flag.BoolVar(&cfg.json, "json", false, "print the schedule as JSON")
+	flag.BoolVar(&cfg.colocate, "colocate", false, "fuse adjacent light single-core stages (saves cores at equal period)")
+	flag.BoolVar(&cfg.power, "power", false, "report power/energy under the default power model")
+	flag.StringVar(&cfg.trace, "trace", "", "with -run: write a Chrome trace (chrome://tracing) to this file")
+	flag.BoolVar(&cfg.stats, "stats", false, "report scheduler metrics (table, or obs report in -json mode)")
+	flag.StringVar(&cfg.cpuProfile, "cpuprofile", "", "write a pprof CPU profile to this file")
+	flag.StringVar(&cfg.memProfile, "memprofile", "", "write a pprof heap profile to this file at exit")
 	flag.Parse()
 
-	if err := mainErr(*input, *plat, *big, *little, *strat, *simulate, *run,
-		*frames, *scale, *interframe, *asJSON, *colocate, *power, *tracePath); err != nil {
+	if err := mainErr(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "ampsched:", err)
 		os.Exit(1)
 	}
 }
 
-func mainErr(input, plat string, big, little int, strat string,
-	simulate, run bool, frames int, scale float64, interframe int,
-	asJSON, colocate, power bool, tracePath string) error {
-	chain, defIF, err := loadChain(input, plat)
+func mainErr(cfg config) error {
+	if cfg.trace != "" && !cfg.run {
+		return fmt.Errorf("-trace requires -run: the Chrome trace records the streampu pipeline execution (pass -run, or drop -trace)")
+	}
+	if cfg.cpuProfile != "" {
+		f, err := os.Create(cfg.cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("starting CPU profile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if cfg.memProfile != "" {
+		defer func() {
+			if err := writeHeapProfile(cfg.memProfile); err != nil {
+				fmt.Fprintln(os.Stderr, "ampsched:", err)
+			}
+		}()
+	}
+
+	chain, defIF, err := loadChain(cfg.input, cfg.platform)
 	if err != nil {
 		return err
 	}
+	interframe := cfg.interframe
 	if interframe == 1 && defIF > 1 {
 		interframe = defIF
 	}
-	r := core.Resources{Big: big, Little: little}
+	r := core.Resources{Big: cfg.big, Little: cfg.little}
 	if r.Total() <= 0 {
 		return fmt.Errorf("no resources: pass -big and/or -little")
 	}
 
-	scheds, err := strategyList(strat)
+	scheds, err := strategyList(cfg.strategy)
 	if err != nil {
 		return err
 	}
+	var reg *obs.Registry
+	if cfg.stats {
+		reg = obs.NewRegistry()
+	}
 	header := []string{"Strategy", "Period", "FPS", "Pipeline decomposition", "b", "l"}
-	if power {
+	if cfg.power {
 		header = append(header, "W", "mJ/frame")
 	}
 	t := report.NewTable(header...)
 	pm := core.DefaultPowerModel()
-	opts := strategy.Options{Colocate: colocate}
+	opts := strategy.Options{Colocate: cfg.colocate, Metrics: reg}
 	for _, sc := range scheds {
 		name := sc.Name()
 		sol := sc.Schedule(chain, r, opts)
@@ -130,7 +188,7 @@ func mainErr(input, plat string, big, little int, strat string,
 		}
 		p := sol.Period(chain)
 		b, l := sol.CoresUsed()
-		if asJSON {
+		if cfg.json {
 			out := jsonSolution{Strategy: name, Period: p, BigUsed: b, LitUsed: l}
 			for _, st := range sol.Stages {
 				out.Stages = append(out.Stages, jsonStage{
@@ -145,12 +203,12 @@ func mainErr(input, plat string, big, little int, strat string,
 		} else {
 			row := []any{name, p, fmt.Sprintf("%.0f", core.Throughput(p, interframe)),
 				sol.String(), b, l}
-			if power {
+			if cfg.power {
 				row = append(row, pm.Power(sol), 1000*pm.EnergyPerFrame(sol, p))
 			}
 			t.AddRow(row...)
 		}
-		if simulate {
+		if cfg.simulate {
 			res, err := desim.Simulate(chain, sol, desim.Config{Frames: 2000, QueueCap: 2})
 			if err != nil {
 				return err
@@ -158,25 +216,26 @@ func mainErr(input, plat string, big, little int, strat string,
 			fmt.Printf("# %s desim: period %.1f, FPS %.0f, latency %.1f\n",
 				name, res.Period, res.Throughput(interframe), res.Latency)
 		}
-		if run {
-			opts := streampu.Options{TimeScale: scale, QueueCap: 2}
+		if cfg.run {
+			popt := streampu.Options{TimeScale: cfg.scale, QueueCap: 2}
 			var tracer *streampu.Tracer
-			if tracePath != "" {
+			if cfg.trace != "" || cfg.stats {
 				tracer = &streampu.Tracer{}
-				opts.Tracer = tracer
+				popt.Tracer = tracer
 			}
-			pipe, err := streampu.New(streampu.TimedChain(chain), sol, opts)
+			pipe, err := streampu.New(streampu.TimedChain(chain), sol, popt)
 			if err != nil {
 				return err
 			}
-			st, err := pipe.Run(frames, nil)
+			st, err := pipe.Run(cfg.frames, nil)
 			if err != nil {
 				return err
 			}
 			fmt.Printf("# %s runtime: measured period %.1f, FPS %.0f (%d frames, %.2fs wall)\n",
 				name, st.PeriodMicros, st.Throughput(interframe), st.Frames, st.Elapsed.Seconds())
-			if tracer != nil {
-				f, err := os.Create(tracePath)
+			tracer.RecordMetrics(reg.Sub(obs.Slug(name)))
+			if cfg.trace != "" {
+				f, err := os.Create(cfg.trace)
 				if err != nil {
 					return err
 				}
@@ -187,14 +246,59 @@ func mainErr(input, plat string, big, little int, strat string,
 				if err := f.Close(); err != nil {
 					return err
 				}
-				fmt.Printf("# %s trace: %d events written to %s\n", name, tracer.Len(), tracePath)
+				fmt.Printf("# %s trace: %d events written to %s\n", name, tracer.Len(), cfg.trace)
 			}
 		}
 	}
-	if !asJSON {
+	if !cfg.json {
 		t.Render(os.Stdout)
 	}
+	if reg != nil {
+		if err := emitStats(reg, cfg.json); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// emitStats renders the collected scheduler metrics: an aligned table in
+// text mode, the internal/obs JSON report (schema shared with
+// cmd/experiments' metrics.json) in -json mode.
+func emitStats(reg *obs.Registry, asJSON bool) error {
+	if asJSON {
+		return obs.NewReport("ampsched", reg).WriteJSON(os.Stdout)
+	}
+	fmt.Println("# scheduler metrics")
+	t := report.NewTable("Metric", "Kind", "Count", "Value")
+	for _, s := range reg.Snapshot() {
+		value := "-"
+		switch s.Kind {
+		case obs.KindGauge:
+			value = fmt.Sprintf("%g", s.Value)
+		case obs.KindTimer:
+			value = fmt.Sprintf("%.3fms total", float64(s.TotalNs)/1e6)
+		case obs.KindHistogram:
+			value = fmt.Sprintf("%d above top bucket", s.Overflow)
+		}
+		t.AddRow(s.Name, string(s.Kind), s.Count, value)
+	}
+	t.Render(os.Stdout)
+	return nil
+}
+
+// writeHeapProfile snapshots the heap after a final GC (the profile
+// should show live allocations, not garbage awaiting collection).
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("writing heap profile: %w", err)
+	}
+	return f.Close()
 }
 
 func loadChain(input, plat string) (*core.Chain, int, error) {

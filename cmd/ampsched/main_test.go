@@ -1,6 +1,9 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"ampsched/internal/core"
@@ -90,18 +93,68 @@ func TestStrategyList(t *testing.T) {
 
 func TestMainErrEndToEnd(t *testing.T) {
 	// Whole-pipeline smoke test through the CLI entry point (no -run).
-	if err := mainErr("testdata/chain.json", "", 2, 2, "all",
-		true, false, 10, 1, 1, false, true, true, ""); err != nil {
+	if err := mainErr(config{input: "testdata/chain.json", big: 2, little: 2,
+		strategy: "all", simulate: true, frames: 10, scale: 1, interframe: 1,
+		colocate: true, power: true}); err != nil {
 		t.Fatal(err)
 	}
 	// JSON output path.
-	if err := mainErr("", "mac", 8, 2, "herad",
-		false, false, 10, 1, 1, true, false, false, ""); err != nil {
+	if err := mainErr(config{platform: "mac", big: 8, little: 2,
+		strategy: "herad", frames: 10, scale: 1, interframe: 1,
+		json: true}); err != nil {
 		t.Fatal(err)
 	}
 	// No resources.
-	if err := mainErr("testdata/chain.json", "", 0, 0, "herad",
-		false, false, 10, 1, 1, false, false, false, ""); err == nil {
+	if err := mainErr(config{input: "testdata/chain.json",
+		strategy: "herad", frames: 10, scale: 1, interframe: 1}); err == nil {
 		t.Error("zero resources accepted")
+	}
+}
+
+func TestMainErrTraceRequiresRun(t *testing.T) {
+	err := mainErr(config{input: "testdata/chain.json", big: 2, little: 2,
+		strategy: "herad", frames: 10, scale: 1, interframe: 1,
+		trace: filepath.Join(t.TempDir(), "trace.json")})
+	if err == nil {
+		t.Fatal("-trace without -run accepted")
+	}
+	if !strings.Contains(err.Error(), "-trace requires -run") {
+		t.Errorf("error %q does not name the required flag combination", err)
+	}
+}
+
+func TestMainErrStats(t *testing.T) {
+	// -stats with every strategy: the metric table renders after the
+	// schedules and collection does not disturb the results.
+	if err := mainErr(config{input: "testdata/chain.json", big: 2, little: 2,
+		strategy: "all", frames: 10, scale: 1, interframe: 1,
+		stats: true}); err != nil {
+		t.Fatal(err)
+	}
+	// -stats -json emits the obs report after the schedule objects.
+	if err := mainErr(config{input: "testdata/chain.json", big: 2, little: 2,
+		strategy: "fertac", frames: 10, scale: 1, interframe: 1,
+		json: true, stats: true}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMainErrProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	if err := mainErr(config{input: "testdata/chain.json", big: 2, little: 2,
+		strategy: "herad", frames: 10, scale: 1, interframe: 1,
+		cpuProfile: cpu, memProfile: mem}); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
 	}
 }

@@ -17,6 +17,13 @@
 //	-real        execute Table II schedules on the streampu runtime
 //	-scale S     time scale for -real runs (default 10)
 //	-workers N   concurrent planning workers (default 0 = one per CPU)
+//	-metrics F   write a machine-readable metrics report (default
+//	             metrics.json; "" disables collection entirely)
+//
+// The metrics report aggregates every scheduler-side series the run
+// produced (per-strategy counters/timers, PlanBatch batch series,
+// streampu stage occupancy for -real runs) plus Go runtime statistics;
+// see internal/obs.Report for the schema.
 package main
 
 import (
@@ -27,6 +34,7 @@ import (
 	"ampsched/internal/core"
 	"ampsched/internal/dvbs2"
 	"ampsched/internal/experiments"
+	"ampsched/internal/obs"
 	"ampsched/internal/report"
 	"ampsched/internal/stats"
 )
@@ -39,6 +47,7 @@ func main() {
 	real := flag.Bool("real", false, "run Table II schedules on the streampu runtime (wall clock)")
 	scale := flag.Float64("scale", 10, "time scale for -real runs")
 	workers := flag.Int("workers", 0, "concurrent planning workers (0 = one per CPU, 1 = serial)")
+	metrics := flag.String("metrics", "metrics.json", `metrics report path ("" disables collection)`)
 	flag.Parse()
 
 	if *quick {
@@ -53,8 +62,16 @@ func main() {
 	app := &app{
 		chains: *chains, runs: *runs, quick: *quick,
 		csv: *csv, real: *real, scale: *scale, workers: *workers,
+		metricsPath: *metrics,
+	}
+	if app.metricsPath != "" {
+		app.reg = obs.NewRegistry()
 	}
 	if err := app.run(cmd); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	if err := app.writeMetrics(); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
@@ -67,7 +84,27 @@ type app struct {
 	scale        float64
 	workers      int
 
+	// reg collects every campaign's scheduler metrics; nil disables
+	// collection (then the strategies run their uninstrumented paths).
+	reg         *obs.Registry
+	metricsPath string
+
 	t1cache []experiments.Table1Cell
+}
+
+// writeMetrics exports the run's metric series as a machine-readable
+// report. Series names are sorted and counters are deterministic, so two
+// identical runs differ only in the timestamp, runtime statistics, and
+// wall-clock-valued series.
+func (a *app) writeMetrics() error {
+	if a.reg == nil || a.metricsPath == "" {
+		return nil
+	}
+	if err := obs.WriteFile(a.metricsPath, "experiments", a.reg); err != nil {
+		return fmt.Errorf("writing metrics report: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "experiments: metrics report written to %s\n", a.metricsPath)
+	return nil
 }
 
 func (a *app) run(cmd string) error {
@@ -125,6 +162,7 @@ func (a *app) table1Cells() []experiments.Table1Cell {
 		cfg := experiments.DefaultTable1Config()
 		cfg.Chains = a.chains
 		cfg.Workers = a.workers
+		cfg.Metrics = a.reg
 		a.t1cache = experiments.Table1(cfg)
 	}
 	return a.t1cache
@@ -175,6 +213,7 @@ func (a *app) fig2() error {
 	cfg := experiments.DefaultTable1Config()
 	cfg.Chains = a.chains
 	cfg.Workers = a.workers
+	cfg.Metrics = a.reg
 	res := experiments.Fig2(cfg)
 	fmt.Printf("Fig. 2 — FERTAC−HeRAD core-usage deltas, R=%v SR=%.1f (%d chains)\n\n",
 		res.R, res.SR, res.All.Total())
@@ -277,6 +316,7 @@ func (a *app) table2() ([]experiments.Table2Row, error) {
 	cfg.RunReal = a.real
 	cfg.TimeScale = a.scale
 	cfg.Workers = a.workers
+	cfg.Metrics = a.reg
 	rows, err := experiments.Table2(cfg)
 	if err != nil {
 		return nil, err
@@ -350,10 +390,12 @@ func (a *app) fig6() error {
 	cfg := experiments.DefaultTable1Config()
 	cfg.Chains = min(a.chains, 200)
 	cfg.Workers = a.workers
+	cfg.Metrics = a.reg
 	t1 := experiments.Table1(cfg)
 	t2cfg := experiments.DefaultTable2Config()
 	t2cfg.RunReal = a.real
 	t2cfg.Workers = a.workers
+	t2cfg.Metrics = a.reg
 	t2, err := experiments.Table2(t2cfg)
 	if err != nil {
 		return err
@@ -380,6 +422,7 @@ func (a *app) sensitivity() error {
 	cfg := experiments.DefaultSensitivityConfig()
 	cfg.Chains = min(a.chains, 200)
 	cfg.Workers = a.workers
+	cfg.Metrics = a.reg
 	fmt.Printf("Sensitivity extension (%d chains per point, SR=%.1f)\n\n", cfg.Chains, cfg.SR)
 
 	fmt.Println("-- heuristic quality vs number of tasks, R=(10B,10L)")
@@ -403,7 +446,7 @@ func (a *app) sensitivity() error {
 
 // latency runs the pipeline-depth / end-to-end-latency extension.
 func (a *app) latency() error {
-	rows, err := experiments.Latency()
+	rows, err := experiments.Latency(a.reg)
 	if err != nil {
 		return err
 	}

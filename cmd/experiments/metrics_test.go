@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ampsched/internal/obs"
+)
+
+// runWithMetrics executes one campaign with metrics collection enabled
+// and returns the raw metrics.json bytes.
+func runWithMetrics(t *testing.T, cmd, path string) []byte {
+	t.Helper()
+	a := testApp()
+	a.reg = obs.NewRegistry()
+	a.metricsPath = path
+	quietly(t, func() error { return a.run(cmd) })
+	if err := a.writeMetrics(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// normalizeReport strips the host- and wall-clock-dependent parts of a
+// metrics report: the timestamp, the Go runtime section, and every
+// wall-clock-valued series (timers, and histogram/gauge series whose
+// names mark them as duration-valued). What remains — the algorithmic
+// counters — must be identical across runs.
+func normalizeReport(t *testing.T, data []byte) []byte {
+	t.Helper()
+	var report map[string]json.RawMessage
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("metrics report is not valid JSON: %v", err)
+	}
+	delete(report, "timestamp_unix_ns")
+	delete(report, "runtime")
+	var series []map[string]any
+	if err := json.Unmarshal(report["series"], &series); err != nil {
+		t.Fatalf("series: %v", err)
+	}
+	var kept []map[string]any
+	for _, s := range series {
+		name, _ := s["name"].(string)
+		kind, _ := s["kind"].(string)
+		if kind == string(obs.KindTimer) ||
+			strings.HasSuffix(name, "_ns") || strings.HasSuffix(name, "_us") {
+			continue
+		}
+		kept = append(kept, s)
+	}
+	norm, err := json.Marshal(map[string]any{"series": kept})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return norm
+}
+
+// TestMetricsReportDeterministic runs the same campaign twice and pins
+// that the normalized metrics reports are byte-identical: series names
+// are sorted and every algorithmic counter is deterministic, even though
+// the scheduling fans out over a worker pool.
+func TestMetricsReportDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a miniature campaign twice")
+	}
+	dir := t.TempDir()
+	first := runWithMetrics(t, "sensitivity", filepath.Join(dir, "a.json"))
+	second := runWithMetrics(t, "sensitivity", filepath.Join(dir, "b.json"))
+	a, b := normalizeReport(t, first), normalizeReport(t, second)
+	if !bytes.Equal(a, b) {
+		t.Errorf("normalized metrics reports differ:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a, b)
+	}
+	if len(a) <= len(`{"series":[]}`) {
+		t.Fatalf("normalized report carries no series: %s", a)
+	}
+}
+
+// TestMetricsReportShape pins the report schema cmd/experiments writes:
+// schema version, tool name, runtime statistics, and the per-strategy
+// series every campaign must emit.
+func TestMetricsReportShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a miniature campaign")
+	}
+	data := runWithMetrics(t, "latency", filepath.Join(t.TempDir(), "m.json"))
+	var report obs.Report
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatal(err)
+	}
+	if report.Schema != obs.ReportSchema || report.Tool != "experiments" {
+		t.Errorf("schema %d tool %q", report.Schema, report.Tool)
+	}
+	if report.Runtime.GoVersion == "" || report.Runtime.NumCPU <= 0 {
+		t.Errorf("runtime section incomplete: %+v", report.Runtime)
+	}
+	names := map[string]bool{}
+	for _, s := range report.Series {
+		names[s.Name] = true
+	}
+	for _, want := range []string{
+		"herad.schedule.calls", "herad.herad.dp.cells",
+		"fertac.sched.search.iterations", "2catac.twocatac.recursion.nodes",
+		"otac_b.otac.compute.calls", "planbatch.requests",
+	} {
+		if !names[want] {
+			t.Errorf("series %q missing from the report (have %d series)", want, len(report.Series))
+		}
+	}
+}

@@ -10,7 +10,26 @@ import (
 	"math"
 
 	"ampsched/internal/core"
+	"ampsched/internal/obs"
 )
+
+// Metrics holds the exhaustive solver's instrumentation handles. The
+// zero value is the disabled sink.
+type Metrics struct {
+	// Solutions counts the complete solutions enumerated.
+	Solutions *obs.Counter
+	// Improvements counts how often the incumbent best solution was
+	// replaced (by a better period or a better tie-break).
+	Improvements *obs.Counter
+}
+
+// MetricsFrom resolves the solver's series in r (nil r disables).
+func MetricsFrom(r *obs.Registry) Metrics {
+	return Metrics{
+		Solutions:    r.Counter("brute.enumerate.solutions"),
+		Improvements: r.Counter("brute.search.improvements"),
+	}
+}
 
 // Enumerate calls fn for every structurally valid complete solution of c
 // under resources r. Sequential stages are only generated with one core
@@ -56,20 +75,28 @@ func Enumerate(c *core.Chain, r core.Resources, fn func(core.Solution)) {
 // solution when no valid schedule exists. Like the rest of the package it
 // is exponential: do not use beyond ~12 tasks.
 func Schedule(c *core.Chain, r core.Resources) core.Solution {
+	return ScheduleObs(c, r, Metrics{})
+}
+
+// ScheduleObs is Schedule reporting into m.
+func ScheduleObs(c *core.Chain, r core.Resources, m Metrics) core.Solution {
 	if c == nil || c.Len() == 0 || r.Total() <= 0 || r.Big < 0 || r.Little < 0 {
 		return core.Solution{}
 	}
 	var best core.Solution
 	bestP := math.Inf(1)
 	Enumerate(c, r, func(s core.Solution) {
+		m.Solutions.Inc()
 		p := s.Period(c)
 		switch {
 		case p < bestP:
+			m.Improvements.Inc()
 			best, bestP = s, p
 		case p == bestP && !best.IsEmpty():
 			bB, bL := best.CoresUsed()
 			nB, nL := s.CoresUsed()
 			if Beats(nB, nL, bB, bL) {
+				m.Improvements.Inc()
 				best = s
 			}
 		}

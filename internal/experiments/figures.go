@@ -5,6 +5,7 @@ import (
 
 	"ampsched/internal/chaingen"
 	"ampsched/internal/core"
+	"ampsched/internal/obs"
 	"ampsched/internal/stats"
 	"ampsched/internal/strategy"
 )
@@ -51,7 +52,8 @@ func Fig2(cfg Table1Config) Fig2Result {
 	res := Fig2Result{R: r, SR: sr, All: stats.NewHist2D(), Opt: stats.NewHist2D()}
 	chains := chaingen.GenerateMany(chaingen.Default(cfg.Tasks, sr), cfg.Seed+int64(sr*1000), cfg.Chains)
 	pair := []string{StratHeRAD, StratFERTAC}
-	results := strategy.PlanBatch(crossRequests(chains, r, pair), cfg.Workers)
+	results := strategy.PlanBatch(crossRequests(chains, r, pair,
+		strategy.Options{Metrics: cfg.Metrics}), cfg.Workers)
 	for i := range chains {
 		h, f := results[2*i], results[2*i+1]
 		hb, hl := h.Solution.CoresUsed()
@@ -103,6 +105,10 @@ type TimingConfig struct {
 	// SkipHeRADAbove skips HeRAD for resource totals above this bound
 	// (only used to keep test runs fast; 0 means no cap).
 	SkipHeRADAbove int
+	// Metrics, when non-nil, collects per-strategy series for the timed
+	// runs. The reported timings include the (small) metric overhead, so
+	// leave it nil when measuring for a figure.
+	Metrics *obs.Registry
 }
 
 // DefaultTimingConfig returns the paper's profiling configuration.
@@ -158,7 +164,7 @@ func timeStrategy(cfg TimingConfig, name string, n int, r core.Resources, sr flo
 	sched := mustScheduler(name)
 	start := time.Now()
 	for _, c := range chains {
-		sched.Schedule(c, r, strategy.Options{})
+		sched.Schedule(c, r, strategy.Options{Metrics: cfg.Metrics})
 	}
 	elapsed := time.Since(start)
 	return TimingPoint{

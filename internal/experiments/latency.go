@@ -5,6 +5,7 @@ import (
 
 	"ampsched/internal/core"
 	"ampsched/internal/desim"
+	"ampsched/internal/obs"
 	"ampsched/internal/platform"
 	"ampsched/internal/strategy"
 )
@@ -34,8 +35,8 @@ type LatencyRow struct {
 // Latency runs the study over the paper's four platform configurations.
 // Scheduling fans out through strategy.PlanBatch; the discrete-event
 // simulations stay serial (they are the dominant cost but deterministic
-// either way).
-func Latency() ([]LatencyRow, error) {
+// either way). A non-nil m collects the scheduling metrics.
+func Latency(m *obs.Registry) ([]LatencyRow, error) {
 	type job struct {
 		plat *platform.Platform
 		r    core.Resources
@@ -49,7 +50,8 @@ func Latency() ([]LatencyRow, error) {
 			for _, name := range Strategies {
 				jobs = append(jobs, job{plat: p, r: r, name: name})
 				reqs = append(reqs, strategy.Request{
-					Chain: c, Resources: r, Scheduler: mustScheduler(name), Label: name,
+					Chain: c, Resources: r, Scheduler: mustScheduler(name),
+					Options: strategy.Options{Metrics: m}, Label: name,
 				})
 			}
 		}

@@ -3,7 +3,7 @@ package experiments
 import "testing"
 
 func TestLatencyExtension(t *testing.T) {
-	rows, err := Latency()
+	rows, err := Latency(nil)
 	if err != nil {
 		t.Fatal(err)
 	}

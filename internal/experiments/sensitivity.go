@@ -3,6 +3,7 @@ package experiments
 import (
 	"ampsched/internal/chaingen"
 	"ampsched/internal/core"
+	"ampsched/internal/obs"
 	"ampsched/internal/stats"
 	"ampsched/internal/strategy"
 )
@@ -29,6 +30,8 @@ type SensitivityConfig struct {
 	Seed   int64
 	// Workers bounds the strategy.PlanBatch pool; ≤ 0 uses GOMAXPROCS.
 	Workers int
+	// Metrics, when non-nil, collects the sweep's strategy series.
+	Metrics *obs.Registry
 }
 
 // DefaultSensitivityConfig returns a laptop-sized configuration.
@@ -63,7 +66,8 @@ func sensitivityScenario(cfg SensitivityConfig, n int, r core.Resources, x int) 
 		}
 		names = append(names, name)
 	}
-	results := strategy.PlanBatch(crossRequests(chains, r, names), cfg.Workers)
+	results := strategy.PlanBatch(crossRequests(chains, r, names,
+		strategy.Options{Metrics: cfg.Metrics}), cfg.Workers)
 	slow := map[string][]float64{}
 	stride := len(names)
 	for i := range chains {

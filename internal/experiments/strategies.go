@@ -52,8 +52,9 @@ func mustScheduler(name string) strategy.Scheduler {
 
 // crossRequests builds the (chain × strategy) request matrix used by the
 // batched campaigns: requests are ordered chain-major, matching the
-// serial loops they replace.
-func crossRequests(chains []*core.Chain, r core.Resources, names []string) []strategy.Request {
+// serial loops they replace. Every request carries opts (the campaign's
+// metrics sink rides along here).
+func crossRequests(chains []*core.Chain, r core.Resources, names []string, opts strategy.Options) []strategy.Request {
 	scheds := make([]strategy.Scheduler, len(names))
 	for i, name := range names {
 		scheds[i] = mustScheduler(name)
@@ -62,7 +63,7 @@ func crossRequests(chains []*core.Chain, r core.Resources, names []string) []str
 	for _, c := range chains {
 		for i, s := range scheds {
 			reqs = append(reqs, strategy.Request{
-				Chain: c, Resources: r, Scheduler: s, Label: names[i],
+				Chain: c, Resources: r, Scheduler: s, Options: opts, Label: names[i],
 			})
 		}
 	}

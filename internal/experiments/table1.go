@@ -5,6 +5,7 @@ import (
 
 	"ampsched/internal/chaingen"
 	"ampsched/internal/core"
+	"ampsched/internal/obs"
 	"ampsched/internal/stats"
 	"ampsched/internal/strategy"
 )
@@ -29,6 +30,10 @@ type Table1Config struct {
 	// campaign's (chain, strategy) requests; ≤ 0 uses GOMAXPROCS. The
 	// results do not depend on it.
 	Workers int
+	// Metrics, when non-nil, collects the campaign's per-strategy and
+	// PlanBatch series (strategy.Options.Metrics). The table cells do
+	// not depend on it.
+	Metrics *obs.Registry
 }
 
 // DefaultTable1Config returns the paper's configuration.
@@ -79,7 +84,8 @@ func table1Scenario(cfg Table1Config, r core.Resources, sr float64) []Table1Cell
 	seed := cfg.Seed + int64(sr*1000)
 	chains := chaingen.GenerateMany(chaingen.Default(cfg.Tasks, sr), seed, cfg.Chains)
 
-	results := strategy.PlanBatch(crossRequests(chains, r, Strategies), cfg.Workers)
+	results := strategy.PlanBatch(crossRequests(chains, r, Strategies,
+		strategy.Options{Metrics: cfg.Metrics}), cfg.Workers)
 	periods := map[string][]float64{}
 	usedB := map[string][]float64{}
 	usedL := map[string][]float64{}

@@ -6,6 +6,7 @@ import (
 
 	"ampsched/internal/core"
 	"ampsched/internal/desim"
+	"ampsched/internal/obs"
 	"ampsched/internal/platform"
 	"ampsched/internal/strategy"
 	"ampsched/internal/streampu"
@@ -29,6 +30,10 @@ type Table2Config struct {
 	// schedules; ≤ 0 uses GOMAXPROCS. Simulation and runtime rows stay
 	// serial (the runtime measures wall-clock time).
 	Workers int
+	// Metrics, when non-nil, collects the scheduling series and — for
+	// RunReal rows — per-run streampu stage-occupancy gauges under
+	// "<row id>.streampu.*". The table itself does not depend on it.
+	Metrics *obs.Registry
 }
 
 // DefaultTable2Config mirrors the paper's campaign at a laptop-friendly
@@ -92,7 +97,8 @@ func Table2(cfg Table2Config) ([]Table2Row, error) {
 				id++
 				jobs = append(jobs, job{p: p, c: c, r: r, st: name, id: fmt.Sprintf("S%d", id)})
 				reqs = append(reqs, strategy.Request{
-					Chain: c, Resources: r, Scheduler: mustScheduler(name), Label: name,
+					Chain: c, Resources: r, Scheduler: mustScheduler(name),
+					Options: strategy.Options{Metrics: cfg.Metrics}, Label: name,
 				})
 			}
 		}
@@ -133,10 +139,16 @@ func table2Row(cfg Table2Config, p *platform.Platform, c *core.Chain, r core.Res
 		if frames < cfg.MinFrames {
 			frames = cfg.MinFrames
 		}
-		pipe, err := streampu.New(streampu.TimedChain(c), sol, streampu.Options{
+		popt := streampu.Options{
 			TimeScale: cfg.TimeScale,
 			QueueCap:  2,
-		})
+		}
+		var tracer *streampu.Tracer
+		if cfg.Metrics != nil {
+			tracer = &streampu.Tracer{}
+			popt.Tracer = tracer
+		}
+		pipe, err := streampu.New(streampu.TimedChain(c), sol, popt)
 		if err != nil {
 			return Table2Row{}, fmt.Errorf("experiments: pipeline %s/%s: %w", p.Name, strat, err)
 		}
@@ -144,6 +156,7 @@ func table2Row(cfg Table2Config, p *platform.Platform, c *core.Chain, r core.Res
 		if err != nil {
 			return Table2Row{}, fmt.Errorf("experiments: run %s/%s: %w", p.Name, strat, err)
 		}
+		tracer.RecordMetrics(cfg.Metrics.Sub(obs.Slug(id)))
 		row.RealFPS = st.Throughput(p.Interframe)
 		row.RealMbps = platform.MbPerSecond(row.RealFPS)
 		row.DiffMbps = row.SimMbps - row.RealMbps

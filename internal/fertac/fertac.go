@@ -6,12 +6,43 @@ package fertac
 
 import (
 	"ampsched/internal/core"
+	"ampsched/internal/obs"
 	"ampsched/internal/sched"
 )
+
+// Metrics holds FERTAC's instrumentation handles. The zero value is the
+// disabled sink.
+type Metrics struct {
+	// ComputeCalls counts ComputeSolution invocations (one per stage
+	// built, Algo 4's recursion depth).
+	ComputeCalls *obs.Counter
+	// BigFallbacks counts the stages where little cores failed and the
+	// big-core fallback was taken.
+	BigFallbacks *obs.Counter
+	// Sched carries the shared binary-search/stage-packing series.
+	Sched sched.Metrics
+}
+
+// MetricsFrom resolves FERTAC's series in r (nil r disables).
+func MetricsFrom(r *obs.Registry) Metrics {
+	return Metrics{
+		ComputeCalls: r.Counter("fertac.compute.calls"),
+		BigFallbacks: r.Counter("fertac.compute.big_fallbacks"),
+		Sched:        sched.MetricsFrom(r),
+	}
+}
 
 // Schedule computes a FERTAC schedule of c on the resources r.
 func Schedule(c *core.Chain, r core.Resources) core.Solution {
 	return sched.Schedule(c, r, ComputeSolution)
+}
+
+// ComputeObs returns ComputeSolution reporting into m, for use with
+// sched.ScheduleM/ScheduleBoundsM.
+func ComputeObs(m Metrics) sched.ComputeSolutionFunc {
+	return func(c *core.Chain, s int, r core.Resources, target float64) core.Solution {
+		return computeSolution(c, s, r, target, m)
+	}
 }
 
 // ComputeSolution implements Algo 4: for the stage starting at task s it
@@ -19,10 +50,16 @@ func Schedule(c *core.Chain, r core.Resources) core.Solution {
 // tasks with the remaining resources. It returns the empty solution when
 // neither core type yields a valid stage or the recursion fails.
 func ComputeSolution(c *core.Chain, s int, r core.Resources, target float64) core.Solution {
-	e, u := sched.ComputeStage(c, s, r.Little, core.Little, target)
+	return computeSolution(c, s, r, target, Metrics{})
+}
+
+func computeSolution(c *core.Chain, s int, r core.Resources, target float64, m Metrics) core.Solution {
+	m.ComputeCalls.Inc()
+	e, u := sched.ComputeStageM(c, s, r.Little, core.Little, target, m.Sched)
 	v := core.Little
 	if !stageValid(c, s, e, u, r, v, target) {
-		e, u = sched.ComputeStage(c, s, r.Big, core.Big, target)
+		m.BigFallbacks.Inc()
+		e, u = sched.ComputeStageM(c, s, r.Big, core.Big, target, m.Sched)
 		v = core.Big
 		if !stageValid(c, s, e, u, r, v, target) {
 			return core.Solution{} // no valid stage with either core type
@@ -32,7 +69,7 @@ func ComputeSolution(c *core.Chain, s int, r core.Resources, target float64) cor
 	if e == c.Len()-1 {
 		return core.Solution{Stages: []core.Stage{st}} // valid final stage
 	}
-	rest := ComputeSolution(c, e+1, r.Minus(v, u), target)
+	rest := computeSolution(c, e+1, r.Minus(v, u), target, m)
 	if rest.IsEmpty() {
 		return core.Solution{}
 	}

@@ -17,7 +17,35 @@ import (
 	"math"
 
 	"ampsched/internal/core"
+	"ampsched/internal/obs"
 )
+
+// Metrics holds HeRAD's instrumentation handles. The zero value is the
+// disabled sink.
+type Metrics struct {
+	// DPCells counts recomputeCell invocations — the (j, b, l) cells the
+	// Eq. 4 recursion actually evaluates (Algo 9).
+	DPCells *obs.Counter
+	// DPCandidates counts candidate (split point, core count, type)
+	// solutions compared inside those cells.
+	DPCandidates *obs.Counter
+	// DPPruned counts the reverse stage loops cut short by the
+	// period-dominance pruning.
+	DPPruned *obs.Counter
+	// MergedStages counts the stages removed by the replicable-stage
+	// merge post-pass.
+	MergedStages *obs.Counter
+}
+
+// MetricsFrom resolves HeRAD's series in r (nil r disables).
+func MetricsFrom(r *obs.Registry) Metrics {
+	return Metrics{
+		DPCells:      r.Counter("herad.dp.cells"),
+		DPCandidates: r.Counter("herad.dp.candidates"),
+		DPPruned:     r.Counter("herad.dp.pruned"),
+		MergedStages: r.Counter("herad.merge.removed_stages"),
+	}
+}
 
 // cell is one entry of the DP solution matrix S (Algo 7 lines 1–7).
 type cell struct {
@@ -56,13 +84,27 @@ func (m *matrix) at(j, rb, rl int) *cell {
 // including the replicable-stage merge post-pass. It returns the empty
 // solution when no resources are available.
 func Schedule(c *core.Chain, r core.Resources) core.Solution {
-	s := ScheduleRaw(c, r)
-	return s.MergeReplicable(c)
+	return ScheduleObs(c, r, Metrics{})
+}
+
+// ScheduleObs is Schedule reporting into om.
+func ScheduleObs(c *core.Chain, r core.Resources, om Metrics) core.Solution {
+	s := ScheduleRawObs(c, r, om)
+	merged := s.MergeReplicable(c)
+	if removed := len(s.Stages) - len(merged.Stages); removed > 0 {
+		om.MergedStages.Add(int64(removed))
+	}
+	return merged
 }
 
 // ScheduleRaw is Schedule without the stage-merge post-pass, exposing the
 // schedules exactly as extracted from the DP matrix.
 func ScheduleRaw(c *core.Chain, r core.Resources) core.Solution {
+	return ScheduleRawObs(c, r, Metrics{})
+}
+
+// ScheduleRawObs is ScheduleRaw reporting into om.
+func ScheduleRawObs(c *core.Chain, r core.Resources, om Metrics) core.Solution {
 	if c == nil || c.Len() == 0 || r.Total() <= 0 || r.Big < 0 || r.Little < 0 {
 		return core.Solution{}
 	}
@@ -74,7 +116,7 @@ func ScheduleRaw(c *core.Chain, r core.Resources) core.Solution {
 		for ub := 0; ub <= b; ub++ {
 			for ul := 0; ul <= l; ul++ {
 				if ub != 0 || ul != 0 {
-					recomputeCell(m, c, e, ub, ul)
+					recomputeCell(m, c, e, ub, ul, om)
 				}
 			}
 		}
@@ -137,7 +179,9 @@ func singleStageSolution(m *matrix, c *core.Chain, t int) {
 // (Eq. 4). The reverse i loop is pruned once even the widest replicated
 // stage exceeds the current best period, and sequential intervals only try
 // a single core.
-func recomputeCell(m *matrix, c *core.Chain, j, b, l int) {
+func recomputeCell(m *matrix, c *core.Chain, j, b, l int, om Metrics) {
+	om.DPCells.Inc()
+	candidates := 0 // accumulated locally to keep the hot loops cheap
 	cur := *m.at(j, b, l) // seed from singleStageSolution
 	if l > 0 {
 		compareCells(&cur, m.at(j, b, l-1))
@@ -155,6 +199,7 @@ func recomputeCell(m *matrix, c *core.Chain, j, b, l int) {
 		// exceeds cur.pbest, no candidate at this or any smaller i can win.
 		if c.Weight(i-1, j-1, b, core.Big) > cur.pbest &&
 			c.Weight(i-1, j-1, l, core.Little) > cur.pbest {
+			om.DPPruned.Inc()
 			break
 		}
 		maxUB := b
@@ -168,6 +213,7 @@ func recomputeCell(m *matrix, c *core.Chain, j, b, l int) {
 				maxUL = 1
 			}
 		}
+		candidates += maxUB + maxUL
 		for u := 1; u <= maxUB; u++ {
 			prev := m.at(i-1, b-u, l)
 			p := c.Weight(i-1, j-1, u, core.Big)
@@ -203,6 +249,7 @@ func recomputeCell(m *matrix, c *core.Chain, j, b, l int) {
 			compareCells(&cur, &cand)
 		}
 	}
+	om.DPCandidates.Add(int64(candidates))
 	*m.at(j, b, l) = cur
 }
 

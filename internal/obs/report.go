@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"runtime"
+	"time"
+)
+
+// Run-report export: the machine-readable metrics.json that
+// cmd/experiments writes next to its outputs and cmd/ampsched emits in
+// -stats -json mode. The series section is deterministic for identical
+// workloads (sorted names, order-independent counter sums); timestamps,
+// timer totals and the runtime section are host-dependent by nature and
+// are what determinism comparisons must normalize away.
+
+// ReportSchema is the metrics.json schema version, bumped on every
+// incompatible change to Report's shape.
+const ReportSchema = 1
+
+// RuntimeInfo describes the Go runtime the report was produced under.
+// Every field is host-dependent.
+type RuntimeInfo struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// Memory statistics of the producing process (runtime.MemStats).
+	HeapAllocBytes  uint64 `json:"heap_alloc_bytes"`
+	TotalAllocBytes uint64 `json:"total_alloc_bytes"`
+	SysBytes        uint64 `json:"sys_bytes"`
+	NumGC           uint32 `json:"num_gc"`
+}
+
+// Report is one run's metric export: every registered series plus the
+// producing tool and runtime.
+type Report struct {
+	Schema          int         `json:"schema"`
+	Tool            string      `json:"tool"`
+	TimestampUnixNs int64       `json:"timestamp_unix_ns"`
+	Runtime         RuntimeInfo `json:"runtime"`
+	Series          []Sample    `json:"series"`
+}
+
+// NewReport snapshots r into a report stamped with the producing tool,
+// the current time and the Go runtime state.
+func NewReport(tool string, r *Registry) Report {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return Report{
+		Schema:          ReportSchema,
+		Tool:            tool,
+		TimestampUnixNs: time.Now().UnixNano(),
+		Runtime: RuntimeInfo{
+			GoVersion:       runtime.Version(),
+			GOOS:            runtime.GOOS,
+			GOARCH:          runtime.GOARCH,
+			NumCPU:          runtime.NumCPU(),
+			GOMAXPROCS:      runtime.GOMAXPROCS(0),
+			HeapAllocBytes:  ms.HeapAlloc,
+			TotalAllocBytes: ms.TotalAlloc,
+			SysBytes:        ms.Sys,
+			NumGC:           ms.NumGC,
+		},
+		Series: r.Snapshot(),
+	}
+}
+
+// WriteJSON writes the report as indented JSON with a trailing newline.
+func (rep Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// WriteFile writes NewReport(tool, r) to path.
+func WriteFile(path, tool string, r *Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := NewReport(tool, r).WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

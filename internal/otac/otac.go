@@ -9,8 +9,31 @@ package otac
 
 import (
 	"ampsched/internal/core"
+	"ampsched/internal/obs"
 	"ampsched/internal/sched"
 )
+
+// Metrics holds OTAC's instrumentation handles. The zero value is the
+// disabled sink.
+type Metrics struct {
+	// ComputeCalls counts ComputeSolution invocations (binary-search
+	// probes reaching OTAC's greedy packer).
+	ComputeCalls *obs.Counter
+	// Stages counts the stages the greedy packer built, including those
+	// of probes that were later discarded.
+	Stages *obs.Counter
+	// Sched carries the shared binary-search/stage-packing series.
+	Sched sched.Metrics
+}
+
+// MetricsFrom resolves OTAC's series in r (nil r disables).
+func MetricsFrom(r *obs.Registry) Metrics {
+	return Metrics{
+		ComputeCalls: r.Counter("otac.compute.calls"),
+		Stages:       r.Counter("otac.stages.built"),
+		Sched:        sched.MetricsFrom(r),
+	}
+}
 
 // Schedule computes an OTAC schedule of c over cores homogeneous cores of
 // type v. It returns the empty solution when cores ≤ 0.
@@ -32,24 +55,34 @@ func Schedule(c *core.Chain, cores int, v core.CoreType) core.Solution {
 // is consumed.
 func Compute(v core.CoreType) sched.ComputeSolutionFunc {
 	return func(ch *core.Chain, s int, res core.Resources, target float64) core.Solution {
-		return computeSolution(ch, s, res.Of(v), v, target)
+		return computeSolution(ch, s, res.Of(v), v, target, Metrics{})
+	}
+}
+
+// ComputeObs is Compute reporting into m, for use with
+// sched.ScheduleM/ScheduleBoundsM.
+func ComputeObs(v core.CoreType, m Metrics) sched.ComputeSolutionFunc {
+	return func(ch *core.Chain, s int, res core.Resources, target float64) core.Solution {
+		return computeSolution(ch, s, res.Of(v), v, target, m)
 	}
 }
 
 // computeSolution greedily builds stages left to right with ComputeStage,
 // consuming cores of the single type v. It returns the empty solution as
 // soon as a stage cannot respect the target with the remaining cores.
-func computeSolution(c *core.Chain, s, avail int, v core.CoreType, target float64) core.Solution {
+func computeSolution(c *core.Chain, s, avail int, v core.CoreType, target float64, m Metrics) core.Solution {
+	m.ComputeCalls.Inc()
 	var stages []core.Stage
 	for s < c.Len() {
 		if avail <= 0 {
 			return core.Solution{}
 		}
-		e, u := sched.ComputeStage(c, s, avail, v, target)
+		e, u := sched.ComputeStageM(c, s, avail, v, target, m.Sched)
 		st := core.Stage{Start: s, End: e, Cores: u, Type: v}
 		if u > avail || c.Weight(s, e, u, v) > target {
 			return core.Solution{}
 		}
+		m.Stages.Inc()
 		stages = append(stages, st)
 		avail -= u
 		s = e + 1

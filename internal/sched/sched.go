@@ -9,7 +9,42 @@ import (
 	"math"
 
 	"ampsched/internal/core"
+	"ampsched/internal/obs"
 )
+
+// Metrics is the sched-layer instrumentation sink: nil-safe counter
+// handles for the shared machinery's named series. The zero value is
+// the disabled sink — every update is a single nil check and no
+// allocation — so the instrumented code paths are unconditional.
+type Metrics struct {
+	// SearchIterations counts binary-search probes (compute invocations
+	// by Schedule/ScheduleBounds, Algo 1's loop plus the final
+	// upper-bound retry).
+	SearchIterations *obs.Counter
+	// SearchValid counts the probes that produced a valid schedule.
+	SearchValid *obs.Counter
+	// SearchFallbacks counts Schedule's robustness-fallback re-searches.
+	SearchFallbacks *obs.Counter
+	// ComputeStageCalls counts ComputeStage invocations (Algo 2).
+	ComputeStageCalls *obs.Counter
+	// MaxPackingCalls counts MaxPacking invocations (Algo 3), including
+	// the ones ComputeStage issues internally.
+	MaxPackingCalls *obs.Counter
+}
+
+// MetricsFrom resolves the sched series in r (nil r yields the disabled
+// zero value). The names are shared by every binary-search strategy so
+// scoped registries (strategy layer) produce comparable per-strategy
+// series.
+func MetricsFrom(r *obs.Registry) Metrics {
+	return Metrics{
+		SearchIterations:  r.Counter("sched.search.iterations"),
+		SearchValid:       r.Counter("sched.search.valid"),
+		SearchFallbacks:   r.Counter("sched.search.fallbacks"),
+		ComputeStageCalls: r.Counter("sched.compute_stage.calls"),
+		MaxPackingCalls:   r.Counter("sched.max_packing.calls"),
+	}
+}
 
 // ComputeSolutionFunc builds a (possibly partial) schedule for the tasks
 // starting at index s (0-based) with the given available resources and a
@@ -83,10 +118,15 @@ func worstWeight(t core.Task, r core.Resources) float64 {
 // returns the empty solution when the chain cannot be scheduled at all
 // (no resources).
 func Schedule(c *core.Chain, r core.Resources, compute ComputeSolutionFunc) core.Solution {
+	return ScheduleM(c, r, compute, Metrics{})
+}
+
+// ScheduleM is Schedule reporting into m.
+func ScheduleM(c *core.Chain, r core.Resources, compute ComputeSolutionFunc, m Metrics) core.Solution {
 	if c == nil || c.Len() == 0 || r.Total() <= 0 || r.Big < 0 || r.Little < 0 {
 		return core.Solution{}
 	}
-	best := ScheduleBounds(c, r, DefaultBounds(c, r), compute)
+	best := ScheduleBoundsM(c, r, DefaultBounds(c, r), compute, m)
 	if !best.IsEmpty() {
 		return best
 	}
@@ -94,6 +134,7 @@ func Schedule(c *core.Chain, r core.Resources, compute ComputeSolutionFunc) core
 	// strategies on its workloads, but a heuristic may fail below it on
 	// adversarial inputs. The whole chain on a single core is always
 	// feasible, so retry with that period as the upper bound.
+	m.SearchFallbacks.Inc()
 	fb := math.Inf(1)
 	if r.Big > 0 {
 		fb = c.TotalW(core.Big)
@@ -103,17 +144,24 @@ func Schedule(c *core.Chain, r core.Resources, compute ComputeSolutionFunc) core
 	}
 	b := DefaultBounds(c, r)
 	b.Max = fb * (1 + b.Eps)
-	return ScheduleBounds(c, r, b, compute)
+	return ScheduleBoundsM(c, r, b, compute, m)
 }
 
 // ScheduleBounds is Schedule with caller-provided period bounds.
 func ScheduleBounds(c *core.Chain, r core.Resources, b Bounds, compute ComputeSolutionFunc) core.Solution {
+	return ScheduleBoundsM(c, r, b, compute, Metrics{})
+}
+
+// ScheduleBoundsM is ScheduleBounds reporting into m.
+func ScheduleBoundsM(c *core.Chain, r core.Resources, b Bounds, compute ComputeSolutionFunc, m Metrics) core.Solution {
 	var best core.Solution
 	pmin, pmax := b.Min, b.Max
 	for pmax-pmin >= b.Eps {
 		pmid := (pmax + pmin) / 2
+		m.SearchIterations.Inc()
 		s := compute(c, 0, r, pmid)
 		if s.IsValid(c, r, pmid) {
+			m.SearchValid.Inc()
 			best = s
 			pmax = s.Period(c) // can only decrease the target from here
 		} else {
@@ -123,8 +171,10 @@ func ScheduleBounds(c *core.Chain, r core.Resources, b Bounds, compute ComputeSo
 	if best.IsEmpty() {
 		// The search may converge without probing the upper bound itself;
 		// give the strategy one last chance exactly at Max.
+		m.SearchIterations.Inc()
 		s := compute(c, 0, r, b.Max)
 		if s.IsValid(c, r, b.Max) {
+			m.SearchValid.Inc()
 			best = s
 		}
 	}
@@ -136,6 +186,12 @@ func ScheduleBounds(c *core.Chain, r core.Resources, b Bounds, compute ComputeSo
 // weighs at most target. Following the paper it returns at least s, even
 // when the single task s alone exceeds the target.
 func MaxPacking(c *core.Chain, s, cores int, v core.CoreType, target float64) int {
+	return MaxPackingM(c, s, cores, v, target, Metrics{})
+}
+
+// MaxPackingM is MaxPacking reporting into m.
+func MaxPackingM(c *core.Chain, s, cores int, v core.CoreType, target float64, m Metrics) int {
+	m.MaxPackingCalls.Inc()
 	e := s
 	for i := s; i < c.Len(); i++ {
 		if c.Weight(s, i, cores, v) <= target {
@@ -167,8 +223,14 @@ func RequiredCores(c *core.Chain, s, e int, v core.CoreType, target float64) int
 // by one core when the leftover tasks (plus the following sequential task)
 // fit in a single core of the next stage.
 func ComputeStage(c *core.Chain, s, avail int, v core.CoreType, target float64) (end, used int) {
+	return ComputeStageM(c, s, avail, v, target, Metrics{})
+}
+
+// ComputeStageM is ComputeStage reporting into m.
+func ComputeStageM(c *core.Chain, s, avail int, v core.CoreType, target float64, m Metrics) (end, used int) {
+	m.ComputeStageCalls.Inc()
 	n := c.Len()
-	e := MaxPacking(c, s, 1, v, target)
+	e := MaxPackingM(c, s, 1, v, target, m)
 	u := RequiredCores(c, s, e, v, target)
 	if e != n-1 && c.IsRep(s, e) {
 		e = c.FinalRepTask(s, e)
@@ -176,7 +238,7 @@ func ComputeStage(c *core.Chain, s, avail int, v core.CoreType, target float64) 
 		if u > avail {
 			// Not enough cores for the whole replicable run: keep as many
 			// tasks as avail cores can absorb.
-			e = MaxPacking(c, s, avail, v, target)
+			e = MaxPackingM(c, s, avail, v, target, m)
 			u = avail
 		} else if e != n-1 && u >= 2 {
 			// The run is followed by a sequential task. Check whether
@@ -185,7 +247,7 @@ func ComputeStage(c *core.Chain, s, avail int, v core.CoreType, target float64) 
 			// MaxPacking floors its result at s even when task s alone
 			// exceeds the target with u-1 cores, in which case trimming
 			// would silently produce an over-period stage.
-			f := MaxPacking(c, s, u-1, v, target)
+			f := MaxPackingM(c, s, u-1, v, target, m)
 			if c.Weight(s, f, u-1, v) <= target &&
 				RequiredCores(c, f+1, e+1, v, target) == 1 {
 				e, u = f, u-1

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"ampsched/internal/core"
+	"ampsched/internal/obs"
 )
 
 // Request is one unit of batch planning work: schedule Chain on Resources
@@ -37,6 +38,13 @@ type Result struct {
 // deterministic, so a batch result is byte-for-byte the result of running
 // the requests serially — only the wall-clock changes.
 //
+// Requests whose Options carry a metrics registry report their strategy
+// series into it as usual, and PlanBatch aggregates batch-level series
+// under "planbatch." (batches, requests, errors, workers, per-request
+// latency). Counter updates are atomic and order-independent, so the
+// aggregation never perturbs the deterministic result ordering — nor,
+// for deterministic workloads, the exported counter values.
+//
 // workers bounds the pool; workers ≤ 0 uses GOMAXPROCS. The pool never
 // exceeds the number of requests.
 func PlanBatch(reqs []Request, workers int) []Result {
@@ -49,6 +57,15 @@ func PlanBatch(reqs []Request, workers int) []Result {
 	}
 	if workers > len(reqs) {
 		workers = len(reqs)
+	}
+	// Batch-level summary, recorded once per batch on the first request
+	// that carries a registry (requests usually share one).
+	for i := range reqs {
+		if m := reqs[i].Options.Metrics.Sub("planbatch"); m != nil {
+			m.Counter("batches").Inc()
+			m.Gauge("workers").Set(float64(workers))
+			break
+		}
 	}
 	if workers == 1 {
 		for i := range reqs {
@@ -104,6 +121,15 @@ func plan(req Request) Result {
 			res.Err = fmt.Errorf("strategy: %s found no schedule for R=%v",
 				req.Scheduler.Name(), req.Resources)
 		}
+	}
+	if m := req.Options.Metrics.Sub("planbatch"); m != nil {
+		m.Counter("requests").Inc()
+		errs := m.Counter("errors") // registered even while zero
+		if res.Err != nil {
+			errs.Inc()
+		}
+		m.Histogram("request_us", obs.DurationBucketsUs).
+			Observe(float64(res.Elapsed.Nanoseconds()) / 1e3)
 	}
 	return res
 }

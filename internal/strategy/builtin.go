@@ -5,6 +5,7 @@ import (
 	"ampsched/internal/core"
 	"ampsched/internal/fertac"
 	"ampsched/internal/herad"
+	"ampsched/internal/obs"
 	"ampsched/internal/otac"
 	"ampsched/internal/twocatac"
 )
@@ -23,19 +24,48 @@ func init() {
 	RegisterHidden(bruteScheduler{}, "brute-force", "exhaustive")
 }
 
+// observe wraps a strategy's instrumented scheduling path with the
+// common per-strategy series: schedule.ns (wall clock), schedule.calls
+// and schedule.empty. Callers only reach it with a non-nil m — the
+// disabled path never leaves the plain branch of each Schedule method.
+func observe(m *obs.Registry, run func() core.Solution) core.Solution {
+	stop := m.Timer("schedule.ns").Start()
+	s := run()
+	stop()
+	m.Counter("schedule.calls").Inc()
+	empty := m.Counter("schedule.empty") // registered even while zero
+	if s.IsEmpty() {
+		empty.Inc()
+	}
+	return s
+}
+
 // heradScheduler adapts the optimal dynamic program (Algos 7–11).
 type heradScheduler struct{}
 
 func (heradScheduler) Name() string { return "HeRAD" }
 
-func (heradScheduler) Schedule(c *core.Chain, r core.Resources, o Options) core.Solution {
-	var s core.Solution
-	if o.Raw {
-		s = herad.ScheduleRaw(c, r)
-	} else {
-		s = herad.Schedule(c, r)
+func (h heradScheduler) Schedule(c *core.Chain, r core.Resources, o Options) core.Solution {
+	m := o.scope(h.Name())
+	if m == nil {
+		var s core.Solution
+		if o.Raw {
+			s = herad.ScheduleRaw(c, r)
+		} else {
+			s = herad.Schedule(c, r)
+		}
+		return o.finish(c, s)
 	}
-	return o.finish(c, s)
+	return observe(m, func() core.Solution {
+		hm := herad.MetricsFrom(m)
+		var s core.Solution
+		if o.Raw {
+			s = herad.ScheduleRawObs(c, r, hm)
+		} else {
+			s = herad.ScheduleObs(c, r, hm)
+		}
+		return o.finish(c, s)
+	})
 }
 
 // twocatacScheduler adapts 2CATAC (Algos 5–6); memo selects the memoized
@@ -50,7 +80,15 @@ func (t twocatacScheduler) Name() string {
 }
 
 func (t twocatacScheduler) Schedule(c *core.Chain, r core.Resources, o Options) core.Solution {
-	return o.finish(c, binarySearch(c, r, o, twocatac.Compute(t.memo || o.Memoize)))
+	memo := t.memo || o.Memoize
+	m := o.scope(t.Name())
+	if m == nil {
+		return o.finish(c, binarySearch(c, r, o, twocatac.Compute(memo)))
+	}
+	return observe(m, func() core.Solution {
+		tm := twocatac.MetricsFrom(m)
+		return o.finish(c, binarySearchM(c, r, o, twocatac.ComputeObs(memo, tm), tm.Sched))
+	})
 }
 
 // fertacScheduler adapts FERTAC (Algo 4).
@@ -58,8 +96,15 @@ type fertacScheduler struct{}
 
 func (fertacScheduler) Name() string { return "FERTAC" }
 
-func (fertacScheduler) Schedule(c *core.Chain, r core.Resources, o Options) core.Solution {
-	return o.finish(c, binarySearch(c, r, o, fertac.ComputeSolution))
+func (f fertacScheduler) Schedule(c *core.Chain, r core.Resources, o Options) core.Solution {
+	m := o.scope(f.Name())
+	if m == nil {
+		return o.finish(c, binarySearch(c, r, o, fertac.ComputeSolution))
+	}
+	return observe(m, func() core.Solution {
+		fm := fertac.MetricsFrom(m)
+		return o.finish(c, binarySearchM(c, r, o, fertac.ComputeObs(fm), fm.Sched))
+	})
 }
 
 // otacScheduler adapts the homogeneous OTAC baseline: it schedules on the
@@ -75,7 +120,14 @@ func (s otacScheduler) Schedule(c *core.Chain, r core.Resources, o Options) core
 	} else {
 		rr.Little = r.Little
 	}
-	return o.finish(c, binarySearch(c, rr, o, otac.Compute(s.v)))
+	m := o.scope(s.Name())
+	if m == nil {
+		return o.finish(c, binarySearch(c, rr, o, otac.Compute(s.v)))
+	}
+	return observe(m, func() core.Solution {
+		om := otac.MetricsFrom(m)
+		return o.finish(c, binarySearchM(c, rr, o, otac.ComputeObs(s.v, om), om.Sched))
+	})
 }
 
 // bruteScheduler adapts the exhaustive reference solver. Exponential — the
@@ -84,6 +136,12 @@ type bruteScheduler struct{}
 
 func (bruteScheduler) Name() string { return "Brute" }
 
-func (bruteScheduler) Schedule(c *core.Chain, r core.Resources, o Options) core.Solution {
-	return o.finish(c, brute.Schedule(c, r))
+func (b bruteScheduler) Schedule(c *core.Chain, r core.Resources, o Options) core.Solution {
+	m := o.scope(b.Name())
+	if m == nil {
+		return o.finish(c, brute.Schedule(c, r))
+	}
+	return observe(m, func() core.Solution {
+		return o.finish(c, brute.ScheduleObs(c, r, brute.MetricsFrom(m)))
+	})
 }

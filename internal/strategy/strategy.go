@@ -22,6 +22,7 @@ import (
 	"sync"
 
 	"ampsched/internal/core"
+	"ampsched/internal/obs"
 	"ampsched/internal/sched"
 )
 
@@ -57,6 +58,22 @@ type Options struct {
 	// sched.DefaultBounds plus the robustness fallback; a non-nil value
 	// disables the fallback. HeRAD and Brute ignore it.
 	Bounds *sched.Bounds
+	// Metrics is the observability sink. When non-nil, every strategy
+	// reports its named series into it, scoped by the strategy's slug
+	// ("herad.dp.cells", "fertac.sched.search.iterations", …); PlanBatch
+	// additionally aggregates batch-level series under "planbatch.".
+	// When nil (the default) instrumentation is disabled and adds zero
+	// allocations per schedule.
+	Metrics *obs.Registry
+}
+
+// scope returns the per-strategy registry view for the named strategy,
+// or nil when metrics are disabled.
+func (o Options) scope(name string) *obs.Registry {
+	if o.Metrics == nil {
+		return nil // before Slug: the disabled path must not allocate
+	}
+	return o.Metrics.Sub(obs.Slug(name))
 }
 
 // finish applies the post-passes requested by o to a computed solution.
@@ -78,13 +95,18 @@ func schedulable(c *core.Chain, r core.Resources) bool {
 // binarySearch runs compute through the shared binary search, honoring a
 // caller-supplied bounds override.
 func binarySearch(c *core.Chain, r core.Resources, o Options, compute sched.ComputeSolutionFunc) core.Solution {
+	return binarySearchM(c, r, o, compute, sched.Metrics{})
+}
+
+// binarySearchM is binarySearch reporting the search's series into m.
+func binarySearchM(c *core.Chain, r core.Resources, o Options, compute sched.ComputeSolutionFunc, m sched.Metrics) core.Solution {
 	if o.Bounds != nil {
 		if !schedulable(c, r) {
 			return core.Solution{}
 		}
-		return sched.ScheduleBounds(c, r, *o.Bounds, compute)
+		return sched.ScheduleBoundsM(c, r, *o.Bounds, compute, m)
 	}
-	return sched.Schedule(c, r, compute)
+	return sched.ScheduleM(c, r, compute, m)
 }
 
 // entry is one registered strategy.

@@ -7,6 +7,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"ampsched/internal/obs"
 )
 
 // Execution tracing: a Tracer records one event per (frame, stage)
@@ -91,6 +93,26 @@ func (tr *Tracer) WriteChromeTrace(w io.Writer) error {
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(out)
+}
+
+// RecordMetrics feeds the trace's aggregates into m so run-time
+// observability shares the scheduling stack's export format: one
+// "streampu.occupancy.stage<N>" gauge per stage (StageOccupancy) plus
+// the "streampu.trace.events" counter. No-op when m or tr is nil.
+func (tr *Tracer) RecordMetrics(m *obs.Registry) {
+	if tr == nil || m == nil {
+		return
+	}
+	occ := tr.StageOccupancy()
+	stages := make([]int, 0, len(occ))
+	for stage := range occ {
+		stages = append(stages, stage)
+	}
+	sort.Ints(stages)
+	for _, stage := range stages {
+		m.Gauge(fmt.Sprintf("streampu.occupancy.stage%d", stage)).Set(occ[stage])
+	}
+	m.Counter("streampu.trace.events").Add(int64(tr.Len()))
 }
 
 // StageOccupancy returns, per stage, the fraction of the traced wall

@@ -2,10 +2,14 @@ package streampu
 
 import (
 	"encoding/json"
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"ampsched/internal/core"
+	"ampsched/internal/obs"
 )
 
 func tracedRun(t *testing.T) *Tracer {
@@ -104,5 +108,75 @@ func TestTracerStageOccupancy(t *testing.T) {
 	empty := &Tracer{}
 	if empty.StageOccupancy() != nil {
 		t.Error("empty tracer occupancy should be nil")
+	}
+}
+
+// TestTracerConcurrentRecord hammers record from many goroutines — the
+// -race companion for the pipeline workers' concurrent appends — while
+// readers snapshot the tracer and export its metrics.
+func TestTracerConcurrentRecord(t *testing.T) {
+	const writers, perWriter = 8, 500
+	tr := &Tracer{}
+	reg := obs.NewRegistry()
+	t0 := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				tr.record(uint64(i), w%3, w, "B",
+					t0.Add(time.Duration(i)*time.Microsecond), time.Microsecond)
+			}
+		}()
+	}
+	// Concurrent readers exercise Events/Len/RecordMetrics against the
+	// in-flight appends.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			tr.Events()
+			tr.Len()
+			tr.RecordMetrics(obs.NewRegistry())
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := tr.Len(); got != writers*perWriter {
+		t.Fatalf("%d events recorded, want %d", got, writers*perWriter)
+	}
+	tr.RecordMetrics(reg)
+	byName := map[string]obs.Sample{}
+	for _, s := range reg.Snapshot() {
+		byName[s.Name] = s
+	}
+	if got := byName["streampu.trace.events"].Count; got != writers*perWriter {
+		t.Errorf("streampu.trace.events = %d, want %d", got, writers*perWriter)
+	}
+	for stage := 0; stage < 3; stage++ {
+		name := fmt.Sprintf("streampu.occupancy.stage%d", stage)
+		s, ok := byName[name]
+		if !ok {
+			t.Errorf("%s not recorded", name)
+			continue
+		}
+		if s.Value <= 0 || s.Value > 1.01 {
+			t.Errorf("%s = %v, want a fraction in (0, 1]", name, s.Value)
+		}
+	}
+}
+
+// TestTracerRecordMetricsNil pins the nil-safety contract on both sides.
+func TestTracerRecordMetricsNil(t *testing.T) {
+	var nilTracer *Tracer
+	nilTracer.RecordMetrics(obs.NewRegistry()) // must not panic
+	tr := tracedRun(t)
+	tr.RecordMetrics(nil) // must not panic
+	reg := obs.NewRegistry()
+	tr.RecordMetrics(reg)
+	if len(reg.Snapshot()) < 3 {
+		t.Errorf("traced run exported %d series, want >= 3", len(reg.Snapshot()))
 	}
 }

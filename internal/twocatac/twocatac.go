@@ -12,8 +12,33 @@ package twocatac
 
 import (
 	"ampsched/internal/core"
+	"ampsched/internal/obs"
 	"ampsched/internal/sched"
 )
+
+// Metrics holds 2CATAC's instrumentation handles. The zero value is the
+// disabled sink.
+type Metrics struct {
+	// Nodes counts recursion-tree nodes (ComputeSolution invocations,
+	// Algo 5) — the quantity the memoized ablation collapses.
+	Nodes *obs.Counter
+	// MemoHits and MemoMisses count memo-table lookups of the memoized
+	// variant (always 0 on the paper-verbatim recursion).
+	MemoHits   *obs.Counter
+	MemoMisses *obs.Counter
+	// Sched carries the shared binary-search/stage-packing series.
+	Sched sched.Metrics
+}
+
+// MetricsFrom resolves 2CATAC's series in r (nil r disables).
+func MetricsFrom(r *obs.Registry) Metrics {
+	return Metrics{
+		Nodes:      r.Counter("twocatac.recursion.nodes"),
+		MemoHits:   r.Counter("twocatac.memo.hits"),
+		MemoMisses: r.Counter("twocatac.memo.misses"),
+		Sched:      sched.MetricsFrom(r),
+	}
+}
 
 // Schedule computes a 2CATAC schedule of c on the resources r using the
 // paper-verbatim exponential recursion.
@@ -38,7 +63,20 @@ func Compute(memo bool) sched.ComputeSolutionFunc {
 		return ComputeSolution
 	}
 	return func(ch *core.Chain, s int, res core.Resources, target float64) core.Solution {
-		return computeSolutionMemo(ch, s, res, target, make(map[memoKey]core.Solution))
+		return computeSolutionMemo(ch, s, res, target, make(map[memoKey]core.Solution), Metrics{})
+	}
+}
+
+// ComputeObs is Compute reporting into m, for use with
+// sched.ScheduleM/ScheduleBoundsM.
+func ComputeObs(memo bool, m Metrics) sched.ComputeSolutionFunc {
+	if !memo {
+		return func(ch *core.Chain, s int, res core.Resources, target float64) core.Solution {
+			return computeSolution(ch, s, res, target, nil, m)
+		}
+	}
+	return func(ch *core.Chain, s int, res core.Resources, target float64) core.Solution {
+		return computeSolutionMemo(ch, s, res, target, make(map[memoKey]core.Solution), m)
 	}
 }
 
@@ -50,22 +88,25 @@ type memoKey struct {
 // s with both core types, recurses on the remainder for each, and picks
 // the better of the two complete solutions with ChooseBestSolution.
 func ComputeSolution(c *core.Chain, s int, r core.Resources, target float64) core.Solution {
-	return computeSolution(c, s, r, target, nil)
+	return computeSolution(c, s, r, target, nil, Metrics{})
 }
 
-func computeSolutionMemo(c *core.Chain, s int, r core.Resources, target float64, memo map[memoKey]core.Solution) core.Solution {
+func computeSolutionMemo(c *core.Chain, s int, r core.Resources, target float64, memo map[memoKey]core.Solution, m Metrics) core.Solution {
 	if got, ok := memo[memoKey{s, r.Big, r.Little}]; ok {
+		m.MemoHits.Inc()
 		return got
 	}
-	sol := computeSolution(c, s, r, target, memo)
+	m.MemoMisses.Inc()
+	sol := computeSolution(c, s, r, target, memo, m)
 	memo[memoKey{s, r.Big, r.Little}] = sol
 	return sol
 }
 
-func computeSolution(c *core.Chain, s int, r core.Resources, target float64, memo map[memoKey]core.Solution) core.Solution {
+func computeSolution(c *core.Chain, s int, r core.Resources, target float64, memo map[memoKey]core.Solution, m Metrics) core.Solution {
+	m.Nodes.Inc()
 	var sols [core.NumCoreTypes]core.Solution
 	for _, v := range []core.CoreType{core.Big, core.Little} {
-		e, u := sched.ComputeStage(c, s, r.Of(v), v, target)
+		e, u := sched.ComputeStageM(c, s, r.Of(v), v, target, m.Sched)
 		switch {
 		case u < 1 || u > r.Of(v) || c.Weight(s, e, u, v) > target:
 			// no valid stage with this type of cores
@@ -74,9 +115,9 @@ func computeSolution(c *core.Chain, s int, r core.Resources, target float64, mem
 		default:
 			rest := core.Solution{}
 			if memo != nil {
-				rest = computeSolutionMemo(c, e+1, r.Minus(v, u), target, memo)
+				rest = computeSolutionMemo(c, e+1, r.Minus(v, u), target, memo, m)
 			} else {
-				rest = computeSolution(c, e+1, r.Minus(v, u), target, nil)
+				rest = computeSolution(c, e+1, r.Minus(v, u), target, nil, m)
 			}
 			if rest.IsValid(c, r.Minus(v, u), target) {
 				sols[v] = rest.Prepend(core.Stage{Start: s, End: e, Cores: u, Type: v})
