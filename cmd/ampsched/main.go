@@ -29,6 +29,14 @@
 //	-stats        report scheduler metrics (binary-search probes, DP
 //	              cells, recursion nodes, …) after the schedules: a table
 //	              in text mode, an internal/obs report in -json mode
+//	-explain      print the decision-trace narrative after the schedules:
+//	              why each strategy probed, pruned and placed what it did
+//	-trace-sched FILE
+//	              write the decision journal as canonical JSONL to FILE
+//	              plus a Chrome-trace view (chrome://tracing) to
+//	              FILE.chrome.json; written even when a later step fails
+//	-listen ADDR  serve /metrics, /metrics.json, /debug/vars and
+//	              /debug/pprof on ADDR for the duration of the run
 //	-cpuprofile F write a pprof CPU profile of the whole invocation
 //	-memprofile F write a pprof heap profile taken at exit
 package main
@@ -37,6 +45,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -45,10 +54,12 @@ import (
 	"ampsched/internal/core"
 	"ampsched/internal/desim"
 	"ampsched/internal/obs"
+	obshttp "ampsched/internal/obs/http"
 	"ampsched/internal/platform"
 	"ampsched/internal/report"
 	"ampsched/internal/strategy"
 	"ampsched/internal/streampu"
+	"ampsched/internal/trace"
 )
 
 type jsonTask struct {
@@ -95,8 +106,15 @@ type config struct {
 	power      bool
 	trace      string // Chrome trace output path (requires run)
 	stats      bool   // report scheduler metrics after the schedules
+	explain    bool   // print the decision-trace narrative
+	traceSched string // decision-journal JSONL output path
+	listen     string // live exposition address (metrics + pprof)
 	cpuProfile string // pprof CPU profile output path
 	memProfile string // pprof heap profile output path
+
+	// out receives everything the command prints to stdout. Tests inject
+	// a buffer; nil means os.Stdout.
+	out io.Writer
 }
 
 func main() {
@@ -116,6 +134,9 @@ func main() {
 	flag.BoolVar(&cfg.power, "power", false, "report power/energy under the default power model")
 	flag.StringVar(&cfg.trace, "trace", "", "with -run: write a Chrome trace (chrome://tracing) to this file")
 	flag.BoolVar(&cfg.stats, "stats", false, "report scheduler metrics (table, or obs report in -json mode)")
+	flag.BoolVar(&cfg.explain, "explain", false, "print the decision-trace narrative after the schedules")
+	flag.StringVar(&cfg.traceSched, "trace-sched", "", "write the decision journal (JSONL + .chrome.json view) to this file")
+	flag.StringVar(&cfg.listen, "listen", "", `serve /metrics and /debug/pprof on this address (e.g. "127.0.0.1:8080")`)
 	flag.StringVar(&cfg.cpuProfile, "cpuprofile", "", "write a pprof CPU profile to this file")
 	flag.StringVar(&cfg.memProfile, "memprofile", "", "write a pprof heap profile to this file at exit")
 	flag.Parse()
@@ -127,9 +148,17 @@ func main() {
 }
 
 func mainErr(cfg config) error {
+	out := cfg.out
+	if out == nil {
+		out = os.Stdout
+	}
 	if cfg.trace != "" && !cfg.run {
 		return fmt.Errorf("-trace requires -run: the Chrome trace records the streampu pipeline execution (pass -run, or drop -trace)")
 	}
+	// Exit artifacts — profiles and the decision journal — are registered
+	// as defers here, before any work that can fail, so a failing strategy
+	// or runtime step still flushes everything gathered up to the error.
+	// LIFO order: the CPU profile is stopped before its file is closed.
 	if cfg.cpuProfile != "" {
 		f, err := os.Create(cfg.cpuProfile)
 		if err != nil {
@@ -144,6 +173,21 @@ func mainErr(cfg config) error {
 	if cfg.memProfile != "" {
 		defer func() {
 			if err := writeHeapProfile(cfg.memProfile); err != nil {
+				fmt.Fprintln(os.Stderr, "ampsched:", err)
+			}
+		}()
+	}
+	var journal *trace.Journal
+	var runSpan *trace.Span
+	if cfg.explain || cfg.traceSched != "" {
+		journal = trace.New()
+		runSpan = journal.Root().Str("tool", "ampsched").
+			Str("strategy", cfg.strategy).Int("big", cfg.big).Int("little", cfg.little).
+			Bool("colocate", cfg.colocate)
+	}
+	if cfg.traceSched != "" {
+		defer func() {
+			if err := writeJournal(journal, cfg.traceSched); err != nil {
 				fmt.Fprintln(os.Stderr, "ampsched:", err)
 			}
 		}()
@@ -167,8 +211,16 @@ func mainErr(cfg config) error {
 		return err
 	}
 	var reg *obs.Registry
-	if cfg.stats {
+	if cfg.stats || cfg.listen != "" {
 		reg = obs.NewRegistry()
+	}
+	if cfg.listen != "" {
+		srv, err := obshttp.Serve(cfg.listen, "ampsched", reg)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(out, "# serving metrics and pprof on http://%s\n", srv.Addr())
 	}
 	header := []string{"Strategy", "Period", "FPS", "Pipeline decomposition", "b", "l"}
 	if cfg.power {
@@ -176,7 +228,7 @@ func mainErr(cfg config) error {
 	}
 	t := report.NewTable(header...)
 	pm := core.DefaultPowerModel()
-	opts := strategy.Options{Colocate: cfg.colocate, Metrics: reg}
+	opts := strategy.Options{Colocate: cfg.colocate, Metrics: reg, Trace: runSpan}
 	for _, sc := range scheds {
 		name := sc.Name()
 		sol := sc.Schedule(chain, r, opts)
@@ -189,15 +241,15 @@ func mainErr(cfg config) error {
 		p := sol.Period(chain)
 		b, l := sol.CoresUsed()
 		if cfg.json {
-			out := jsonSolution{Strategy: name, Period: p, BigUsed: b, LitUsed: l}
+			js := jsonSolution{Strategy: name, Period: p, BigUsed: b, LitUsed: l}
 			for _, st := range sol.Stages {
-				out.Stages = append(out.Stages, jsonStage{
+				js.Stages = append(js.Stages, jsonStage{
 					Start: st.Start, End: st.End, Cores: st.Cores, Type: st.Type.String(),
 				})
 			}
-			enc := json.NewEncoder(os.Stdout)
+			enc := json.NewEncoder(out)
 			enc.SetIndent("", "  ")
-			if err := enc.Encode(out); err != nil {
+			if err := enc.Encode(js); err != nil {
 				return err
 			}
 		} else {
@@ -213,7 +265,7 @@ func mainErr(cfg config) error {
 			if err != nil {
 				return err
 			}
-			fmt.Printf("# %s desim: period %.1f, FPS %.0f, latency %.1f\n",
+			fmt.Fprintf(out, "# %s desim: period %.1f, FPS %.0f, latency %.1f\n",
 				name, res.Period, res.Throughput(interframe), res.Latency)
 		}
 		if cfg.run {
@@ -231,7 +283,7 @@ func mainErr(cfg config) error {
 			if err != nil {
 				return err
 			}
-			fmt.Printf("# %s runtime: measured period %.1f, FPS %.0f (%d frames, %.2fs wall)\n",
+			fmt.Fprintf(out, "# %s runtime: measured period %.1f, FPS %.0f (%d frames, %.2fs wall)\n",
 				name, st.PeriodMicros, st.Throughput(interframe), st.Frames, st.Elapsed.Seconds())
 			tracer.RecordMetrics(reg.Sub(obs.Slug(name)))
 			if cfg.trace != "" {
@@ -246,29 +298,68 @@ func mainErr(cfg config) error {
 				if err := f.Close(); err != nil {
 					return err
 				}
-				fmt.Printf("# %s trace: %d events written to %s\n", name, tracer.Len(), cfg.trace)
+				fmt.Fprintf(out, "# %s trace: %d events written to %s\n", name, tracer.Len(), cfg.trace)
 			}
 		}
 	}
 	if !cfg.json {
-		t.Render(os.Stdout)
+		t.Render(out)
 	}
-	if reg != nil {
-		if err := emitStats(reg, cfg.json); err != nil {
+	if cfg.explain {
+		fmt.Fprintln(out, "# decision trace")
+		if err := journal.WriteExplain(out); err != nil {
+			return err
+		}
+	}
+	if cfg.stats {
+		if err := emitStats(out, reg, cfg.json); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
+// writeJournal writes the decision journal as canonical JSONL to path plus
+// the Chrome-trace view (virtual tick timeline for chrome://tracing) to the
+// sibling path.chrome.json. It runs deferred so the journal survives a
+// failing strategy or runtime step.
+func writeJournal(j *trace.Journal, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := j.WriteJSONL(f); err != nil {
+		f.Close()
+		return fmt.Errorf("writing decision journal: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	cf, err := os.Create(chromeSiblingPath(path))
+	if err != nil {
+		return err
+	}
+	if err := j.WriteChromeTrace(cf); err != nil {
+		cf.Close()
+		return fmt.Errorf("writing decision-journal Chrome view: %w", err)
+	}
+	return cf.Close()
+}
+
+// chromeSiblingPath maps the JSONL journal path to its Chrome-view sibling:
+// sched.jsonl → sched.chrome.json, anything else gets .chrome.json appended.
+func chromeSiblingPath(path string) string {
+	return strings.TrimSuffix(path, ".jsonl") + ".chrome.json"
+}
+
 // emitStats renders the collected scheduler metrics: an aligned table in
 // text mode, the internal/obs JSON report (schema shared with
 // cmd/experiments' metrics.json) in -json mode.
-func emitStats(reg *obs.Registry, asJSON bool) error {
+func emitStats(out io.Writer, reg *obs.Registry, asJSON bool) error {
 	if asJSON {
-		return obs.NewReport("ampsched", reg).WriteJSON(os.Stdout)
+		return obs.NewReport("ampsched", reg).WriteJSON(out)
 	}
-	fmt.Println("# scheduler metrics")
+	fmt.Fprintln(out, "# scheduler metrics")
 	t := report.NewTable("Metric", "Kind", "Count", "Value")
 	for _, s := range reg.Snapshot() {
 		value := "-"
@@ -282,7 +373,7 @@ func emitStats(reg *obs.Registry, asJSON bool) error {
 		}
 		t.AddRow(s.Name, string(s.Kind), s.Count, value)
 	}
-	t.Render(os.Stdout)
+	t.Render(out)
 	return nil
 }
 

@@ -1,0 +1,268 @@
+// Command benchreport runs the repository's observability micro-benchmarks
+// — the strategy registry dispatch, the obs metrics layer, and the decision-
+// trace journal — and writes a machine-readable JSON report with ns/op,
+// allocs/op and B/op per benchmark. CI publishes the report as an artifact
+// next to the coverage profile so instrumentation-cost regressions show up
+// in review instead of in production.
+//
+// The report also enforces the repository's hard observability guarantees:
+// every benchmark of a disabled (nil-sink, nil-journal) path must measure
+// exactly 0 allocs/op, and benchreport exits non-zero when one does not.
+//
+// Usage:
+//
+//	benchreport [-o BENCH_PR4.json] [-benchtime 100ms] [-list]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"ampsched/internal/chaingen"
+	"ampsched/internal/core"
+	"ampsched/internal/obs"
+	"ampsched/internal/strategy"
+	"ampsched/internal/trace"
+)
+
+// Schema versions the report shape.
+const Schema = 1
+
+// Result is one benchmark's measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	Iters       int64   `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	// PinZeroAllocs marks the disabled-path benchmarks whose allocs/op
+	// must be exactly zero (enforced, not just reported).
+	PinZeroAllocs bool `json:"pin_zero_allocs,omitempty"`
+}
+
+// Report is the full benchmark export.
+type Report struct {
+	Schema     int      `json:"schema"`
+	Tool       string   `json:"tool"`
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	NumCPU     int      `json:"num_cpu"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// bench is one registered benchmark: fn must perform n iterations.
+type bench struct {
+	name    string
+	pinZero bool
+	fn      func(n int)
+}
+
+func main() {
+	out := flag.String("o", "BENCH_PR4.json", "report output path")
+	benchtime := flag.Duration("benchtime", 100*time.Millisecond, "target measuring time per benchmark")
+	list := flag.Bool("list", false, "list benchmark names and exit")
+	flag.Parse()
+	if err := mainErr(*out, *benchtime, *list, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+}
+
+func mainErr(out string, benchtime time.Duration, list bool, w io.Writer) error {
+	benches := benchmarks()
+	if list {
+		for _, b := range benches {
+			fmt.Fprintln(w, b.name)
+		}
+		return nil
+	}
+	rep := Report{
+		Schema:    Schema,
+		Tool:      "benchreport",
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+	var pinFailures []string
+	for _, b := range benches {
+		res := measure(b, benchtime)
+		rep.Benchmarks = append(rep.Benchmarks, res)
+		fmt.Fprintf(w, "%-32s %12.1f ns/op %10.1f allocs/op %12.1f B/op\n",
+			res.Name, res.NsPerOp, res.AllocsPerOp, res.BytesPerOp)
+		if b.pinZero && res.AllocsPerOp != 0 {
+			pinFailures = append(pinFailures,
+				fmt.Sprintf("%s: %v allocs/op (want 0)", res.Name, res.AllocsPerOp))
+		}
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "# report written to %s\n", out)
+	for _, fail := range pinFailures {
+		fmt.Fprintln(w, "# PIN VIOLATION:", fail)
+	}
+	if len(pinFailures) > 0 {
+		return fmt.Errorf("%d disabled-path benchmark(s) allocate", len(pinFailures))
+	}
+	return nil
+}
+
+// measure calibrates b.fn to roughly benchtime and reports per-op cost.
+// Allocation counts come from runtime.MemStats deltas around the measured
+// run (GC forced before, so the deltas are the benchmark's own).
+func measure(b bench, benchtime time.Duration) Result {
+	b.fn(1) // warm-up: lazy initialization outside the measurement
+	n := int64(1)
+	for {
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		b.fn(int(n))
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		if elapsed >= benchtime || n >= 1e9 {
+			return Result{
+				Name:          b.name,
+				Iters:         n,
+				NsPerOp:       float64(elapsed.Nanoseconds()) / float64(n),
+				AllocsPerOp:   float64(after.Mallocs-before.Mallocs) / float64(n),
+				BytesPerOp:    float64(after.TotalAlloc-before.TotalAlloc) / float64(n),
+				PinZeroAllocs: b.pinZero,
+			}
+		}
+		// Grow like the testing package: aim for benchtime, capped growth.
+		next := int64(float64(n) * float64(benchtime) / float64(elapsed+1) * 1.2)
+		if next < n+1 {
+			next = n + 1
+		}
+		if next > 100*n {
+			next = 100 * n
+		}
+		n = next
+	}
+}
+
+// benchmarks builds the suite. Inputs are deterministic (fixed chain
+// generator seed) so successive reports measure the same workload.
+func benchmarks() []bench {
+	chains := chaingen.GenerateMany(chaingen.Default(20, 0.5), 7, 8)
+	r := core.Resources{Big: 10, Little: 10}
+	herad := strategy.MustParse("herad")
+
+	// A populated journal for the export benchmarks, matching the shape a
+	// real -trace-sched run produces.
+	exportJournal := trace.New()
+	seedJournal(exportJournal, chains[0], r)
+
+	return []bench{
+		{name: "registry/schedule_disabled", pinZero: false, fn: func(n int) {
+			for i := 0; i < n; i++ {
+				if s := herad.Schedule(chains[i%len(chains)], r, strategy.Options{}); s.IsEmpty() {
+					panic("no schedule")
+				}
+			}
+		}},
+		{name: "registry/schedule_metrics", fn: func(n int) {
+			reg := obs.NewRegistry()
+			for i := 0; i < n; i++ {
+				if s := herad.Schedule(chains[i%len(chains)], r, strategy.Options{Metrics: reg}); s.IsEmpty() {
+					panic("no schedule")
+				}
+			}
+		}},
+		{name: "registry/schedule_traced", fn: func(n int) {
+			for i := 0; i < n; i++ {
+				j := trace.New()
+				if s := herad.Schedule(chains[i%len(chains)], r, strategy.Options{Trace: j.Root()}); s.IsEmpty() {
+					panic("no schedule")
+				}
+			}
+		}},
+		{name: "obs/ops_disabled", pinZero: true, fn: func(n int) {
+			var reg *obs.Registry
+			for i := 0; i < n; i++ {
+				m := reg.Sub("herad")
+				m.Counter("schedule.calls").Inc()
+				m.Gauge("workers").Set(8)
+				m.Timer("schedule.ns").Start()()
+			}
+		}},
+		{name: "obs/ops_enabled", fn: func(n int) {
+			reg := obs.NewRegistry().Sub("herad")
+			for i := 0; i < n; i++ {
+				reg.Counter("schedule.calls").Inc()
+				reg.Gauge("workers").Set(8)
+				reg.Timer("schedule.ns").Start()()
+			}
+		}},
+		{name: "trace/journal_disabled", pinZero: true, fn: func(n int) {
+			var sc *trace.Scope
+			for i := 0; i < n; i++ {
+				if sc.Enabled() {
+					panic("nil scope enabled")
+				}
+				sc.Event("probe").F64("target", 412.5).Bool("valid", true)
+				sp, exit := sc.Enter("probe")
+				sp.Int("cores", 4)
+				exit()
+			}
+		}},
+		{name: "trace/journal_enabled", fn: func(n int) {
+			j := trace.New()
+			sc := trace.NewScope(j.Root())
+			for i := 0; i < n; i++ {
+				sp, exit := sc.Enter("probe")
+				sp.F64("target", 412.5)
+				sc.Event("compute_stage").Int("first_task", i).Int("cores", 2)
+				exit()
+			}
+		}},
+		{name: "trace/jsonl_export", fn: func(n int) {
+			for i := 0; i < n; i++ {
+				if err := exportJournal.WriteJSONL(io.Discard); err != nil {
+					panic(err)
+				}
+			}
+		}},
+		{name: "trace/explain_export", fn: func(n int) {
+			for i := 0; i < n; i++ {
+				if err := exportJournal.WriteExplain(io.Discard); err != nil {
+					panic(err)
+				}
+			}
+		}},
+		{name: "trace/chrome_export", fn: func(n int) {
+			for i := 0; i < n; i++ {
+				if err := exportJournal.WriteChromeTrace(io.Discard); err != nil {
+					panic(err)
+				}
+			}
+		}},
+	}
+}
+
+// seedJournal fills j with a real scheduling trace: every registered
+// strategy over (c, r), the same tree "-strategy all -trace-sched" builds.
+func seedJournal(j *trace.Journal, c *core.Chain, r core.Resources) {
+	for _, s := range strategy.All() {
+		s.Schedule(c, r, strategy.Options{Trace: j.Root()})
+	}
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMainErrWritesReport(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var buf bytes.Buffer
+	// Tiny benchtime: the calibration loop still runs every benchmark at
+	// least twice (warm-up + measurement) so the report is complete.
+	if err := mainErr(out, time.Microsecond, false, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep.Schema != Schema || rep.Tool != "benchreport" || rep.GoVersion == "" {
+		t.Errorf("bad header: %+v", rep)
+	}
+	want := map[string]bool{}
+	for _, b := range benchmarks() {
+		want[b.name] = false
+	}
+	for _, r := range rep.Benchmarks {
+		if _, ok := want[r.Name]; !ok {
+			t.Errorf("unexpected benchmark %q", r.Name)
+			continue
+		}
+		want[r.Name] = true
+		if r.Iters <= 0 || r.NsPerOp < 0 {
+			t.Errorf("%s: iters=%d ns/op=%v", r.Name, r.Iters, r.NsPerOp)
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("benchmark %q missing from report", name)
+		}
+	}
+	// The disabled paths must measure zero allocations even at a tiny
+	// budget — this is the acceptance pin, enforced by mainErr itself
+	// (a pin violation would have returned an error above).
+	for _, r := range rep.Benchmarks {
+		if r.PinZeroAllocs && r.AllocsPerOp != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", r.Name, r.AllocsPerOp)
+		}
+	}
+}
+
+func TestMainErrList(t *testing.T) {
+	var buf bytes.Buffer
+	if err := mainErr("", 0, true, &buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Fields(buf.String())
+	if len(lines) != len(benchmarks()) {
+		t.Fatalf("-list printed %d names, want %d:\n%s", len(lines), len(benchmarks()), buf.String())
+	}
+	for _, want := range []string{"trace/journal_disabled", "obs/ops_disabled", "registry/schedule_traced"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("-list missing %s", want)
+		}
+	}
+}
+
+func TestMainErrBadOutputPath(t *testing.T) {
+	var buf bytes.Buffer
+	err := mainErr(filepath.Join(t.TempDir(), "missing-dir", "bench.json"),
+		time.Microsecond, false, &buf)
+	if err == nil {
+		t.Fatal("unwritable output path accepted")
+	}
+}

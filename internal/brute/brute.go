@@ -11,6 +11,7 @@ import (
 
 	"ampsched/internal/core"
 	"ampsched/internal/obs"
+	"ampsched/internal/trace"
 )
 
 // Metrics holds the exhaustive solver's instrumentation handles. The
@@ -21,6 +22,11 @@ type Metrics struct {
 	// Improvements counts how often the incumbent best solution was
 	// replaced (by a better period or a better tie-break).
 	Improvements *obs.Counter
+	// Trace is the decision-journal scope. The enumeration emits one
+	// "improved" event per incumbent replacement plus a final
+	// "enumeration" summary — not one event per enumerated solution,
+	// which would be exponential.
+	Trace *trace.Scope
 }
 
 // MetricsFrom resolves the solver's series in r (nil r disables).
@@ -85,22 +91,33 @@ func ScheduleObs(c *core.Chain, r core.Resources, m Metrics) core.Solution {
 	}
 	var best core.Solution
 	bestP := math.Inf(1)
+	enumerated := 0
 	Enumerate(c, r, func(s core.Solution) {
 		m.Solutions.Inc()
+		enumerated++
 		p := s.Period(c)
 		switch {
 		case p < bestP:
 			m.Improvements.Inc()
 			best, bestP = s, p
+			if m.Trace.Enabled() {
+				m.Trace.Event("improved").F64("period", p).Int("stages", len(s.Stages))
+			}
 		case p == bestP && !best.IsEmpty():
 			bB, bL := best.CoresUsed()
 			nB, nL := s.CoresUsed()
 			if Beats(nB, nL, bB, bL) {
 				m.Improvements.Inc()
 				best = s
+				if m.Trace.Enabled() {
+					m.Trace.Event("improved").F64("period", p).Bool("tie_break", true)
+				}
 			}
 		}
 	})
+	if m.Trace.Enabled() {
+		m.Trace.Event("enumeration").Int("solutions", enumerated)
+	}
 	return best
 }
 

@@ -19,7 +19,9 @@ type Metrics struct {
 	// BigFallbacks counts the stages where little cores failed and the
 	// big-core fallback was taken.
 	BigFallbacks *obs.Counter
-	// Sched carries the shared binary-search/stage-packing series.
+	// Sched carries the shared binary-search/stage-packing series and the
+	// decision-journal scope (Sched.Trace): every committed stage emits a
+	// "stage_placed" event recording the little-first/big-fallback choice.
 	Sched sched.Metrics
 }
 
@@ -57,15 +59,25 @@ func computeSolution(c *core.Chain, s int, r core.Resources, target float64, m M
 	m.ComputeCalls.Inc()
 	e, u := sched.ComputeStageM(c, s, r.Little, core.Little, target, m.Sched)
 	v := core.Little
+	fallback := false
 	if !stageValid(c, s, e, u, r, v, target) {
 		m.BigFallbacks.Inc()
+		fallback = true
 		e, u = sched.ComputeStageM(c, s, r.Big, core.Big, target, m.Sched)
 		v = core.Big
 		if !stageValid(c, s, e, u, r, v, target) {
+			if m.Sched.Trace.Enabled() {
+				m.Sched.Trace.Event("no_stage").Int("first_task", s).
+					Int("big", r.Big).Int("little", r.Little)
+			}
 			return core.Solution{} // no valid stage with either core type
 		}
 	}
 	st := core.Stage{Start: s, End: e, Cores: u, Type: v}
+	if m.Sched.Trace.Enabled() {
+		m.Sched.Trace.Event("stage_placed").Int("first_task", s).Int("end", e).
+			Int("cores", u).Str("type", v.String()).Bool("big_fallback", fallback)
+	}
 	if e == c.Len()-1 {
 		return core.Solution{Stages: []core.Stage{st}} // valid final stage
 	}

@@ -18,6 +18,7 @@ import (
 
 	"ampsched/internal/core"
 	"ampsched/internal/obs"
+	"ampsched/internal/trace"
 )
 
 // Metrics holds HeRAD's instrumentation handles. The zero value is the
@@ -35,6 +36,11 @@ type Metrics struct {
 	// MergedStages counts the stages removed by the replicable-stage
 	// merge post-pass.
 	MergedStages *obs.Counter
+	// Trace is the decision-journal scope: the DP fill runs under a
+	// "dp_pass" span with one "dp_cell" event per recomputed cell (the
+	// committed split point, core type and period), "dp_prune" events for
+	// the dominance cut-offs, and a "merge_pass" event for the post-pass.
+	Trace *trace.Scope
 }
 
 // MetricsFrom resolves HeRAD's series in r (nil r disables).
@@ -91,8 +97,13 @@ func Schedule(c *core.Chain, r core.Resources) core.Solution {
 func ScheduleObs(c *core.Chain, r core.Resources, om Metrics) core.Solution {
 	s := ScheduleRawObs(c, r, om)
 	merged := s.MergeReplicable(c)
-	if removed := len(s.Stages) - len(merged.Stages); removed > 0 {
+	removed := len(s.Stages) - len(merged.Stages)
+	if removed > 0 {
 		om.MergedStages.Add(int64(removed))
+	}
+	if om.Trace.Enabled() && !s.IsEmpty() {
+		om.Trace.Event("merge_pass").Int("removed_stages", removed).
+			Int("stages", len(merged.Stages))
 	}
 	return merged
 }
@@ -109,6 +120,8 @@ func ScheduleRawObs(c *core.Chain, r core.Resources, om Metrics) core.Solution {
 		return core.Solution{}
 	}
 	n, b, l := c.Len(), r.Big, r.Little
+	dp, exit := om.Trace.Enter("dp_pass")
+	dp.Int("tasks", n).Int("big", b).Int("little", l)
 	m := newMatrix(n, b, l)
 	singleStageSolution(m, c, 1)
 	for e := 2; e <= n; e++ {
@@ -121,6 +134,7 @@ func ScheduleRawObs(c *core.Chain, r core.Resources, om Metrics) core.Solution {
 			}
 		}
 	}
+	exit()
 	return extractSolution(m, c, n, b, l)
 }
 
@@ -181,7 +195,7 @@ func singleStageSolution(m *matrix, c *core.Chain, t int) {
 // a single core.
 func recomputeCell(m *matrix, c *core.Chain, j, b, l int, om Metrics) {
 	om.DPCells.Inc()
-	candidates := 0 // accumulated locally to keep the hot loops cheap
+	candidates := 0       // accumulated locally to keep the hot loops cheap
 	cur := *m.at(j, b, l) // seed from singleStageSolution
 	if l > 0 {
 		compareCells(&cur, m.at(j, b, l-1))
@@ -200,6 +214,10 @@ func recomputeCell(m *matrix, c *core.Chain, j, b, l int, om Metrics) {
 		if c.Weight(i-1, j-1, b, core.Big) > cur.pbest &&
 			c.Weight(i-1, j-1, l, core.Little) > cur.pbest {
 			om.DPPruned.Inc()
+			if om.Trace.Enabled() {
+				om.Trace.Event("dp_prune").Int("tasks", j).Int("big", b).Int("little", l).
+					Int("cut_at_start", i-1)
+			}
 			break
 		}
 		maxUB := b
@@ -250,6 +268,11 @@ func recomputeCell(m *matrix, c *core.Chain, j, b, l int, om Metrics) {
 		}
 	}
 	om.DPCandidates.Add(int64(candidates))
+	if om.Trace.Enabled() && !math.IsInf(cur.pbest, 1) {
+		om.Trace.Event("dp_cell").Int("tasks", j).Int("big", b).Int("little", l).
+			F64("period", cur.pbest).Int("stage_start", int(cur.start)).
+			Str("type", cur.v.String()).Int("candidates", candidates)
+	}
 	*m.at(j, b, l) = cur
 }
 

@@ -1,0 +1,134 @@
+// Package obshttp exposes a process's observability surface over HTTP:
+// the obs metric registry as plain text (/metrics) and as the canonical
+// metrics.json report (/metrics.json), the Go runtime's expvar variables
+// (/debug/vars), and the standard pprof profiling endpoints
+// (/debug/pprof/...). cmd/ampsched mounts it with -listen so long sweeps
+// can be inspected live instead of only through the end-of-run -stats dump.
+//
+// The package follows the repository's observability discipline: a nil
+// registry serves empty (never panics), handlers snapshot on every request
+// (no caching, no background goroutines), and the text rendering is
+// deterministic — sorted series names, fixed field order — so scraping the
+// same state twice yields identical bytes.
+package obshttp
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+
+	"ampsched/internal/obs"
+)
+
+// NewHandler returns the exposition mux for r. tool names the producing
+// binary in /metrics.json reports. A nil r serves empty metric sets; the
+// debug endpoints work regardless.
+func NewHandler(tool string, r *obs.Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", index)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		WriteText(w, r)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := obs.NewReport(tool, r).WriteJSON(w); err != nil {
+			// Headers are gone; all we can do is abort the body.
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// index is the human-facing front page listing the mounted endpoints.
+func index(w http.ResponseWriter, req *http.Request) {
+	if req.URL.Path != "/" {
+		http.NotFound(w, req)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, `ampsched observability endpoints:
+  /metrics       registry snapshot, plain text
+  /metrics.json  registry snapshot, metrics.json report
+  /debug/vars    expvar JSON
+  /debug/pprof/  pprof profiles
+`)
+}
+
+// WriteText renders r's snapshot in a Prometheus-flavored plain-text form:
+// one "name value" line per counter/gauge, "name_count"/"name_total_ns"
+// for timers, and cumulative "name_bucket{le="..."}" lines plus
+// "name_count" for histograms. Output is sorted by series name and
+// deterministic for identical registry states. A nil registry writes
+// nothing.
+func WriteText(w interface{ Write([]byte) (int, error) }, r *obs.Registry) {
+	for _, s := range r.Snapshot() {
+		name := textName(s.Name)
+		switch s.Kind {
+		case obs.KindCounter:
+			fmt.Fprintf(w, "%s %d\n", name, s.Count)
+		case obs.KindGauge:
+			fmt.Fprintf(w, "%s %s\n", name, strconv.FormatFloat(s.Value, 'g', -1, 64))
+		case obs.KindTimer:
+			fmt.Fprintf(w, "%s_count %d\n", name, s.Count)
+			fmt.Fprintf(w, "%s_total_ns %d\n", name, s.TotalNs)
+		case obs.KindHistogram:
+			cum := int64(0)
+			for _, b := range s.Buckets {
+				cum += b.Count
+				fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name,
+					strconv.FormatFloat(b.LE, 'g', -1, 64), cum)
+			}
+			cum += s.Overflow
+			fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+			fmt.Fprintf(w, "%s_count %d\n", name, s.Count)
+		}
+	}
+}
+
+// textName maps a dotted series name to the exposition-format convention:
+// dots become underscores. Registry names are already slug segments joined
+// by dots, so no further escaping is needed.
+func textName(name string) string {
+	return strings.ReplaceAll(name, ".", "_")
+}
+
+// Server is a running exposition listener.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts serving NewHandler(tool, r) on addr (e.g. "127.0.0.1:0",
+// ":8080") in a background goroutine and returns the running server. The
+// caller owns the returned server and must Close it.
+func Serve(addr, tool string, r *obs.Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: NewHandler(tool, r)}}
+	go s.srv.Serve(ln) //nolint:errcheck // ErrServerClosed after Close
+	return s, nil
+}
+
+// Addr returns the listener's resolved address — the way to recover the
+// port after binding ":0".
+func (s *Server) Addr() string {
+	return s.ln.Addr().String()
+}
+
+// Close stops the listener and in-flight handlers.
+func (s *Server) Close() error {
+	return s.srv.Close()
+}

@@ -1,0 +1,146 @@
+package obshttp
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"ampsched/internal/obs"
+)
+
+func sampleRegistry() *obs.Registry {
+	r := obs.NewRegistry()
+	r.Counter("herad.dp.cells").Add(42)
+	r.Gauge("planbatch.workers").Set(4)
+	r.Timer("sched.search.ns").Observe(1500 * time.Nanosecond)
+	h := r.Histogram("planbatch.request_us", []float64{10, 100, 1000})
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(5000) // overflow bucket
+	return r
+}
+
+func TestWriteTextDeterministic(t *testing.T) {
+	r := sampleRegistry()
+	var a, b bytes.Buffer
+	WriteText(&a, r)
+	WriteText(&b, r)
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("two renders of the same state differ:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	out := a.String()
+	for _, want := range []string{
+		"herad_dp_cells 42\n",
+		"planbatch_workers 4\n",
+		"sched_search_ns_count 1\n",
+		"sched_search_ns_total_ns 1500\n",
+		`planbatch_request_us_bucket{le="10"} 1` + "\n",
+		`planbatch_request_us_bucket{le="100"} 2` + "\n",
+		`planbatch_request_us_bucket{le="1000"} 2` + "\n",
+		`planbatch_request_us_bucket{le="+Inf"} 3` + "\n",
+		"planbatch_request_us_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteTextNilRegistry(t *testing.T) {
+	var buf bytes.Buffer
+	WriteText(&buf, nil)
+	if buf.Len() != 0 {
+		t.Fatalf("nil registry rendered %q", buf.String())
+	}
+}
+
+func TestServeEndpoints(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", "obshttp_test", sampleRegistry())
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	get := func(path string) (int, string, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s read: %v", path, err)
+		}
+		return resp.StatusCode, string(body), resp.Header.Get("Content-Type")
+	}
+
+	if code, body, ct := get("/metrics"); code != http.StatusOK ||
+		!strings.Contains(body, "herad_dp_cells 42") || !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics: code=%d ct=%q body=%q", code, ct, body)
+	}
+
+	code, body, ct := get("/metrics.json")
+	if code != http.StatusOK || ct != "application/json" {
+		t.Errorf("/metrics.json: code=%d ct=%q", code, ct)
+	}
+	var rep obs.Report
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatalf("/metrics.json unmarshal: %v\n%s", err, body)
+	}
+	if rep.Schema != obs.ReportSchema || rep.Tool != "obshttp_test" || len(rep.Series) == 0 {
+		t.Errorf("/metrics.json report: schema=%d tool=%q series=%d",
+			rep.Schema, rep.Tool, len(rep.Series))
+	}
+
+	if code, body, _ := get("/debug/vars"); code != http.StatusOK ||
+		!strings.Contains(body, "memstats") {
+		t.Errorf("/debug/vars: code=%d body=%.80q", code, body)
+	}
+
+	if code, body, _ := get("/debug/pprof/"); code != http.StatusOK ||
+		!strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/: code=%d body=%.80q", code, body)
+	}
+
+	if code, body, _ := get("/debug/pprof/cmdline"); code != http.StatusOK || body == "" {
+		t.Errorf("/debug/pprof/cmdline: code=%d body=%q", code, body)
+	}
+
+	if code, _, _ := get("/nope"); code != http.StatusNotFound {
+		t.Errorf("/nope: code=%d, want 404", code)
+	}
+
+	if code, body, _ := get("/"); code != http.StatusOK ||
+		!strings.Contains(body, "/metrics.json") {
+		t.Errorf("/: code=%d body=%q", code, body)
+	}
+}
+
+func TestServeNilRegistry(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", "obshttp_test", nil)
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK || len(body) != 0 {
+		t.Errorf("nil-registry /metrics: code=%d body=%q", resp.StatusCode, body)
+	}
+}
+
+func TestServeBadAddr(t *testing.T) {
+	if _, err := Serve("256.0.0.1:bad", "t", nil); err == nil {
+		t.Fatal("expected error for a bad listen address")
+	}
+}

@@ -22,7 +22,9 @@ type Metrics struct {
 	// Stages counts the stages the greedy packer built, including those
 	// of probes that were later discarded.
 	Stages *obs.Counter
-	// Sched carries the shared binary-search/stage-packing series.
+	// Sched carries the shared binary-search/stage-packing series and the
+	// decision-journal scope (Sched.Trace): every greedy placement emits
+	// a "stage_placed" event, failed probes an "exhausted" event.
 	Sched sched.Metrics
 }
 
@@ -75,14 +77,25 @@ func computeSolution(c *core.Chain, s, avail int, v core.CoreType, target float6
 	var stages []core.Stage
 	for s < c.Len() {
 		if avail <= 0 {
+			if m.Sched.Trace.Enabled() {
+				m.Sched.Trace.Event("exhausted").Int("first_task", s).Str("type", v.String())
+			}
 			return core.Solution{}
 		}
 		e, u := sched.ComputeStageM(c, s, avail, v, target, m.Sched)
 		st := core.Stage{Start: s, End: e, Cores: u, Type: v}
 		if u > avail || c.Weight(s, e, u, v) > target {
+			if m.Sched.Trace.Enabled() {
+				m.Sched.Trace.Event("exhausted").Int("first_task", s).Str("type", v.String()).
+					Int("cores_needed", u).Int("avail", avail)
+			}
 			return core.Solution{}
 		}
 		m.Stages.Inc()
+		if m.Sched.Trace.Enabled() {
+			m.Sched.Trace.Event("stage_placed").Int("first_task", s).Int("end", e).
+				Int("cores", u).Str("type", v.String())
+		}
 		stages = append(stages, st)
 		avail -= u
 		s = e + 1

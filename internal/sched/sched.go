@@ -10,6 +10,7 @@ import (
 
 	"ampsched/internal/core"
 	"ampsched/internal/obs"
+	"ampsched/internal/trace"
 )
 
 // Metrics is the sched-layer instrumentation sink: nil-safe counter
@@ -30,6 +31,12 @@ type Metrics struct {
 	// MaxPackingCalls counts MaxPacking invocations (Algo 3), including
 	// the ones ComputeStage issues internally.
 	MaxPackingCalls *obs.Counter
+	// Trace is the decision-journal scope. The binary search opens one
+	// "probe" span per compute invocation, so the decision events a probe
+	// triggers (compute_stage, max_packing, plus the strategy packages'
+	// own events) nest under it. Nil disables journaling at one branch
+	// per emit site.
+	Trace *trace.Scope
 }
 
 // MetricsFrom resolves the sched series in r (nil r yields the disabled
@@ -144,6 +151,9 @@ func ScheduleM(c *core.Chain, r core.Resources, compute ComputeSolutionFunc, m M
 	}
 	b := DefaultBounds(c, r)
 	b.Max = fb * (1 + b.Eps)
+	if m.Trace.Enabled() {
+		m.Trace.Event("fallback").F64("max", b.Max)
+	}
 	return ScheduleBoundsM(c, r, b, compute, m)
 }
 
@@ -154,29 +164,43 @@ func ScheduleBounds(c *core.Chain, r core.Resources, b Bounds, compute ComputeSo
 
 // ScheduleBoundsM is ScheduleBounds reporting into m.
 func ScheduleBoundsM(c *core.Chain, r core.Resources, b Bounds, compute ComputeSolutionFunc, m Metrics) core.Solution {
+	if m.Trace.Enabled() {
+		m.Trace.Event("bounds").F64("min", b.Min).F64("max", b.Max).F64("eps", b.Eps)
+	}
 	var best core.Solution
 	pmin, pmax := b.Min, b.Max
 	for pmax-pmin >= b.Eps {
 		pmid := (pmax + pmin) / 2
 		m.SearchIterations.Inc()
+		probe, exit := m.Trace.Enter("probe")
+		probe.F64("target", pmid)
 		s := compute(c, 0, r, pmid)
 		if s.IsValid(c, r, pmid) {
 			m.SearchValid.Inc()
 			best = s
 			pmax = s.Period(c) // can only decrease the target from here
+			probe.Bool("valid", true).F64("period", pmax)
 		} else {
 			pmin = pmid // can only increase the target
+			probe.Bool("valid", false)
 		}
+		exit()
 	}
 	if best.IsEmpty() {
 		// The search may converge without probing the upper bound itself;
 		// give the strategy one last chance exactly at Max.
 		m.SearchIterations.Inc()
+		probe, exit := m.Trace.Enter("probe")
+		probe.F64("target", b.Max).Bool("last_chance", true)
 		s := compute(c, 0, r, b.Max)
 		if s.IsValid(c, r, b.Max) {
 			m.SearchValid.Inc()
 			best = s
+			probe.Bool("valid", true).F64("period", best.Period(c))
+		} else {
+			probe.Bool("valid", false)
 		}
+		exit()
 	}
 	return best
 }
@@ -201,6 +225,10 @@ func MaxPackingM(c *core.Chain, s, cores int, v core.CoreType, target float64, m
 			// first failure after s is final.
 			break
 		}
+	}
+	if m.Trace.Enabled() {
+		m.Trace.Event("max_packing").Int("first_task", s).Int("cores", cores).
+			Str("type", v.String()).F64("target", target).Int("end", e)
 	}
 	return e
 }
@@ -253,6 +281,10 @@ func ComputeStageM(c *core.Chain, s, avail int, v core.CoreType, target float64,
 				e, u = f, u-1
 			}
 		}
+	}
+	if m.Trace.Enabled() {
+		m.Trace.Event("compute_stage").Int("first_task", s).Int("avail", avail).
+			Str("type", v.String()).F64("target", target).Int("end", e).Int("cores", u)
 	}
 	return e, u
 }

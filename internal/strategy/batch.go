@@ -9,6 +9,7 @@ import (
 
 	"ampsched/internal/core"
 	"ampsched/internal/obs"
+	"ampsched/internal/trace"
 )
 
 // Request is one unit of batch planning work: schedule Chain on Resources
@@ -67,9 +68,26 @@ func PlanBatch(reqs []Request, workers int) []Result {
 			break
 		}
 	}
+	// Journal spans are opened here, serially and in request order, before
+	// any worker runs. Each worker then appends only under its own request
+	// span, so the exported journal is byte-for-byte identical no matter
+	// how the pool interleaves the requests.
+	spans := make([]*trace.Span, len(reqs))
+	for i := range reqs {
+		if t := reqs[i].Options.Trace; t != nil {
+			sp := t.Begin("request").Int("index", i)
+			if reqs[i].Label != "" {
+				sp.Str("label", reqs[i].Label)
+			}
+			if reqs[i].Scheduler != nil {
+				sp.Str("scheduler", reqs[i].Scheduler.Name())
+			}
+			spans[i] = sp
+		}
+	}
 	if workers == 1 {
 		for i := range reqs {
-			out[i] = plan(reqs[i])
+			out[i] = plan(reqs[i], spans[i])
 		}
 		return out
 	}
@@ -80,7 +98,7 @@ func PlanBatch(reqs []Request, workers int) []Result {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				out[i] = plan(reqs[i])
+				out[i] = plan(reqs[i], spans[i])
 			}
 		}()
 	}
@@ -103,7 +121,12 @@ func PlanAll(c *core.Chain, r core.Resources, opts Options, workers int) []Resul
 	return PlanBatch(reqs, workers)
 }
 
-func plan(req Request) Result {
+// plan runs one request. sp, when non-nil, is the request's pre-opened
+// journal span: the strategy journals under it (via the Options value copy)
+// and plan appends one deterministic "result" event — period on success,
+// the error string on failure, never the wall-clock Elapsed.
+func plan(req Request, sp *trace.Span) Result {
+	req.Options.Trace = sp
 	res := Result{Request: req}
 	switch {
 	case req.Scheduler == nil:
@@ -120,6 +143,13 @@ func plan(req Request) Result {
 		if res.Solution.IsEmpty() {
 			res.Err = fmt.Errorf("strategy: %s found no schedule for R=%v",
 				req.Scheduler.Name(), req.Resources)
+		}
+	}
+	if sp != nil {
+		if res.Err != nil {
+			sp.Event("result").Str("error", res.Err.Error())
+		} else {
+			sp.Event("result").F64("period", res.Period).Int("stages", len(res.Solution.Stages))
 		}
 	}
 	if m := req.Options.Metrics.Sub("planbatch"); m != nil {

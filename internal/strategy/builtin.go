@@ -7,6 +7,7 @@ import (
 	"ampsched/internal/herad"
 	"ampsched/internal/obs"
 	"ampsched/internal/otac"
+	"ampsched/internal/trace"
 	"ampsched/internal/twocatac"
 )
 
@@ -26,8 +27,9 @@ func init() {
 
 // observe wraps a strategy's instrumented scheduling path with the
 // common per-strategy series: schedule.ns (wall clock), schedule.calls
-// and schedule.empty. Callers only reach it with a non-nil m — the
-// disabled path never leaves the plain branch of each Schedule method.
+// and schedule.empty. It is nil-safe on m (journal-only runs pass a nil
+// registry) — the fully disabled path never leaves the plain branch of
+// each Schedule method.
 func observe(m *obs.Registry, run func() core.Solution) core.Solution {
 	stop := m.Timer("schedule.ns").Start()
 	s := run()
@@ -47,7 +49,8 @@ func (heradScheduler) Name() string { return "HeRAD" }
 
 func (h heradScheduler) Schedule(c *core.Chain, r core.Resources, o Options) core.Solution {
 	m := o.scope(h.Name())
-	if m == nil {
+	sp := o.span(h.Name())
+	if m == nil && sp == nil {
 		var s core.Solution
 		if o.Raw {
 			s = herad.ScheduleRaw(c, r)
@@ -56,8 +59,9 @@ func (h heradScheduler) Schedule(c *core.Chain, r core.Resources, o Options) cor
 		}
 		return o.finish(c, s)
 	}
-	return observe(m, func() core.Solution {
+	s := observe(m, func() core.Solution {
 		hm := herad.MetricsFrom(m)
+		hm.Trace = trace.NewScope(sp)
 		var s core.Solution
 		if o.Raw {
 			s = herad.ScheduleRawObs(c, r, hm)
@@ -66,6 +70,8 @@ func (h heradScheduler) Schedule(c *core.Chain, r core.Resources, o Options) cor
 		}
 		return o.finish(c, s)
 	})
+	traceSolution(sp, c, s)
+	return s
 }
 
 // twocatacScheduler adapts 2CATAC (Algos 5–6); memo selects the memoized
@@ -82,13 +88,17 @@ func (t twocatacScheduler) Name() string {
 func (t twocatacScheduler) Schedule(c *core.Chain, r core.Resources, o Options) core.Solution {
 	memo := t.memo || o.Memoize
 	m := o.scope(t.Name())
-	if m == nil {
+	sp := o.span(t.Name())
+	if m == nil && sp == nil {
 		return o.finish(c, binarySearch(c, r, o, twocatac.Compute(memo)))
 	}
-	return observe(m, func() core.Solution {
+	s := observe(m, func() core.Solution {
 		tm := twocatac.MetricsFrom(m)
+		tm.Sched.Trace = trace.NewScope(sp)
 		return o.finish(c, binarySearchM(c, r, o, twocatac.ComputeObs(memo, tm), tm.Sched))
 	})
+	traceSolution(sp, c, s)
+	return s
 }
 
 // fertacScheduler adapts FERTAC (Algo 4).
@@ -98,13 +108,17 @@ func (fertacScheduler) Name() string { return "FERTAC" }
 
 func (f fertacScheduler) Schedule(c *core.Chain, r core.Resources, o Options) core.Solution {
 	m := o.scope(f.Name())
-	if m == nil {
+	sp := o.span(f.Name())
+	if m == nil && sp == nil {
 		return o.finish(c, binarySearch(c, r, o, fertac.ComputeSolution))
 	}
-	return observe(m, func() core.Solution {
+	s := observe(m, func() core.Solution {
 		fm := fertac.MetricsFrom(m)
+		fm.Sched.Trace = trace.NewScope(sp)
 		return o.finish(c, binarySearchM(c, r, o, fertac.ComputeObs(fm), fm.Sched))
 	})
+	traceSolution(sp, c, s)
+	return s
 }
 
 // otacScheduler adapts the homogeneous OTAC baseline: it schedules on the
@@ -121,13 +135,17 @@ func (s otacScheduler) Schedule(c *core.Chain, r core.Resources, o Options) core
 		rr.Little = r.Little
 	}
 	m := o.scope(s.Name())
-	if m == nil {
+	sp := o.span(s.Name())
+	if m == nil && sp == nil {
 		return o.finish(c, binarySearch(c, rr, o, otac.Compute(s.v)))
 	}
-	return observe(m, func() core.Solution {
+	sol := observe(m, func() core.Solution {
 		om := otac.MetricsFrom(m)
+		om.Sched.Trace = trace.NewScope(sp)
 		return o.finish(c, binarySearchM(c, rr, o, otac.ComputeObs(s.v, om), om.Sched))
 	})
+	traceSolution(sp, c, sol)
+	return sol
 }
 
 // bruteScheduler adapts the exhaustive reference solver. Exponential — the
@@ -138,10 +156,15 @@ func (bruteScheduler) Name() string { return "Brute" }
 
 func (b bruteScheduler) Schedule(c *core.Chain, r core.Resources, o Options) core.Solution {
 	m := o.scope(b.Name())
-	if m == nil {
+	sp := o.span(b.Name())
+	if m == nil && sp == nil {
 		return o.finish(c, brute.Schedule(c, r))
 	}
-	return observe(m, func() core.Solution {
-		return o.finish(c, brute.ScheduleObs(c, r, brute.MetricsFrom(m)))
+	s := observe(m, func() core.Solution {
+		bm := brute.MetricsFrom(m)
+		bm.Trace = trace.NewScope(sp)
+		return o.finish(c, brute.ScheduleObs(c, r, bm))
 	})
+	traceSolution(sp, c, s)
+	return s
 }

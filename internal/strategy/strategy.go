@@ -24,6 +24,7 @@ import (
 	"ampsched/internal/core"
 	"ampsched/internal/obs"
 	"ampsched/internal/sched"
+	"ampsched/internal/trace"
 )
 
 // Scheduler is a scheduling strategy: it computes a pipelined-and-
@@ -65,6 +66,13 @@ type Options struct {
 	// When nil (the default) instrumentation is disabled and adds zero
 	// allocations per schedule.
 	Metrics *obs.Registry
+	// Trace is the decision-journal parent span. When non-nil, every
+	// strategy opens a "strategy" child span and journals its decisions
+	// under it (binary-search probes, DP cells, greedy placements, the
+	// final per-stage commitments); PlanBatch additionally opens one
+	// "request" span per batch item. When nil (the default) journaling is
+	// disabled and adds zero allocations per schedule.
+	Trace *trace.Span
 }
 
 // scope returns the per-strategy registry view for the named strategy,
@@ -74,6 +82,39 @@ func (o Options) scope(name string) *obs.Registry {
 		return nil // before Slug: the disabled path must not allocate
 	}
 	return o.Metrics.Sub(obs.Slug(name))
+}
+
+// span opens the per-strategy journal span for the named strategy, or
+// returns nil when tracing is disabled (allocating nothing).
+func (o Options) span(name string) *trace.Span {
+	if o.Trace == nil {
+		return nil
+	}
+	return o.Trace.Begin("strategy").Str("name", name)
+}
+
+// traceSolution journals the final commitments of a computed schedule:
+// one "solution" summary plus one "stage" event per pipeline stage with
+// the interval, core type, replication count and resulting weight — the
+// "why did this stage get these cores" record -explain renders. No-op on
+// a nil span.
+func traceSolution(sp *trace.Span, c *core.Chain, s core.Solution) {
+	if sp == nil {
+		return
+	}
+	if s.IsEmpty() {
+		sp.Event("no_schedule")
+		return
+	}
+	b, l := s.CoresUsed()
+	sp.Event("solution").F64("period", s.Period(c)).Int("stages", len(s.Stages)).
+		Int("big_used", b).Int("little_used", l)
+	for i, st := range s.Stages {
+		sp.Event("stage").Int("index", i).Int("first_task", st.Start).Int("last_task", st.End).
+			Int("cores", st.Cores).Str("type", st.Type.String()).
+			Bool("replicable", c.IsRep(st.Start, st.End)).
+			F64("weight", c.Weight(st.Start, st.End, st.Cores, st.Type))
+	}
 }
 
 // finish applies the post-passes requested by o to a computed solution.

@@ -1,7 +1,6 @@
 package streampu
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -9,6 +8,7 @@ import (
 	"time"
 
 	"ampsched/internal/obs"
+	"ampsched/internal/trace"
 )
 
 // Execution tracing: a Tracer records one event per (frame, stage)
@@ -64,35 +64,25 @@ func (tr *Tracer) Len() int {
 	return len(tr.events)
 }
 
-// chromeEvent is the Chrome trace-event JSON shape ("X" complete events).
-type chromeEvent struct {
-	Name string            `json:"name"`
-	Ph   string            `json:"ph"`
-	Ts   float64           `json:"ts"`  // µs
-	Dur  float64           `json:"dur"` // µs
-	Pid  int               `json:"pid"`
-	Tid  string            `json:"tid"`
-	Args map[string]uint64 `json:"args,omitempty"`
-}
-
 // WriteChromeTrace exports the timeline as a Chrome trace-event JSON
-// array: one track per (stage, worker), one complete event per frame.
+// array: one track per (stage, worker), one complete event per frame. It
+// serializes through internal/trace's shared trace-event writer, the same
+// one behind the scheduler's decision-journal Chrome view.
 func (tr *Tracer) WriteChromeTrace(w io.Writer) error {
 	events := tr.Events()
-	out := make([]chromeEvent, len(events))
+	out := make([]trace.ChromeEvent, len(events))
 	for i, e := range events {
-		out[i] = chromeEvent{
+		out[i] = trace.ChromeEvent{
 			Name: fmt.Sprintf("frame %d", e.Frame),
 			Ph:   "X",
 			Ts:   float64(e.Start.Nanoseconds()) / 1e3,
 			Dur:  float64(e.Duration.Nanoseconds()) / 1e3,
 			Pid:  e.Stage,
 			Tid:  fmt.Sprintf("stage%d/%s%d", e.Stage, e.Core, e.Worker),
-			Args: map[string]uint64{"frame": e.Frame},
+			Args: []trace.Attr{trace.Int("frame", int64(e.Frame))},
 		}
 	}
-	enc := json.NewEncoder(w)
-	return enc.Encode(out)
+	return trace.WriteChromeEvents(w, out)
 }
 
 // RecordMetrics feeds the trace's aggregates into m so run-time

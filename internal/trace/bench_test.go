@@ -1,0 +1,64 @@
+package trace
+
+import (
+	"io"
+	"testing"
+)
+
+// BenchmarkJournalDisabled pins the nil-journal (disabled) instrumentation
+// path at 0 allocs/op — the acceptance bar shared with internal/obs: code
+// paths are instrumented unconditionally and the disabled cost must be a
+// handful of nil checks.
+func BenchmarkJournalDisabled(b *testing.B) {
+	var j *Journal
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := j.Begin("strategy")
+		sc := NewScope(sp)
+		p, done := sc.Enter("probe")
+		p.F64("target", 412.5)
+		sc.Event("compute_stage").Int("first_task", 0).Int("end", 2).Bool("ok", true)
+		done()
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		sc := NewScope(j.Begin("s"))
+		sc.Event("e").Int("k", 1)
+	}); n != 0 {
+		b.Fatalf("disabled journal path allocates %v/op", n)
+	}
+}
+
+// BenchmarkJournalEnabled measures the recording cost with a live journal.
+func BenchmarkJournalEnabled(b *testing.B) {
+	j := New()
+	sc := NewScope(j.Begin("strategy"))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p, done := sc.Enter("probe")
+		p.F64("target", 412.5)
+		sc.Event("compute_stage").Int("first_task", 0).Int("end", 2).Bool("ok", true)
+		done()
+	}
+}
+
+// BenchmarkJSONLExport measures the canonical JSONL encoder on a journal
+// of ~3k events.
+func BenchmarkJSONLExport(b *testing.B) {
+	j := New()
+	for s := 0; s < 5; s++ {
+		sp := j.Begin("strategy").Str("name", "FERTAC")
+		for p := 0; p < 20; p++ {
+			ps := sp.Begin("probe").F64("target", float64(p)+0.5)
+			for e := 0; e < 30; e++ {
+				ps.Event("max_packing").Int("first_task", e).F64("target", 1.25).Int("end", e+1)
+			}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := j.WriteJSONL(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

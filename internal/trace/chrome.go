@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// The one Chrome trace-event writer of the repository: both the journal's
+// decision-tree view (below) and internal/streampu's execution timeline
+// (Tracer.WriteChromeTrace) serialize through WriteChromeEvents, so the
+// JSON escaping and number formatting live in exactly one place. Load the
+// output at chrome://tracing or in Perfetto.
+
+// ChromeEvent is one trace-event record ("X" complete events by
+// convention). Args order is preserved in the output.
+type ChromeEvent struct {
+	Name string
+	Ph   string
+	Ts   float64 // µs
+	Dur  float64 // µs
+	Pid  int
+	Tid  string
+	Args []Attr
+}
+
+// WriteChromeEvents writes events as a Chrome trace-event JSON array,
+// one event per line, using the package's canonical string escaper and
+// float formatting (deterministic for deterministic inputs).
+func WriteChromeEvents(w io.Writer, events []ChromeEvent) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("[\n"); err != nil {
+		return err
+	}
+	var buf []byte
+	for i, e := range events {
+		buf = buf[:0]
+		buf = append(buf, `{"name":`...)
+		buf = appendJSONString(buf, e.Name)
+		buf = append(buf, `,"ph":`...)
+		buf = appendJSONString(buf, e.Ph)
+		buf = append(buf, `,"ts":`...)
+		buf = appendFloat(buf, e.Ts)
+		buf = append(buf, `,"dur":`...)
+		buf = appendFloat(buf, e.Dur)
+		buf = append(buf, `,"pid":`...)
+		buf = strconv.AppendInt(buf, int64(e.Pid), 10)
+		buf = append(buf, `,"tid":`...)
+		buf = appendJSONString(buf, e.Tid)
+		if len(e.Args) > 0 {
+			buf = append(buf, `,"args":{`...)
+			for j, a := range e.Args {
+				if j > 0 {
+					buf = append(buf, ',')
+				}
+				buf = appendJSONString(buf, a.key)
+				buf = append(buf, ':')
+				buf = appendAttrValue(buf, a)
+			}
+			buf = append(buf, '}')
+		}
+		buf = append(buf, '}')
+		if i < len(events)-1 {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, '\n')
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("]\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteChromeTrace renders the journal on a virtual timeline: every span
+// is a complete event covering its subtree, every journal event an
+// instant inside it, with one logical tick per item. Decision journals
+// carry no wall-clock data (that is what keeps them deterministic), so
+// the time axis shows decision order, not duration. Tracks (tid) group
+// the tree by top-level span. A nil journal writes an empty array.
+func (j *Journal) WriteChromeTrace(w io.Writer) error {
+	var events []ChromeEvent
+	if j != nil {
+		j.mu.Lock()
+		tick := 0
+		var walk func(s *Span, tid string, depth int)
+		walk = func(s *Span, tid string, depth int) {
+			if depth == 1 {
+				tid = s.name
+			}
+			start := tick
+			tick++
+			idx := len(events)
+			events = append(events, ChromeEvent{
+				Name: s.name, Ph: "X", Pid: 0, Tid: tid,
+				Ts: float64(start), Args: s.attrs,
+			})
+			for _, it := range s.items {
+				if it.sp != nil {
+					walk(it.sp, tid, depth+1)
+					continue
+				}
+				events = append(events, ChromeEvent{
+					Name: it.ev.name, Ph: "X", Pid: 0, Tid: tid,
+					Ts: float64(tick), Dur: 1, Args: it.ev.attrs,
+				})
+				tick++
+			}
+			tick++
+			events[idx].Dur = float64(tick - start)
+		}
+		walk(j.root, j.root.name, 0)
+		j.mu.Unlock()
+	}
+	return WriteChromeEvents(w, events)
+}

@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Explain rendering: a deterministic, human-readable narrative of the
+// journal. Spans indent their bodies; events print as "name key=value
+// ...". High-volume event streams (the per-call max_packing /
+// compute_stage / dp_cell records) are capped per span: after
+// explainEventCap occurrences of one event name within one span the
+// remaining ones are elided and summarized at the end of the span, which
+// keeps the narrative readable while staying byte-deterministic.
+
+// explainEventCap is the number of same-named events shown per span
+// before the remainder is collapsed into a "(+N more)" summary line.
+const explainEventCap = 8
+
+// WriteExplain renders the journal as an indented narrative. A nil
+// journal writes nothing.
+func (j *Journal) WriteExplain(w io.Writer) error {
+	if j == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	j.mu.Lock()
+	writeExplainSpan(bw, j.root, 0)
+	j.mu.Unlock()
+	return bw.Flush()
+}
+
+func writeExplainSpan(w *bufio.Writer, s *Span, depth int) {
+	indent := strings.Repeat("  ", depth)
+	fmt.Fprintf(w, "%s%s%s\n", indent, s.name, formatAttrs(s.attrs))
+	body := indent + "  "
+	shown := map[string]int{}
+	elided := map[string]int{}
+	for _, it := range s.items {
+		if it.sp != nil {
+			writeExplainSpan(w, it.sp, depth+1)
+			continue
+		}
+		if shown[it.ev.name] >= explainEventCap {
+			elided[it.ev.name]++
+			continue
+		}
+		shown[it.ev.name]++
+		fmt.Fprintf(w, "%s%s%s\n", body, it.ev.name, formatAttrs(it.ev.attrs))
+	}
+	if len(elided) > 0 {
+		names := make([]string, 0, len(elided))
+		for name := range elided {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		parts := make([]string, len(names))
+		for i, name := range names {
+			parts[i] = fmt.Sprintf("%s ×%d", name, elided[name])
+		}
+		fmt.Fprintf(w, "%s(+ %s elided)\n", body, strings.Join(parts, ", "))
+	}
+}
+
+// formatAttrs renders attributes as " k=v k=v"; strings containing
+// spaces, quotes or control characters are quoted.
+func formatAttrs(attrs []Attr) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, a := range attrs {
+		b.WriteByte(' ')
+		b.WriteString(a.key)
+		b.WriteByte('=')
+		switch a.kind {
+		case kindString:
+			if strings.ContainsAny(a.str, " \t\n\r\"=") || a.str == "" {
+				b.WriteString(strconv.Quote(a.str))
+			} else {
+				b.WriteString(a.str)
+			}
+		case kindInt:
+			b.WriteString(strconv.FormatInt(a.i, 10))
+		case kindFloat:
+			if math.IsNaN(a.f) || math.IsInf(a.f, 0) {
+				fmt.Fprintf(&b, "%v", a.f)
+			} else {
+				b.WriteString(strconv.FormatFloat(a.f, 'g', -1, 64))
+			}
+		case kindBool:
+			b.WriteString(strconv.FormatBool(a.b))
+		}
+	}
+	return b.String()
+}

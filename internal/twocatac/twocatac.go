@@ -26,7 +26,10 @@ type Metrics struct {
 	// variant (always 0 on the paper-verbatim recursion).
 	MemoHits   *obs.Counter
 	MemoMisses *obs.Counter
-	// Sched carries the shared binary-search/stage-packing series.
+	// Sched carries the shared binary-search/stage-packing series and the
+	// decision-journal scope (Sched.Trace): the recursion emits one
+	// "node" event per branch point and "memo_hit" events for collapsed
+	// subtrees, nested under the current binary-search probe span.
 	Sched sched.Metrics
 }
 
@@ -94,6 +97,10 @@ func ComputeSolution(c *core.Chain, s int, r core.Resources, target float64) cor
 func computeSolutionMemo(c *core.Chain, s int, r core.Resources, target float64, memo map[memoKey]core.Solution, m Metrics) core.Solution {
 	if got, ok := memo[memoKey{s, r.Big, r.Little}]; ok {
 		m.MemoHits.Inc()
+		if m.Sched.Trace.Enabled() {
+			m.Sched.Trace.Event("memo_hit").Int("first_task", s).
+				Int("big", r.Big).Int("little", r.Little)
+		}
 		return got
 	}
 	m.MemoMisses.Inc()
@@ -124,7 +131,17 @@ func computeSolution(c *core.Chain, s int, r core.Resources, target float64, mem
 			}
 		}
 	}
-	return ChooseBestSolution(c, sols[core.Big], sols[core.Little], r, target)
+	best := ChooseBestSolution(c, sols[core.Big], sols[core.Little], r, target)
+	if m.Sched.Trace.Enabled() {
+		ev := m.Sched.Trace.Event("node").Int("first_task", s).
+			Int("big", r.Big).Int("little", r.Little).
+			Bool("big_valid", sols[core.Big].IsValid(c, r, target)).
+			Bool("little_valid", sols[core.Little].IsValid(c, r, target))
+		if !best.IsEmpty() {
+			ev.Str("chosen", best.Stages[0].Type.String())
+		}
+	}
+	return best
 }
 
 // ChooseBestSolution implements Algo 6: between two candidate solutions it
