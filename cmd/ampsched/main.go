@@ -24,6 +24,9 @@
 //	-interframe N frames per pipeline slot for throughput reporting
 //	-json         print the schedule as JSON
 //	-colocate     fuse adjacent light single-core stages (§VII extension)
+//	-workers N    wavefront workers for HeRAD's DP fill (0 = one per CPU,
+//	              1 = serial); the schedule is bit-identical for every
+//	              value, only the wall clock changes
 //	-power        report watts and mJ/frame under the default power model
 //	-trace FILE   with -run: dump a Chrome trace of the pipeline execution
 //	-stats        report scheduler metrics (binary-search probes, DP
@@ -104,6 +107,7 @@ type config struct {
 	json       bool
 	colocate   bool
 	power      bool
+	workers    int    // wavefront workers for HeRAD's DP fill (0 = GOMAXPROCS)
 	trace      string // Chrome trace output path (requires run)
 	stats      bool   // report scheduler metrics after the schedules
 	explain    bool   // print the decision-trace narrative
@@ -132,6 +136,7 @@ func main() {
 	flag.BoolVar(&cfg.json, "json", false, "print the schedule as JSON")
 	flag.BoolVar(&cfg.colocate, "colocate", false, "fuse adjacent light single-core stages (saves cores at equal period)")
 	flag.BoolVar(&cfg.power, "power", false, "report power/energy under the default power model")
+	flag.IntVar(&cfg.workers, "workers", 0, "wavefront workers for HeRAD's DP fill (0 = one per CPU, 1 = serial; schedules are identical)")
 	flag.StringVar(&cfg.trace, "trace", "", "with -run: write a Chrome trace (chrome://tracing) to this file")
 	flag.BoolVar(&cfg.stats, "stats", false, "report scheduler metrics (table, or obs report in -json mode)")
 	flag.BoolVar(&cfg.explain, "explain", false, "print the decision-trace narrative after the schedules")
@@ -228,7 +233,7 @@ func mainErr(cfg config) error {
 	}
 	t := report.NewTable(header...)
 	pm := core.DefaultPowerModel()
-	opts := strategy.Options{Colocate: cfg.colocate, Metrics: reg, Trace: runSpan}
+	opts := strategy.Options{Colocate: cfg.colocate, Metrics: reg, Trace: runSpan, Workers: cfg.workers}
 	for _, sc := range scheds {
 		name := sc.Name()
 		sol := sc.Schedule(chain, r, opts)

@@ -1,17 +1,26 @@
-// Command benchreport runs the repository's observability micro-benchmarks
-// — the strategy registry dispatch, the obs metrics layer, and the decision-
-// trace journal — and writes a machine-readable JSON report with ns/op,
-// allocs/op and B/op per benchmark. CI publishes the report as an artifact
-// next to the coverage profile so instrumentation-cost regressions show up
-// in review instead of in production.
+// Command benchreport runs the repository's performance micro-benchmarks —
+// the strategy registry dispatch, the obs metrics layer, the decision-trace
+// journal, and the HeRAD wavefront scaling sweep — and writes a machine-
+// readable JSON report with ns/op, allocs/op and B/op per benchmark. CI
+// publishes the report as an artifact next to the coverage profile so
+// performance regressions show up in review instead of in production.
 //
-// The report also enforces the repository's hard observability guarantees:
-// every benchmark of a disabled (nil-sink, nil-journal) path must measure
-// exactly 0 allocs/op, and benchreport exits non-zero when one does not.
+// The report also enforces the repository's hard guarantees:
+//
+//   - every benchmark of a disabled (nil-sink, nil-journal) path must
+//     measure exactly 0 allocs/op;
+//   - with -baseline, every guarded benchmark (the serial workers=1 HeRAD
+//     fills) must stay within -maxregress percent of the committed report.
+//     Machines differ, so the comparison is normalized by the calibrate/
+//     benchmark measured in the same run: what is gated is the ratio of a
+//     guarded fill to a small serial fill, not raw nanoseconds.
+//
+// benchreport exits non-zero when either check fails.
 //
 // Usage:
 //
-//	benchreport [-o BENCH_PR4.json] [-benchtime 100ms] [-list]
+//	benchreport [-o BENCH_PR5.json] [-benchtime 100ms] [-match herad]
+//	            [-baseline BENCH_PR5.json] [-maxregress 25] [-list]
 package main
 
 import (
@@ -21,10 +30,12 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"ampsched/internal/chaingen"
 	"ampsched/internal/core"
+	"ampsched/internal/herad"
 	"ampsched/internal/obs"
 	"ampsched/internal/strategy"
 	"ampsched/internal/trace"
@@ -43,6 +54,9 @@ type Result struct {
 	// PinZeroAllocs marks the disabled-path benchmarks whose allocs/op
 	// must be exactly zero (enforced, not just reported).
 	PinZeroAllocs bool `json:"pin_zero_allocs,omitempty"`
+	// Guard marks the benchmarks gated against a -baseline report: the
+	// serial HeRAD fills whose calibrated ns/op must not regress.
+	Guard bool `json:"guard,omitempty"`
 }
 
 // Report is the full benchmark export.
@@ -60,22 +74,42 @@ type Report struct {
 type bench struct {
 	name    string
 	pinZero bool
+	guard   bool
 	fn      func(n int)
 }
 
+// gateOptions configures the -baseline regression gate.
+type gateOptions struct {
+	baseline   string  // committed report path; empty disables the gate
+	maxRegress float64 // allowed calibrated slowdown, percent
+}
+
 func main() {
-	out := flag.String("o", "BENCH_PR4.json", "report output path")
+	out := flag.String("o", "BENCH_PR5.json", "report output path")
 	benchtime := flag.Duration("benchtime", 100*time.Millisecond, "target measuring time per benchmark")
+	match := flag.String("match", "", "run only benchmarks whose name contains this substring")
+	baseline := flag.String("baseline", "", "committed report to gate guarded benchmarks against")
+	maxRegress := flag.Float64("maxregress", 25, "allowed calibrated slowdown vs -baseline, percent")
 	list := flag.Bool("list", false, "list benchmark names and exit")
 	flag.Parse()
-	if err := mainErr(*out, *benchtime, *list, os.Stdout); err != nil {
+	g := gateOptions{baseline: *baseline, maxRegress: *maxRegress}
+	if err := mainErr(*out, *benchtime, *match, g, *list, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "benchreport:", err)
 		os.Exit(1)
 	}
 }
 
-func mainErr(out string, benchtime time.Duration, list bool, w io.Writer) error {
+func mainErr(out string, benchtime time.Duration, match string, g gateOptions, list bool, w io.Writer) error {
 	benches := benchmarks()
+	if match != "" {
+		kept := benches[:0]
+		for _, b := range benches {
+			if strings.Contains(b.name, match) || b.name == calibrateName {
+				kept = append(kept, b)
+			}
+		}
+		benches = kept
+	}
 	if list {
 		for _, b := range benches {
 			fmt.Fprintln(w, b.name)
@@ -121,6 +155,72 @@ func mainErr(out string, benchtime time.Duration, list bool, w io.Writer) error 
 	if len(pinFailures) > 0 {
 		return fmt.Errorf("%d disabled-path benchmark(s) allocate", len(pinFailures))
 	}
+	if g.baseline != "" {
+		if err := gate(rep, g, w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// calibrateName is the normalization benchmark of the -baseline gate: a
+// small serial HeRAD fill whose current/baseline ratio captures how much
+// faster or slower this machine is than the one that produced the
+// committed report. Gating the calibrated ratio instead of raw ns/op
+// makes the check portable across CI runner generations.
+const calibrateName = "calibrate/herad_serial"
+
+// gate fails when a guarded benchmark regressed more than g.maxRegress
+// percent against the baseline report, after calibration. Guarded
+// benchmarks missing from the baseline are reported and skipped — a new
+// benchmark has no history to regress against.
+func gate(cur Report, g gateOptions, w io.Writer) error {
+	raw, err := os.ReadFile(g.baseline)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base Report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", g.baseline, err)
+	}
+	baseNs := make(map[string]float64, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseNs[b.Name] = b.NsPerOp
+	}
+	curNs := make(map[string]float64, len(cur.Benchmarks))
+	for _, b := range cur.Benchmarks {
+		curNs[b.Name] = b.NsPerOp
+	}
+	if baseNs[calibrateName] <= 0 || curNs[calibrateName] <= 0 {
+		return fmt.Errorf("gate needs %q in both reports (baseline %v ns/op, current %v ns/op)",
+			calibrateName, baseNs[calibrateName], curNs[calibrateName])
+	}
+	scale := curNs[calibrateName] / baseNs[calibrateName]
+	var failures []string
+	for _, b := range cur.Benchmarks {
+		if !b.Guard || b.Name == calibrateName {
+			continue
+		}
+		bn, ok := baseNs[b.Name]
+		if !ok {
+			fmt.Fprintf(w, "# gate: %s has no baseline entry, skipped\n", b.Name)
+			continue
+		}
+		allowed := bn * scale * (1 + g.maxRegress/100)
+		delta := (b.NsPerOp/(bn*scale) - 1) * 100
+		fmt.Fprintf(w, "# gate: %-40s %+7.1f%% calibrated (limit %+.0f%%)\n", b.Name, delta, g.maxRegress)
+		if b.NsPerOp > allowed {
+			failures = append(failures,
+				fmt.Sprintf("%s: %.0f ns/op exceeds calibrated limit %.0f ns/op (%+.1f%%)",
+					b.Name, b.NsPerOp, allowed, delta))
+		}
+	}
+	for _, fail := range failures {
+		fmt.Fprintln(w, "# GATE VIOLATION:", fail)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d guarded benchmark(s) regressed beyond %.0f%%", len(failures), g.maxRegress)
+	}
 	return nil
 }
 
@@ -146,6 +246,7 @@ func measure(b bench, benchtime time.Duration) Result {
 				AllocsPerOp:   float64(after.Mallocs-before.Mallocs) / float64(n),
 				BytesPerOp:    float64(after.TotalAlloc-before.TotalAlloc) / float64(n),
 				PinZeroAllocs: b.pinZero,
+				Guard:         b.guard,
 			}
 		}
 		// Grow like the testing package: aim for benchtime, capped growth.
@@ -172,7 +273,7 @@ func benchmarks() []bench {
 	exportJournal := trace.New()
 	seedJournal(exportJournal, chains[0], r)
 
-	return []bench{
+	benches := []bench{
 		{name: "registry/schedule_disabled", pinZero: false, fn: func(n int) {
 			for i := 0; i < n; i++ {
 				if s := herad.Schedule(chains[i%len(chains)], r, strategy.Options{}); s.IsEmpty() {
@@ -257,6 +358,48 @@ func benchmarks() []bench {
 			}
 		}},
 	}
+	return append(benches, heradScaling()...)
+}
+
+// heradScaling builds the wavefront sweep: HeRAD's DP fill across growing
+// (tasks, big, little) problem sizes, each at 1, 2 and 4 workers. Every
+// size clears parGrain on its widest diagonals, so the pool genuinely
+// engages; whether it helps is what the report measures (num_cpu records
+// how many cores the run actually had). The workers=1 rows are guarded —
+// the serial fill is the path every machine depends on — and the small
+// calibrate fill anchors the cross-machine normalization of the gate.
+func heradScaling() []bench {
+	sizes := []struct {
+		n, b, l int
+	}{{24, 8, 8}, {48, 16, 16}, {64, 24, 24}}
+	out := []bench{{name: calibrateName, guard: false, fn: func(n int) {
+		c := chaingen.GenerateMany(chaingen.Default(20, 0.5), 7, 1)[0]
+		r := core.Resources{Big: 8, Little: 8}
+		for i := 0; i < n; i++ {
+			if s := herad.ScheduleOpts(c, r, herad.Options{Workers: 1}); s.IsEmpty() {
+				panic("no schedule")
+			}
+		}
+	}}}
+	for _, sz := range sizes {
+		c := chaingen.GenerateMany(chaingen.Default(sz.n, 0.5), 11, 1)[0]
+		r := core.Resources{Big: sz.b, Little: sz.l}
+		for _, workers := range []int{1, 2, 4} {
+			workers := workers
+			out = append(out, bench{
+				name:  fmt.Sprintf("herad/wavefront/n%d_b%d_l%d/workers=%d", sz.n, sz.b, sz.l, workers),
+				guard: workers == 1,
+				fn: func(n int) {
+					for i := 0; i < n; i++ {
+						if s := herad.ScheduleOpts(c, r, herad.Options{Workers: workers}); s.IsEmpty() {
+							panic("no schedule")
+						}
+					}
+				},
+			})
+		}
+	}
+	return out
 }
 
 // seedJournal fills j with a real scheduling trace: every registered

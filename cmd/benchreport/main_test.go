@@ -15,7 +15,7 @@ func TestMainErrWritesReport(t *testing.T) {
 	var buf bytes.Buffer
 	// Tiny benchtime: the calibration loop still runs every benchmark at
 	// least twice (warm-up + measurement) so the report is complete.
-	if err := mainErr(out, time.Microsecond, false, &buf); err != nil {
+	if err := mainErr(out, time.Microsecond, "", gateOptions{}, false, &buf); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -60,7 +60,7 @@ func TestMainErrWritesReport(t *testing.T) {
 
 func TestMainErrList(t *testing.T) {
 	var buf bytes.Buffer
-	if err := mainErr("", 0, true, &buf); err != nil {
+	if err := mainErr("", 0, "", gateOptions{}, true, &buf); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Fields(buf.String())
@@ -77,8 +77,110 @@ func TestMainErrList(t *testing.T) {
 func TestMainErrBadOutputPath(t *testing.T) {
 	var buf bytes.Buffer
 	err := mainErr(filepath.Join(t.TempDir(), "missing-dir", "bench.json"),
-		time.Microsecond, false, &buf)
+		time.Microsecond, "", gateOptions{}, false, &buf)
 	if err == nil {
 		t.Fatal("unwritable output path accepted")
+	}
+}
+
+func TestMainErrMatchFilters(t *testing.T) {
+	var buf bytes.Buffer
+	if err := mainErr("", 0, "herad/wavefront", gateOptions{}, true, &buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Fields(buf.String())
+	if len(lines) == 0 || len(lines) >= len(benchmarks()) {
+		t.Fatalf("-match kept %d of %d benchmarks:\n%s", len(lines), len(benchmarks()), buf.String())
+	}
+	for _, l := range lines {
+		if !strings.Contains(l, "herad/wavefront") && l != calibrateName {
+			t.Errorf("-match leaked %q", l)
+		}
+	}
+	// The calibration anchor survives every filter — the gate needs it.
+	if !strings.Contains(buf.String(), calibrateName) {
+		t.Errorf("-match dropped %s", calibrateName)
+	}
+}
+
+// gateReport builds a minimal report for gate unit tests.
+func gateReport(ns map[string]float64, guarded ...string) Report {
+	g := map[string]bool{}
+	for _, n := range guarded {
+		g[n] = true
+	}
+	rep := Report{Schema: Schema, Tool: "benchreport"}
+	for name, v := range ns {
+		rep.Benchmarks = append(rep.Benchmarks, Result{Name: name, NsPerOp: v, Guard: g[name]})
+	}
+	return rep
+}
+
+func TestGateCalibratedComparison(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	writeReport := func(path string, rep Report) {
+		data, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeReport(base, gateReport(map[string]float64{
+		calibrateName: 100,
+		"herad/w1":    1000,
+	}))
+	opts := gateOptions{baseline: base, maxRegress: 25}
+	var buf bytes.Buffer
+	// Same machine, +20%: within the 25% budget.
+	cur := gateReport(map[string]float64{calibrateName: 100, "herad/w1": 1200}, "herad/w1")
+	if err := gate(cur, opts, &buf); err != nil {
+		t.Errorf("20%% regression rejected under a 25%% budget: %v", err)
+	}
+	// Same machine, +30%: over budget.
+	cur = gateReport(map[string]float64{calibrateName: 100, "herad/w1": 1300}, "herad/w1")
+	if err := gate(cur, opts, &buf); err == nil {
+		t.Error("30% regression accepted under a 25% budget")
+	}
+	// A machine 2x slower across the board: calibration cancels it out.
+	cur = gateReport(map[string]float64{calibrateName: 200, "herad/w1": 2200}, "herad/w1")
+	if err := gate(cur, opts, &buf); err != nil {
+		t.Errorf("uniformly slower machine rejected despite calibration: %v", err)
+	}
+	// Guarded benchmark new in this run: skipped, not failed.
+	cur = gateReport(map[string]float64{calibrateName: 100, "herad/new": 999999}, "herad/new")
+	buf.Reset()
+	if err := gate(cur, opts, &buf); err != nil {
+		t.Errorf("benchmark without baseline entry failed the gate: %v", err)
+	}
+	if !strings.Contains(buf.String(), "no baseline entry") {
+		t.Errorf("missing-baseline skip not reported:\n%s", buf.String())
+	}
+	// Baseline without the calibration anchor: explicit error.
+	writeReport(base, gateReport(map[string]float64{"herad/w1": 1000}))
+	cur = gateReport(map[string]float64{calibrateName: 100, "herad/w1": 1000}, "herad/w1")
+	if err := gate(cur, opts, &buf); err == nil {
+		t.Error("gate ran without a calibration benchmark in the baseline")
+	}
+}
+
+func TestMainErrGateAgainstOwnReport(t *testing.T) {
+	// End to end: a run gated against its own freshly written report must
+	// pass — zero regression by construction.
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var buf bytes.Buffer
+	if err := mainErr(out, time.Microsecond, "herad", gateOptions{}, false, &buf); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	out2 := filepath.Join(t.TempDir(), "bench2.json")
+	err := mainErr(out2, time.Microsecond, "herad", gateOptions{baseline: out, maxRegress: 400}, false, &buf)
+	if err != nil {
+		t.Fatalf("self-gate failed: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "# gate:") {
+		t.Errorf("gate produced no comparison lines:\n%s", buf.String())
 	}
 }

@@ -17,13 +17,18 @@
 //	-real        execute Table II schedules on the streampu runtime
 //	-scale S     time scale for -real runs (default 10)
 //	-workers N   concurrent planning workers (default 0 = one per CPU)
+//	-cache       reuse schedules across identical planning requests
+//	             (default true; results are identical either way, only
+//	             repeated scenarios get cheaper — e.g. fig1/fig6 re-use
+//	             table1's campaign). -cache=false re-solves everything.
 //	-metrics F   write a machine-readable metrics report (default
 //	             metrics.json; "" disables collection entirely)
 //
 // The metrics report aggregates every scheduler-side series the run
-// produced (per-strategy counters/timers, PlanBatch batch series,
-// streampu stage occupancy for -real runs) plus Go runtime statistics;
-// see internal/obs.Report for the schema.
+// produced (per-strategy counters/timers, PlanBatch batch series
+// including planbatch.cache.hits/misses, streampu stage occupancy for
+// -real runs) plus Go runtime statistics; see internal/obs.Report for
+// the schema.
 package main
 
 import (
@@ -37,6 +42,7 @@ import (
 	"ampsched/internal/obs"
 	"ampsched/internal/report"
 	"ampsched/internal/stats"
+	"ampsched/internal/strategy"
 )
 
 func main() {
@@ -47,6 +53,7 @@ func main() {
 	real := flag.Bool("real", false, "run Table II schedules on the streampu runtime (wall clock)")
 	scale := flag.Float64("scale", 10, "time scale for -real runs")
 	workers := flag.Int("workers", 0, "concurrent planning workers (0 = one per CPU, 1 = serial)")
+	cache := flag.Bool("cache", true, "reuse schedules across identical planning requests")
 	metrics := flag.String("metrics", "metrics.json", `metrics report path ("" disables collection)`)
 	flag.Parse()
 
@@ -66,6 +73,9 @@ func main() {
 	}
 	if app.metricsPath != "" {
 		app.reg = obs.NewRegistry()
+	}
+	if *cache {
+		app.cache = strategy.NewCache()
 	}
 	if err := app.run(cmd); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -88,6 +98,11 @@ type app struct {
 	// collection (then the strategies run their uninstrumented paths).
 	reg         *obs.Registry
 	metricsPath string
+
+	// cache is the app-wide schedule cache shared by every campaign of
+	// the run, so e.g. fig6's Table I re-run hits table1's entries; nil
+	// (-cache=false) re-solves every request.
+	cache *strategy.Cache
 
 	t1cache []experiments.Table1Cell
 }
@@ -163,6 +178,7 @@ func (a *app) table1Cells() []experiments.Table1Cell {
 		cfg.Chains = a.chains
 		cfg.Workers = a.workers
 		cfg.Metrics = a.reg
+		cfg.Cache = a.cache
 		a.t1cache = experiments.Table1(cfg)
 	}
 	return a.t1cache
@@ -214,6 +230,7 @@ func (a *app) fig2() error {
 	cfg.Chains = a.chains
 	cfg.Workers = a.workers
 	cfg.Metrics = a.reg
+	cfg.Cache = a.cache
 	res := experiments.Fig2(cfg)
 	fmt.Printf("Fig. 2 — FERTAC−HeRAD core-usage deltas, R=%v SR=%.1f (%d chains)\n\n",
 		res.R, res.SR, res.All.Total())
@@ -317,6 +334,7 @@ func (a *app) table2() ([]experiments.Table2Row, error) {
 	cfg.TimeScale = a.scale
 	cfg.Workers = a.workers
 	cfg.Metrics = a.reg
+	cfg.Cache = a.cache
 	rows, err := experiments.Table2(cfg)
 	if err != nil {
 		return nil, err
@@ -391,11 +409,13 @@ func (a *app) fig6() error {
 	cfg.Chains = min(a.chains, 200)
 	cfg.Workers = a.workers
 	cfg.Metrics = a.reg
+	cfg.Cache = a.cache
 	t1 := experiments.Table1(cfg)
 	t2cfg := experiments.DefaultTable2Config()
 	t2cfg.RunReal = a.real
 	t2cfg.Workers = a.workers
 	t2cfg.Metrics = a.reg
+	t2cfg.Cache = a.cache
 	t2, err := experiments.Table2(t2cfg)
 	if err != nil {
 		return err
@@ -423,6 +443,7 @@ func (a *app) sensitivity() error {
 	cfg.Chains = min(a.chains, 200)
 	cfg.Workers = a.workers
 	cfg.Metrics = a.reg
+	cfg.Cache = a.cache
 	fmt.Printf("Sensitivity extension (%d chains per point, SR=%.1f)\n\n", cfg.Chains, cfg.SR)
 
 	fmt.Println("-- heuristic quality vs number of tasks, R=(10B,10L)")
@@ -446,7 +467,7 @@ func (a *app) sensitivity() error {
 
 // latency runs the pipeline-depth / end-to-end-latency extension.
 func (a *app) latency() error {
-	rows, err := experiments.Latency(a.reg)
+	rows, err := experiments.Latency(a.reg, a.cache)
 	if err != nil {
 		return err
 	}

@@ -9,14 +9,18 @@ import (
 	"testing"
 
 	"ampsched/internal/obs"
+	"ampsched/internal/strategy"
 )
 
 // runWithMetrics executes one campaign with metrics collection enabled
-// and returns the raw metrics.json bytes.
+// and returns the raw metrics.json bytes. The app gets its own solution
+// cache, as the binary does by default, so the report carries the
+// planbatch.cache.* series.
 func runWithMetrics(t *testing.T, cmd, path string) []byte {
 	t.Helper()
 	a := testApp()
 	a.reg = obs.NewRegistry()
+	a.cache = strategy.NewCache()
 	a.metricsPath = path
 	quietly(t, func() error { return a.run(cmd) })
 	if err := a.writeMetrics(); err != nil {
@@ -81,6 +85,34 @@ func TestMetricsReportDeterministic(t *testing.T) {
 	if len(a) <= len(`{"series":[]}`) {
 		t.Fatalf("normalized report carries no series: %s", a)
 	}
+	// The cache counters are part of the deterministic set (the pre-pass
+	// classifies requests serially), and the sensitivity campaign genuinely
+	// exercises hits: its task sweep and resource sweep share the
+	// (20 tasks, R=(10,10)) scenario, chains and all.
+	counts := seriesCounts(t, first)
+	hits, okH := counts["planbatch.cache.hits"]
+	misses, okM := counts["planbatch.cache.misses"]
+	if !okH || !okM {
+		t.Fatalf("cache series missing from the report: hits=%v misses=%v", okH, okM)
+	}
+	if hits <= 0 || misses <= 0 {
+		t.Errorf("cache counters degenerate: hits=%d misses=%d (the shared scenario should hit)",
+			hits, misses)
+	}
+}
+
+// seriesCounts extracts the counter values of a metrics report by name.
+func seriesCounts(t *testing.T, data []byte) map[string]int64 {
+	t.Helper()
+	var report obs.Report
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]int64{}
+	for _, s := range report.Series {
+		out[s.Name] = s.Count
+	}
+	return out
 }
 
 // TestMetricsReportShape pins the report schema cmd/experiments writes:
@@ -109,6 +141,7 @@ func TestMetricsReportShape(t *testing.T) {
 		"herad.schedule.calls", "herad.herad.dp.cells",
 		"fertac.sched.search.iterations", "2catac.twocatac.recursion.nodes",
 		"otac_b.otac.compute.calls", "planbatch.requests",
+		"planbatch.cache.hits", "planbatch.cache.misses",
 	} {
 		if !names[want] {
 			t.Errorf("series %q missing from the report (have %d series)", want, len(report.Series))

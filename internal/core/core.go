@@ -108,6 +108,7 @@ type Chain struct {
 	tasks     []Task
 	prefix    [NumCoreTypes][]float64 // prefix[v][i] = Σ weight of tasks[0:i] on v
 	seqPrefix []int                   // seqPrefix[i] = #sequential tasks in tasks[0:i]
+	fp        uint64                  // stable content hash, see Fingerprint
 }
 
 // NewChain builds a chain from tasks. It returns an error if the chain is
@@ -134,6 +135,7 @@ func NewChain(tasks []Task) (*Chain, error) {
 			c.seqPrefix[i+1]++
 		}
 	}
+	c.fp = fingerprintTasks(c.tasks)
 	return c, nil
 }
 
@@ -173,12 +175,22 @@ func (c *Chain) IsRep(s, e int) bool {
 
 // FinalRepTask returns the largest index i ≥ e such that [s, i] is fully
 // replicable (paper's FinalRepTask, Algo 3). It assumes IsRep(s, e).
+// seqPrefix is non-decreasing, so the boundary is found by binary search
+// in O(log n) instead of walking the replicable run.
 func (c *Chain) FinalRepTask(s, e int) int {
-	i := e
-	for i+1 < len(c.tasks) && c.tasks[i+1].Replicable {
-		i++
+	// [s, i] is fully replicable ⟺ no sequential task in (e, i], i.e.
+	// seqPrefix[i+1] == seqPrefix[e+1] (IsRep(s, e) covers the prefix).
+	want := c.seqPrefix[e+1]
+	lo, hi := e, len(c.tasks)-1
+	for lo < hi {
+		mid := int(uint(lo+hi+1) >> 1)
+		if c.seqPrefix[mid+1] == want {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
 	}
-	return i
+	return lo
 }
 
 // Weight implements Eq. 1: the weight of the stage holding tasks s..e

@@ -1,0 +1,55 @@
+package core
+
+import "math"
+
+// FNV-1a 64-bit parameters (FNV is the repository's standard content hash:
+// stable across processes, allocation-free, and fast enough to compute at
+// chain construction).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnvUint64 folds the 8 little-endian bytes of v into h.
+func fnvUint64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = (h ^ (v & 0xff)) * fnvPrime64
+		v >>= 8
+	}
+	return h
+}
+
+// fnvByte folds one byte into h.
+func fnvByte(h uint64, b byte) uint64 {
+	return (h ^ uint64(b)) * fnvPrime64
+}
+
+// fingerprintTasks hashes the scheduling-relevant content of a task list:
+// the chain length, then each task's per-type weight bits and its
+// replicability flag, in order. Task names are deliberately excluded —
+// two chains that differ only in naming produce identical schedules under
+// every strategy, so they must share a fingerprint (the property the
+// strategy-layer solution cache relies on).
+func fingerprintTasks(tasks []Task) uint64 {
+	h := uint64(fnvOffset64)
+	h = fnvUint64(h, uint64(len(tasks)))
+	for _, t := range tasks {
+		for v := 0; v < NumCoreTypes; v++ {
+			h = fnvUint64(h, math.Float64bits(t.Weight[v]))
+		}
+		if t.Replicable {
+			h = fnvByte(h, 1)
+		} else {
+			h = fnvByte(h, 0)
+		}
+	}
+	return h
+}
+
+// Fingerprint returns a stable 64-bit FNV-1a hash of the chain's
+// scheduling-relevant content: task count, per-type weights (exact float64
+// bits) and replicability flags, in chain order. Names are excluded. The
+// fingerprint is computed once at construction, so the call is O(1); equal
+// fingerprints identify chains that are interchangeable inputs for every
+// scheduling strategy (up to the 64-bit collision probability).
+func (c *Chain) Fingerprint() uint64 { return c.fp }

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func fpTask(wb, wl float64, rep bool) Task {
+	return Task{Weight: [NumCoreTypes]float64{Big: wb, Little: wl}, Replicable: rep}
+}
+
+func TestFingerprintDeterministic(t *testing.T) {
+	tasks := []Task{fpTask(10, 20, true), fpTask(5, 5, false), fpTask(3, 9, true)}
+	a := MustChain(tasks)
+	b := MustChain(tasks)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Errorf("same tasks, different fingerprints: %x vs %x", a.Fingerprint(), b.Fingerprint())
+	}
+	if a.Fingerprint() == 0 {
+		t.Error("fingerprint is zero")
+	}
+}
+
+func TestFingerprintIgnoresNames(t *testing.T) {
+	a := MustChain([]Task{{Name: "alpha", Weight: [NumCoreTypes]float64{10, 20}, Replicable: true}})
+	b := MustChain([]Task{{Name: "beta", Weight: [NumCoreTypes]float64{10, 20}, Replicable: true}})
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("names changed the fingerprint; schedules cannot depend on names")
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := []Task{fpTask(10, 20, true), fpTask(5, 5, false)}
+	fp := MustChain(base).Fingerprint()
+	variants := map[string][]Task{
+		"big weight":    {fpTask(11, 20, true), fpTask(5, 5, false)},
+		"little weight": {fpTask(10, 21, true), fpTask(5, 5, false)},
+		"replicability": {fpTask(10, 20, false), fpTask(5, 5, false)},
+		"order":         {fpTask(5, 5, false), fpTask(10, 20, true)},
+		"shorter":       {fpTask(10, 20, true)},
+		"longer":        {fpTask(10, 20, true), fpTask(5, 5, false), fpTask(5, 5, false)},
+		"swapped types": {fpTask(20, 10, true), fpTask(5, 5, false)},
+	}
+	for name, tasks := range variants {
+		if got := MustChain(tasks).Fingerprint(); got == fp {
+			t.Errorf("%s variant collides with the base fingerprint", name)
+		}
+	}
+}
+
+// TestFingerprintZeroVsAbsent guards the classic concatenation ambiguity:
+// a task with zero weights must not hash like a missing task.
+func TestFingerprintZeroVsAbsent(t *testing.T) {
+	a := MustChain([]Task{fpTask(10, 20, true), fpTask(0, 0, true)})
+	b := MustChain([]Task{fpTask(10, 20, true)})
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Error("trailing zero-weight task collides with the shorter chain")
+	}
+}
+
+// TestFingerprintCollisions generates a large population of random chains
+// and checks that distinct contents never collide. With 20k 64-bit
+// fingerprints the accidental-collision probability is ~10⁻¹¹, so any
+// collision observed here is a real hashing defect.
+func TestFingerprintCollisions(t *testing.T) {
+	rng := rand.New(rand.NewSource(20250806))
+	type seenChain struct {
+		tasks []Task
+		fp    uint64
+	}
+	byFP := map[uint64][]seenChain{}
+	sameContent := func(a, b []Task) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i].Weight != b[i].Weight || a[i].Replicable != b[i].Replicable {
+				return false
+			}
+		}
+		return true
+	}
+	for iter := 0; iter < 20000; iter++ {
+		n := 1 + rng.Intn(12)
+		tasks := make([]Task, n)
+		for i := range tasks {
+			tasks[i] = fpTask(float64(1+rng.Intn(40)), float64(1+rng.Intn(40)), rng.Intn(2) == 0)
+		}
+		fp := MustChain(tasks).Fingerprint()
+		for _, prev := range byFP[fp] {
+			if !sameContent(prev.tasks, tasks) {
+				t.Fatalf("collision: %+v and %+v share fingerprint %x", prev.tasks, tasks, fp)
+			}
+		}
+		byFP[fp] = append(byFP[fp], seenChain{tasks: tasks, fp: fp})
+	}
+}
+
+func TestFinalRepTaskMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 2000; iter++ {
+		n := 1 + rng.Intn(20)
+		tasks := make([]Task, n)
+		for i := range tasks {
+			tasks[i] = fpTask(1, 1, rng.Intn(3) > 0)
+		}
+		c := MustChain(tasks)
+		for s := 0; s < n; s++ {
+			for e := s; e < n; e++ {
+				if !c.IsRep(s, e) {
+					continue
+				}
+				want := e
+				for want+1 < n && tasks[want+1].Replicable {
+					want++
+				}
+				if got := c.FinalRepTask(s, e); got != want {
+					t.Fatalf("FinalRepTask(%d,%d) = %d, want %d (tasks %+v)", s, e, got, want, tasks)
+				}
+			}
+		}
+	}
+}

@@ -53,7 +53,7 @@ func Fig2(cfg Table1Config) Fig2Result {
 	chains := chaingen.GenerateMany(chaingen.Default(cfg.Tasks, sr), cfg.Seed+int64(sr*1000), cfg.Chains)
 	pair := []string{StratHeRAD, StratFERTAC}
 	results := strategy.PlanBatch(crossRequests(chains, r, pair,
-		strategy.Options{Metrics: cfg.Metrics}), cfg.Workers)
+		strategy.Options{Metrics: cfg.Metrics, Cache: cfg.Cache}), cfg.Workers)
 	for i := range chains {
 		h, f := results[2*i], results[2*i+1]
 		hb, hl := h.Solution.CoresUsed()

@@ -35,8 +35,10 @@ type LatencyRow struct {
 // Latency runs the study over the paper's four platform configurations.
 // Scheduling fans out through strategy.PlanBatch; the discrete-event
 // simulations stay serial (they are the dominant cost but deterministic
-// either way). A non-nil m collects the scheduling metrics.
-func Latency(m *obs.Registry) ([]LatencyRow, error) {
+// either way). A non-nil m collects the scheduling metrics; a non-nil
+// cache reuses schedules across identical requests (the rows do not
+// depend on either).
+func Latency(m *obs.Registry, cache *strategy.Cache) ([]LatencyRow, error) {
 	type job struct {
 		plat *platform.Platform
 		r    core.Resources
@@ -51,7 +53,7 @@ func Latency(m *obs.Registry) ([]LatencyRow, error) {
 				jobs = append(jobs, job{plat: p, r: r, name: name})
 				reqs = append(reqs, strategy.Request{
 					Chain: c, Resources: r, Scheduler: mustScheduler(name),
-					Options: strategy.Options{Metrics: m}, Label: name,
+					Options: strategy.Options{Metrics: m, Cache: cache}, Label: name,
 				})
 			}
 		}

@@ -3,7 +3,7 @@ package experiments
 import "testing"
 
 func TestLatencyExtension(t *testing.T) {
-	rows, err := Latency(nil)
+	rows, err := Latency(nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

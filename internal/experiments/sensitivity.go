@@ -32,6 +32,9 @@ type SensitivityConfig struct {
 	Workers int
 	// Metrics, when non-nil, collects the sweep's strategy series.
 	Metrics *obs.Registry
+	// Cache, when non-nil, reuses solutions across identical requests
+	// (strategy.Options.Cache). The points do not depend on it.
+	Cache *strategy.Cache
 }
 
 // DefaultSensitivityConfig returns a laptop-sized configuration.
@@ -67,7 +70,7 @@ func sensitivityScenario(cfg SensitivityConfig, n int, r core.Resources, x int) 
 		names = append(names, name)
 	}
 	results := strategy.PlanBatch(crossRequests(chains, r, names,
-		strategy.Options{Metrics: cfg.Metrics}), cfg.Workers)
+		strategy.Options{Metrics: cfg.Metrics, Cache: cfg.Cache}), cfg.Workers)
 	slow := map[string][]float64{}
 	stride := len(names)
 	for i := range chains {

@@ -34,6 +34,11 @@ type Table1Config struct {
 	// PlanBatch series (strategy.Options.Metrics). The table cells do
 	// not depend on it.
 	Metrics *obs.Registry
+	// Cache, when non-nil, reuses solutions across identical (chain,
+	// resources, strategy) requests — e.g. when Fig. 1/2 or the Fig. 6
+	// roll-up revisit Table I scenarios. Results are identical with or
+	// without it (strategy.Options.Cache).
+	Cache *strategy.Cache
 }
 
 // DefaultTable1Config returns the paper's configuration.
@@ -85,7 +90,7 @@ func table1Scenario(cfg Table1Config, r core.Resources, sr float64) []Table1Cell
 	chains := chaingen.GenerateMany(chaingen.Default(cfg.Tasks, sr), seed, cfg.Chains)
 
 	results := strategy.PlanBatch(crossRequests(chains, r, Strategies,
-		strategy.Options{Metrics: cfg.Metrics}), cfg.Workers)
+		strategy.Options{Metrics: cfg.Metrics, Cache: cfg.Cache}), cfg.Workers)
 	periods := map[string][]float64{}
 	usedB := map[string][]float64{}
 	usedL := map[string][]float64{}

@@ -34,6 +34,10 @@ type Table2Config struct {
 	// RunReal rows — per-run streampu stage-occupancy gauges under
 	// "<row id>.streampu.*". The table itself does not depend on it.
 	Metrics *obs.Registry
+	// Cache, when non-nil, reuses schedules across identical requests —
+	// the Fig. 5/6 roll-ups recompute Table II (strategy.Options.Cache).
+	// The rows do not depend on it.
+	Cache *strategy.Cache
 }
 
 // DefaultTable2Config mirrors the paper's campaign at a laptop-friendly
@@ -98,7 +102,7 @@ func Table2(cfg Table2Config) ([]Table2Row, error) {
 				jobs = append(jobs, job{p: p, c: c, r: r, st: name, id: fmt.Sprintf("S%d", id)})
 				reqs = append(reqs, strategy.Request{
 					Chain: c, Resources: r, Scheduler: mustScheduler(name),
-					Options: strategy.Options{Metrics: cfg.Metrics}, Label: name,
+					Options: strategy.Options{Metrics: cfg.Metrics, Cache: cfg.Cache}, Label: name,
 				})
 			}
 		}

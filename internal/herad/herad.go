@@ -11,10 +11,21 @@
 // (single-core inner loop for sequential intervals, plus the stage-merge
 // post-pass), along with a period-dominance pruning of the reverse stage
 // loop that cannot alter either objective.
+//
+// The fill is wavefront-parallel: within row j, cell (j, b, l) depends
+// only on rows < j and on the already-recomputed same-row neighbors
+// (j, b−1, l) and (j, b, l−1), so the cells of each anti-diagonal
+// b+l = const are mutually independent. Options.Workers spreads every
+// sufficiently large diagonal over a worker pool; each cell's value is a
+// pure function of its dependencies, so the result is bit-identical for
+// every worker count (asserted by parallel_test.go under -race).
 package herad
 
 import (
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"ampsched/internal/core"
 	"ampsched/internal/obs"
@@ -86,16 +97,54 @@ func (m *matrix) at(j, rb, rl int) *cell {
 	return &m.cells[(j*(m.b+1)+rb)*(m.l+1)+rl]
 }
 
+// Options carries the scheduling knobs of the DP. The zero value is the
+// default configuration: merged post-pass, GOMAXPROCS wavefront workers,
+// disabled instrumentation.
+type Options struct {
+	// Workers bounds the wavefront worker pool of the DP fill: ≤ 0 uses
+	// GOMAXPROCS, 1 forces the serial fill. The emitted schedule is
+	// bit-identical for every value — only the wall clock changes — and
+	// small problems fall back to the serial fill regardless (see
+	// parGrain). Journaled runs (Metrics.Trace enabled) always fill
+	// serially so the decision journal keeps its deterministic order.
+	Workers int
+	// Raw skips the replicable-stage merge post-pass, exposing schedules
+	// exactly as extracted from the DP matrix.
+	Raw bool
+	// Metrics holds the instrumentation sinks (zero value disables).
+	Metrics Metrics
+}
+
 // Schedule computes the optimal schedule of c on the resources r,
 // including the replicable-stage merge post-pass. It returns the empty
 // solution when no resources are available.
 func Schedule(c *core.Chain, r core.Resources) core.Solution {
-	return ScheduleObs(c, r, Metrics{})
+	return ScheduleOpts(c, r, Options{})
 }
 
 // ScheduleObs is Schedule reporting into om.
 func ScheduleObs(c *core.Chain, r core.Resources, om Metrics) core.Solution {
-	s := ScheduleRawObs(c, r, om)
+	return ScheduleOpts(c, r, Options{Metrics: om})
+}
+
+// ScheduleRaw is Schedule without the stage-merge post-pass, exposing the
+// schedules exactly as extracted from the DP matrix.
+func ScheduleRaw(c *core.Chain, r core.Resources) core.Solution {
+	return ScheduleOpts(c, r, Options{Raw: true})
+}
+
+// ScheduleRawObs is ScheduleRaw reporting into om.
+func ScheduleRawObs(c *core.Chain, r core.Resources, om Metrics) core.Solution {
+	return ScheduleOpts(c, r, Options{Raw: true, Metrics: om})
+}
+
+// ScheduleOpts computes the optimal schedule of c on r under o.
+func ScheduleOpts(c *core.Chain, r core.Resources, o Options) core.Solution {
+	s := scheduleRaw(c, r, o)
+	if o.Raw {
+		return s
+	}
+	om := o.Metrics
 	merged := s.MergeReplicable(c)
 	removed := len(s.Stages) - len(merged.Stages)
 	if removed > 0 {
@@ -108,35 +157,155 @@ func ScheduleObs(c *core.Chain, r core.Resources, om Metrics) core.Solution {
 	return merged
 }
 
-// ScheduleRaw is Schedule without the stage-merge post-pass, exposing the
-// schedules exactly as extracted from the DP matrix.
-func ScheduleRaw(c *core.Chain, r core.Resources) core.Solution {
-	return ScheduleRawObs(c, r, Metrics{})
-}
-
-// ScheduleRawObs is ScheduleRaw reporting into om.
-func ScheduleRawObs(c *core.Chain, r core.Resources, om Metrics) core.Solution {
+func scheduleRaw(c *core.Chain, r core.Resources, o Options) core.Solution {
 	if c == nil || c.Len() == 0 || r.Total() <= 0 || r.Big < 0 || r.Little < 0 {
 		return core.Solution{}
 	}
+	om := o.Metrics
 	n, b, l := c.Len(), r.Big, r.Little
+	workers := o.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if om.Trace.Enabled() {
+		// Journal events must appear in the serial fill order for the
+		// exported journal (and the -explain goldens) to stay byte-exact.
+		workers = 1
+	}
+	if w := maxDiagonal(b, l); workers > w {
+		workers = w // a diagonal never has more cells than min(b,l)+1
+	}
 	dp, exit := om.Trace.Enter("dp_pass")
 	dp.Int("tasks", n).Int("big", b).Int("little", l)
 	m := newMatrix(n, b, l)
 	singleStageSolution(m, c, 1)
+	var pool *wavePool
+	if workers > 1 {
+		pool = newWavePool(m, c, om, workers)
+		defer pool.close()
+	}
 	for e := 2; e <= n; e++ {
 		singleStageSolution(m, c, e)
-		for ub := 0; ub <= b; ub++ {
-			for ul := 0; ul <= l; ul++ {
-				if ub != 0 || ul != 0 {
-					recomputeCell(m, c, e, ub, ul, om)
-				}
-			}
-		}
+		fillRow(m, c, e, om, pool)
 	}
 	exit()
 	return extractSolution(m, c, n, b, l)
 }
+
+// parGrain is the minimum estimated work — candidate comparisons, i.e.
+// width · row · (b+l) — below which a diagonal is filled serially even
+// when a pool is available: distributing a handful of cheap cells costs
+// more in synchronization than it saves. Results are identical either
+// way; only the wall clock depends on the cut-off.
+const parGrain = 4096
+
+// maxDiagonal returns the widest anti-diagonal of a (b+1)×(l+1) row.
+func maxDiagonal(b, l int) int {
+	if b < l {
+		return b + 1
+	}
+	return l + 1
+}
+
+// fillRow recomputes row j of the matrix by anti-diagonal waves: the
+// cells with ub+ul = d only read cells of earlier rows and of diagonal
+// d−1, so each wave's cells are independent and fill concurrently.
+//
+// Every cell is a pure function of earlier-row cells and same-row smaller
+// neighbors — all filled before it under both traversals — so the wave
+// order computes exactly the row-scan matrix. Journaled fills keep the
+// classic (ub, ul) scan anyway: the journal records events in fill order,
+// and exported artifacts (JSONL, -explain goldens) must stay byte-exact
+// with the serial implementation.
+func fillRow(m *matrix, c *core.Chain, j int, om Metrics, pool *wavePool) {
+	if om.Trace.Enabled() {
+		for ub := 0; ub <= m.b; ub++ {
+			for ul := 0; ul <= m.l; ul++ {
+				if ub != 0 || ul != 0 {
+					recomputeCell(m, c, j, ub, ul, om)
+				}
+			}
+		}
+		return
+	}
+	for d := 1; d <= m.b+m.l; d++ {
+		bLo := d - m.l
+		if bLo < 0 {
+			bLo = 0
+		}
+		bHi := d
+		if bHi > m.b {
+			bHi = m.b
+		}
+		width := bHi - bLo + 1
+		if pool == nil || width < 2 || width*j*(m.b+m.l) < parGrain {
+			for ub := bLo; ub <= bHi; ub++ {
+				recomputeCell(m, c, j, ub, d-ub, om)
+			}
+			continue
+		}
+		pool.runDiagonal(j, d, bLo, bHi)
+	}
+}
+
+// wavePool is the persistent worker pool of one DP fill. The coordinator
+// publishes one diagonal at a time (the channel send/receive pairs give
+// the happens-before edges for the fields and for all previously filled
+// cells), the workers and the coordinator claim cells via an atomic
+// cursor, and the WaitGroup closes the wave before the next diagonal —
+// or any dependent serial cell — starts.
+type wavePool struct {
+	m  *matrix
+	c  *core.Chain
+	om Metrics
+
+	work chan struct{} // one token per worker per diagonal
+	wg   sync.WaitGroup
+	next atomic.Int64 // next ub to claim in the current diagonal
+
+	spawned        int // workers beyond the coordinator
+	j, d, bLo, bHi int
+}
+
+func newWavePool(m *matrix, c *core.Chain, om Metrics, workers int) *wavePool {
+	p := &wavePool{m: m, c: c, om: om, spawned: workers - 1}
+	p.work = make(chan struct{})
+	for k := 0; k < p.spawned; k++ {
+		go func() {
+			for range p.work {
+				p.drain()
+				p.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+func (p *wavePool) runDiagonal(j, d, bLo, bHi int) {
+	p.j, p.d, p.bLo, p.bHi = j, d, bLo, bHi
+	p.next.Store(int64(bLo))
+	p.wg.Add(p.spawned)
+	for k := 0; k < p.spawned; k++ {
+		p.work <- struct{}{}
+	}
+	p.drain() // the coordinator computes too
+	p.wg.Wait()
+}
+
+// drain claims and recomputes cells of the current diagonal until none
+// remain. Claims are per-cell: diagonals are at most min(b,l)+1 wide, so
+// cursor contention is negligible next to a cell's O(n·(b+l)) work.
+func (p *wavePool) drain() {
+	for {
+		ub := int(p.next.Add(1)) - 1
+		if ub > p.bHi {
+			return
+		}
+		recomputeCell(p.m, p.c, p.j, ub, p.d-ub, p.om)
+	}
+}
+
+func (p *wavePool) close() { close(p.work) }
 
 // Period returns the optimal period of c on r without materializing the
 // schedule (it still fills the DP matrix).
@@ -187,12 +356,44 @@ func singleStageSolution(m *matrix, c *core.Chain, t int) {
 	}
 }
 
+// stageWeight is core.Chain.Weight (Eq. 1) with the interval sum already
+// in hand: w is SumW(s, e, v), rep is IsRep(s, e). Bit-identical to
+// Weight — same operations in the same order — so hoisting the prefix-sum
+// lookup out of the candidate loops cannot change a single cell.
+func stageWeight(w float64, rep bool, r int) float64 {
+	if r < 1 {
+		return math.Inf(1)
+	}
+	if rep {
+		return w / float64(r)
+	}
+	return w
+}
+
+// dominated reports whether every stage-[i-1, j-1] candidate is period-
+// dominated at pbest: even with all b big or all l little cores the stage
+// weight exceeds pbest. It is non-increasing in i — a longer interval only
+// gains prefix-sum weight and can only lose replicability (dropping the
+// divisor) — which makes the dominance cutoff binary-searchable.
+func dominated(c *core.Chain, j, b, l, i int, pbest float64) bool {
+	rep := c.IsRep(i-1, j-1)
+	return stageWeight(c.SumW(i-1, j-1, core.Big), rep, b) > pbest &&
+		stageWeight(c.SumW(i-1, j-1, core.Little), rep, l) > pbest
+}
+
 // recomputeCell implements Algo 9: it computes P*(j, b, l) by comparing
 // the single-stage seed, the neighbor cells with one less core of either
 // type, and every split point i / core count u for both core types
 // (Eq. 4). The reverse i loop is pruned once even the widest replicated
 // stage exceeds the current best period, and sequential intervals only try
 // a single core.
+//
+// The dominance cutoff is located up front by an O(log n) binary search on
+// the chain's monotone prefix sums (dominated is non-increasing in i), so
+// the loop never visits split points the seed period already rules out.
+// The in-loop check survives because cur.pbest can improve mid-loop and
+// cut even earlier; together the two reproduce the former walk's candidate
+// set, prune count and trace events exactly.
 func recomputeCell(m *matrix, c *core.Chain, j, b, l int, om Metrics) {
 	om.DPCells.Inc()
 	candidates := 0       // accumulated locally to keep the hot loops cheap
@@ -203,21 +404,38 @@ func recomputeCell(m *matrix, c *core.Chain, j, b, l int, om Metrics) {
 	if b > 0 {
 		compareCells(&cur, m.at(j, b-1, l))
 	}
-	for i := j; i >= 1; i-- {
+	// iCut is the largest split point whose stage the seed period already
+	// dominates (0 when none): the reverse loop stops above it. Any
+	// in-loop cut at a larger i would also have stopped the former linear
+	// walk there, so the candidate set is unchanged.
+	iCut := 0
+	if dominated(c, j, b, l, 1, cur.pbest) {
+		lo, hi := 1, j // invariant: dominated(lo); the cutoff is in [lo, hi]
+		for lo < hi {
+			mid := int(uint(lo+hi+1) >> 1)
+			if dominated(c, j, b, l, mid, cur.pbest) {
+				lo = mid
+			} else {
+				hi = mid - 1
+			}
+		}
+		iCut = lo
+	}
+	pruned := iCut >= 1
+	for i := j; i > iCut; i-- {
 		// The candidate stage holds tasks [i-1, j-1] (0-based); its
 		// predecessor subproblem is row i-1. i == 1 reproduces the
 		// single-stage candidates with intermediate core counts.
 		rep := c.IsRep(i-1, j-1)
-		// Period-dominance pruning: stage weight grows as i decreases, so
-		// once the lightest possible stage (all cores of the cheaper type)
-		// exceeds cur.pbest, no candidate at this or any smaller i can win.
-		if c.Weight(i-1, j-1, b, core.Big) > cur.pbest &&
-			c.Weight(i-1, j-1, l, core.Little) > cur.pbest {
-			om.DPPruned.Inc()
-			if om.Trace.Enabled() {
-				om.Trace.Event("dp_prune").Int("tasks", j).Int("big", b).Int("little", l).
-					Int("cut_at_start", i-1)
-			}
+		wB := c.SumW(i-1, j-1, core.Big)
+		wL := c.SumW(i-1, j-1, core.Little)
+		// Period-dominance pruning against the improving cur.pbest: stage
+		// weight grows as i decreases, so once the lightest possible stage
+		// (all cores of the cheaper type) exceeds cur.pbest, no candidate
+		// at this or any smaller i can win.
+		if stageWeight(wB, rep, b) > cur.pbest && stageWeight(wL, rep, l) > cur.pbest {
+			iCut = i
+			pruned = true
 			break
 		}
 		maxUB := b
@@ -234,7 +452,10 @@ func recomputeCell(m *matrix, c *core.Chain, j, b, l int, om Metrics) {
 		candidates += maxUB + maxUL
 		for u := 1; u <= maxUB; u++ {
 			prev := m.at(i-1, b-u, l)
-			p := c.Weight(i-1, j-1, u, core.Big)
+			p := wB
+			if rep {
+				p = wB / float64(u)
+			}
 			if prev.pbest > p {
 				p = prev.pbest
 			}
@@ -251,7 +472,10 @@ func recomputeCell(m *matrix, c *core.Chain, j, b, l int, om Metrics) {
 		}
 		for u := 1; u <= maxUL; u++ {
 			prev := m.at(i-1, b, l-u)
-			p := c.Weight(i-1, j-1, u, core.Little)
+			p := wL
+			if rep {
+				p = wL / float64(u)
+			}
 			if prev.pbest > p {
 				p = prev.pbest
 			}
@@ -265,6 +489,13 @@ func recomputeCell(m *matrix, c *core.Chain, j, b, l int, om Metrics) {
 				cand.accL = prev.accL + int32(u)
 			}
 			compareCells(&cur, &cand)
+		}
+	}
+	if pruned {
+		om.DPPruned.Inc()
+		if om.Trace.Enabled() {
+			om.Trace.Event("dp_prune").Int("tasks", j).Int("big", b).Int("little", l).
+				Int("cut_at_start", iCut-1)
 		}
 	}
 	om.DPCandidates.Add(int64(candidates))

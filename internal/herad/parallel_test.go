@@ -1,0 +1,112 @@
+package herad
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ampsched/internal/brute"
+	"ampsched/internal/chaingen"
+	"ampsched/internal/core"
+	"ampsched/internal/obs"
+)
+
+// dpCounts snapshots the deterministic DP counters of one fill. Candidate
+// and prune counts are sensitive to the exact traversal: any divergence
+// between worker counts — a cell pruned at a different split point, an
+// extra candidate compared — shows up here even when the final schedule
+// happens to agree.
+type dpCounts struct {
+	cells, candidates, pruned, merged int64
+}
+
+func scheduleCounted(c *core.Chain, r core.Resources, workers int) (core.Solution, dpCounts) {
+	reg := obs.NewRegistry()
+	s := ScheduleOpts(c, r, Options{Workers: workers, Metrics: MetricsFrom(reg)})
+	m := MetricsFrom(reg)
+	return s, dpCounts{
+		cells:      m.DPCells.Value(),
+		candidates: m.DPCandidates.Value(),
+		pruned:     m.DPPruned.Value(),
+		merged:     m.MergedStages.Value(),
+	}
+}
+
+// TestWavefrontWorkersBitIdentical pins the tentpole's correctness
+// contract: the wavefront fill emits byte-identical schedules and
+// identical deterministic counters for every worker count. The problem
+// sizes are chosen so the widest diagonals clear parGrain and the pool
+// genuinely runs (verified by the estimate below, not assumed); run with
+// -race this doubles as the data-race check on the wave barriers.
+func TestWavefrontWorkersBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(20250806))
+	shapes := []struct {
+		n, b, l int
+	}{
+		{30, 12, 12}, // widest diagonal 13 wide, 13·30·24 ≈ 9k ≫ parGrain
+		{32, 16, 8},  // asymmetric resources
+		{48, 8, 8},   // long chain, narrow matrix
+	}
+	for _, sh := range shapes {
+		if est := maxDiagonal(sh.b, sh.l) * sh.n * (sh.b + sh.l); est < parGrain {
+			t.Fatalf("shape %+v never parallelizes (estimate %d < %d)", sh, est, parGrain)
+		}
+	}
+	for iter := 0; iter < 6; iter++ {
+		sh := shapes[iter%len(shapes)]
+		c := chaingen.Generate(chaingen.Default(sh.n, []float64{0.2, 0.5, 0.8}[iter%3]), rng)
+		r := core.Resources{Big: sh.b, Little: sh.l}
+		ref, refCounts := scheduleCounted(c, r, 1)
+		for _, workers := range []int{2, 8} {
+			got, gotCounts := scheduleCounted(c, r, workers)
+			if got.String() != ref.String() {
+				t.Errorf("iter %d workers=%d: schedule %v, serial %v (n=%d R=%v)",
+					iter, workers, got, ref, sh.n, r)
+			}
+			if gotCounts != refCounts {
+				t.Errorf("iter %d workers=%d: counters %+v, serial %+v — traversal diverged",
+					iter, workers, gotCounts, refCounts)
+			}
+		}
+	}
+}
+
+// TestWavefrontMatchesBruteForce cross-checks the parallel fill against
+// the exhaustive reference on small chains: optimality must hold for
+// every worker count, not just match between them.
+func TestWavefrontMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 60; iter++ {
+		n := 1 + rng.Intn(7)
+		c := chaingen.Generate(chaingen.Default(n, []float64{0, 0.5, 1}[rng.Intn(3)]), rng)
+		r := core.Resources{Big: rng.Intn(4), Little: rng.Intn(4)}
+		if r.Total() == 0 {
+			r.Little = 2
+		}
+		want := brute.MinPeriod(c, r)
+		for _, workers := range []int{1, 2, 8} {
+			s := ScheduleOpts(c, r, Options{Workers: workers})
+			if err := s.Validate(c, r); err != nil {
+				t.Fatalf("iter %d workers=%d: invalid solution: %v", iter, workers, err)
+			}
+			if got := s.Period(c); math.Abs(got-want) > 1e-9 {
+				t.Fatalf("iter %d workers=%d: period %v, brute force %v\nchain=%+v R=%v",
+					iter, workers, got, want, c.Tasks(), r)
+			}
+		}
+	}
+}
+
+// TestWorkersZeroDefaultsToParallel exercises the GOMAXPROCS default
+// (Workers ≤ 0) on a pool-sized problem — same schedule again.
+func TestWorkersZeroDefaultsToParallel(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	c := chaingen.Generate(chaingen.Default(30, 0.6), rng)
+	r := core.Resources{Big: 12, Little: 12}
+	ref := ScheduleOpts(c, r, Options{Workers: 1})
+	for _, workers := range []int{0, -3} {
+		if got := ScheduleOpts(c, r, Options{Workers: workers}); got.String() != ref.String() {
+			t.Errorf("Workers=%d: schedule %v, serial %v", workers, got, ref)
+		}
+	}
+}

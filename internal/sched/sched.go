@@ -214,17 +214,29 @@ func MaxPacking(c *core.Chain, s, cores int, v core.CoreType, target float64) in
 }
 
 // MaxPackingM is MaxPacking reporting into m.
+//
+// Stage weights are non-decreasing in the interval end (prefix sums of
+// non-negative weights; a replicable→sequential flip only removes the
+// divisor), so the boundary is found by binary search over the chain's
+// prefix sums in O(log n) probes. The former linear scan — which also
+// walked the whole tail when task s alone exceeded the target, because its
+// break path required one prior success — survives as the differential
+// oracle in sched_test.go.
 func MaxPackingM(c *core.Chain, s, cores int, v core.CoreType, target float64, m Metrics) int {
 	m.MaxPackingCalls.Inc()
 	e := s
-	for i := s; i < c.Len(); i++ {
-		if c.Weight(s, i, cores, v) <= target {
-			e = i
-		} else if i > s {
-			// Stage weights are non-decreasing in the interval end, so the
-			// first failure after s is final.
-			break
+	if c.Weight(s, s, cores, v) <= target {
+		// Invariant: Weight(s, lo, …) ≤ target; answer in [lo, hi].
+		lo, hi := s, c.Len()-1
+		for lo < hi {
+			mid := int(uint(lo+hi+1) >> 1)
+			if c.Weight(s, mid, cores, v) <= target {
+				lo = mid
+			} else {
+				hi = mid - 1
+			}
 		}
+		e = lo
 	}
 	if m.Trace.Enabled() {
 		m.Trace.Event("max_packing").Int("first_task", s).Int("cores", cores).

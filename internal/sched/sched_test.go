@@ -91,6 +91,55 @@ func TestMaxPackingProperty(t *testing.T) {
 	}
 }
 
+// maxPackingLinear is the pre-binary-search implementation of MaxPacking
+// (the paper-literal scan), kept as the differential oracle for the
+// O(log n) version. Its break path needs one success after s, so an
+// oversized first task makes it walk the whole tail — the inefficiency the
+// rewrite removed — but its results are definitionally correct.
+func maxPackingLinear(c *core.Chain, s, cores int, v core.CoreType, target float64) int {
+	e := s
+	for i := s; i < c.Len(); i++ {
+		if c.Weight(s, i, cores, v) <= target {
+			e = i
+		} else if i > s {
+			break
+		}
+	}
+	return e
+}
+
+// TestMaxPackingMatchesLinearOracle pins the binary search to the linear
+// oracle on 10k random (chain, start, cores, type, target) tuples,
+// including the oversized-first-task and zero-core edge cases and targets
+// that land exactly on stage weights.
+func TestMaxPackingMatchesLinearOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(20250806))
+	for iter := 0; iter < 10000; iter++ {
+		c := randChain(rng, 1+rng.Intn(24))
+		s := rng.Intn(c.Len())
+		cores := rng.Intn(5) // 0 exercises the +Inf weight path
+		v := core.CoreType(rng.Intn(2))
+		var target float64
+		switch rng.Intn(4) {
+		case 0: // tiny: even task s alone may not fit
+			target = float64(rng.Intn(3))
+		case 1: // exact stage weight: ties on the ≤ boundary
+			e := s + rng.Intn(c.Len()-s)
+			target = c.Weight(s, e, max(cores, 1), v)
+		case 2: // huge: the whole tail fits
+			target = c.TotalW(v) + 1
+		default:
+			target = 1 + float64(rng.Intn(400))
+		}
+		want := maxPackingLinear(c, s, cores, v, target)
+		got := MaxPacking(c, s, cores, v, target)
+		if got != want {
+			t.Fatalf("iter %d: MaxPacking(s=%d cores=%d %v target=%v) = %d, oracle %d\nchain=%+v",
+				iter, s, cores, v, target, got, want, c.Tasks())
+		}
+	}
+}
+
 func TestRequiredCores(t *testing.T) {
 	c := core.MustChain([]core.Task{task(10, 20, true), task(10, 20, true)})
 	if got := RequiredCores(c, 0, 1, core.Big, 10); got != 2 {

@@ -34,6 +34,19 @@ type Result struct {
 	Err      error
 }
 
+// planMode classifies how PlanBatch resolves one request: by running the
+// strategy (solve), by reading a solution cached by a previous batch
+// (hit), by solving once on behalf of later in-batch duplicates (leader),
+// or by copying an in-batch leader's result (follower).
+type planMode uint8
+
+const (
+	modeSolve planMode = iota
+	modeHit
+	modeLeader
+	modeFollower
+)
+
 // PlanBatch schedules every request concurrently on a bounded worker pool
 // and returns one Result per request, in request order. Each strategy is
 // deterministic, so a batch result is byte-for-byte the result of running
@@ -42,12 +55,21 @@ type Result struct {
 // Requests whose Options carry a metrics registry report their strategy
 // series into it as usual, and PlanBatch aggregates batch-level series
 // under "planbatch." (batches, requests, errors, workers, per-request
-// latency). Counter updates are atomic and order-independent, so the
-// aggregation never perturbs the deterministic result ordering — nor,
-// for deterministic workloads, the exported counter values.
+// latency, cache hits/misses). Counter updates are atomic and
+// order-independent, so the aggregation never perturbs the deterministic
+// result ordering — nor, for deterministic workloads, the exported
+// counter values.
+//
+// Requests whose Options carry a Cache are first classified serially, in
+// request order: a key already in the cache is a hit, the first in-batch
+// occurrence of a new key is its leader, and later occurrences are
+// followers. Only leaders (and uncached requests) reach the worker pool;
+// hits and followers are resolved from the stored solution afterwards,
+// again in request order, so cache resolution — like the journal — is
+// independent of pool interleaving.
 //
 // workers bounds the pool; workers ≤ 0 uses GOMAXPROCS. The pool never
-// exceeds the number of requests.
+// exceeds the number of requests it has to solve.
 func PlanBatch(reqs []Request, workers int) []Result {
 	out := make([]Result, len(reqs))
 	if len(reqs) == 0 {
@@ -85,9 +107,65 @@ func PlanBatch(reqs []Request, workers int) []Result {
 			spans[i] = sp
 		}
 	}
-	if workers == 1 {
+	// Cache pre-pass: serial and in request order, so hit/miss counters
+	// and leader election are deterministic for a given request sequence.
+	mode := make([]planMode, len(reqs))
+	keys := make([]cacheKey, len(reqs))
+	leaderOf := make([]int, len(reqs))
+	cached := make([]core.Solution, len(reqs))
+	leaders := map[cacheKey]int{}
+	for i := range reqs {
+		k, ok := requestKey(reqs[i])
+		if !ok {
+			continue
+		}
+		keys[i] = k
+		cache := reqs[i].Options.Cache
+		m := reqs[i].Options.Metrics.Sub("planbatch")
+		var hits, misses *obs.Counter
+		if m != nil {
+			hits = m.Counter("cache.hits") // registered even while zero
+			misses = m.Counter("cache.misses")
+		}
+		if s, hit := cache.get(k); hit {
+			mode[i] = modeHit
+			cached[i] = s
+			cache.hits.Add(1)
+			hits.Inc()
+		} else if j, dup := leaders[k]; dup {
+			mode[i] = modeFollower
+			leaderOf[i] = j
+			cache.hits.Add(1) // in-batch duplicate: solved once, reused
+			hits.Inc()
+		} else {
+			mode[i] = modeLeader
+			leaders[k] = i
+			cache.misses.Add(1)
+			misses.Inc()
+		}
+	}
+	solve := make([]int, 0, len(reqs))
+	for i := range reqs {
+		if mode[i] == modeSolve || mode[i] == modeLeader {
+			solve = append(solve, i)
+		}
+	}
+	if workers > len(solve) && len(solve) > 0 {
+		workers = len(solve)
+	}
+	if workers == 1 || len(solve) == 0 {
 		for i := range reqs {
-			out[i] = plan(reqs[i], spans[i])
+			switch mode[i] {
+			case modeHit:
+				out[i] = resolveCached(reqs[i], spans[i], cached[i], -1)
+			case modeFollower:
+				out[i] = resolveCached(reqs[i], spans[i], out[leaderOf[i]].Solution, leaderOf[i])
+			default:
+				out[i] = plan(reqs[i], spans[i], false)
+				if mode[i] == modeLeader {
+					reqs[i].Options.Cache.put(keys[i], out[i].Solution)
+				}
+			}
 		}
 		return out
 	}
@@ -98,15 +176,30 @@ func PlanBatch(reqs []Request, workers int) []Result {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				out[i] = plan(reqs[i], spans[i])
+				out[i] = plan(reqs[i], spans[i], true)
 			}
 		}()
 	}
-	for i := range reqs {
+	for _, i := range solve {
 		idx <- i
 	}
 	close(idx)
 	wg.Wait()
+	// Publish leader solutions, then resolve hits and followers — serial
+	// and in request order, like the pre-pass.
+	for _, i := range solve {
+		if mode[i] == modeLeader {
+			reqs[i].Options.Cache.put(keys[i], out[i].Solution)
+		}
+	}
+	for i := range reqs {
+		switch mode[i] {
+		case modeHit:
+			out[i] = resolveCached(reqs[i], spans[i], cached[i], -1)
+		case modeFollower:
+			out[i] = resolveCached(reqs[i], spans[i], out[leaderOf[i]].Solution, leaderOf[i])
+		}
+	}
 	return out
 }
 
@@ -125,7 +218,17 @@ func PlanAll(c *core.Chain, r core.Resources, opts Options, workers int) []Resul
 // journal span: the strategy journals under it (via the Options value copy)
 // and plan appends one deterministic "result" event — period on success,
 // the error string on failure, never the wall-clock Elapsed.
-func plan(req Request, sp *trace.Span) Result {
+//
+// batchParallel reports whether plan was called from a parallel pool; in
+// that case an unset Options.Workers defaults to the serial solver fill —
+// request-level parallelism already saturates the machine, and nesting a
+// per-request GOMAXPROCS-wide wavefront pool underneath would oversubscribe
+// it. An explicit Workers value is always honored. plan operates on its own
+// Request copy, so the caller's slice is never mutated.
+func plan(req Request, sp *trace.Span, batchParallel bool) Result {
+	if batchParallel && req.Options.Workers == 0 {
+		req.Options.Workers = 1
+	}
 	req.Options.Trace = sp
 	res := Result{Request: req}
 	switch {
@@ -157,6 +260,46 @@ func plan(req Request, sp *trace.Span) Result {
 		errs := m.Counter("errors") // registered even while zero
 		if res.Err != nil {
 			errs.Inc()
+		}
+		m.Histogram("request_us", obs.DurationBucketsUs).
+			Observe(float64(res.Elapsed.Nanoseconds()) / 1e3)
+	}
+	return res
+}
+
+// resolveCached builds the Result of a cache-served request from the
+// stored solution without invoking the strategy. leader is the in-batch
+// index that solved this key, or -1 when the solution came from a
+// previous batch. The journal gains a "cache_hit" event in place of the
+// solver's decision trail, followed by the same deterministic "result"
+// event plan would have appended; the batch-level request counters are
+// maintained identically, so requests == hits + misses-side solves holds
+// for every registry.
+func resolveCached(req Request, sp *trace.Span, sol core.Solution, leader int) Result {
+	start := time.Now()
+	res := Result{Request: req, Solution: cloneSolution(sol)}
+	res.Period = res.Solution.Period(req.Chain)
+	if res.Solution.IsEmpty() {
+		res.Err = fmt.Errorf("strategy: %s found no schedule for R=%v",
+			req.Scheduler.Name(), req.Resources)
+	}
+	res.Elapsed = time.Since(start)
+	if sp != nil {
+		ev := sp.Event("cache_hit")
+		if leader >= 0 {
+			ev.Int("leader_index", leader)
+		}
+		if res.Err != nil {
+			sp.Event("result").Str("error", res.Err.Error())
+		} else {
+			sp.Event("result").F64("period", res.Period).Int("stages", len(res.Solution.Stages))
+		}
+	}
+	if m := req.Options.Metrics.Sub("planbatch"); m != nil {
+		m.Counter("requests").Inc()
+		m.Counter("errors") // registered even while zero
+		if res.Err != nil {
+			m.Counter("errors").Inc()
 		}
 		m.Histogram("request_us", obs.DurationBucketsUs).
 			Observe(float64(res.Elapsed.Nanoseconds()) / 1e3)

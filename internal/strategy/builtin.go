@@ -50,25 +50,15 @@ func (heradScheduler) Name() string { return "HeRAD" }
 func (h heradScheduler) Schedule(c *core.Chain, r core.Resources, o Options) core.Solution {
 	m := o.scope(h.Name())
 	sp := o.span(h.Name())
+	ho := herad.Options{Workers: o.Workers, Raw: o.Raw}
 	if m == nil && sp == nil {
-		var s core.Solution
-		if o.Raw {
-			s = herad.ScheduleRaw(c, r)
-		} else {
-			s = herad.Schedule(c, r)
-		}
-		return o.finish(c, s)
+		return o.finish(c, herad.ScheduleOpts(c, r, ho))
 	}
 	s := observe(m, func() core.Solution {
 		hm := herad.MetricsFrom(m)
 		hm.Trace = trace.NewScope(sp)
-		var s core.Solution
-		if o.Raw {
-			s = herad.ScheduleRawObs(c, r, hm)
-		} else {
-			s = herad.ScheduleObs(c, r, hm)
-		}
-		return o.finish(c, s)
+		ho.Metrics = hm
+		return o.finish(c, herad.ScheduleOpts(c, r, ho))
 	})
 	traceSolution(sp, c, s)
 	return s

@@ -1,0 +1,117 @@
+package strategy
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"ampsched/internal/core"
+	"ampsched/internal/sched"
+)
+
+// cacheKey identifies one solved scheduling problem: the chain's content
+// fingerprint, the resource pair, the strategy, and every Options knob
+// that can change the emitted schedule. Options.Workers is deliberately
+// absent — schedules are bit-identical across worker counts — as are the
+// Metrics/Trace sinks, which observe a solve without influencing it.
+type cacheKey struct {
+	fp        uint64
+	r         core.Resources
+	strategy  string
+	colocate  bool
+	raw       bool
+	memoize   bool
+	hasBounds bool
+	bounds    sched.Bounds
+}
+
+// requestKey derives req's cache key. ok is false when the request does
+// not participate in caching: no cache attached, or malformed (nil chain
+// or scheduler — those fail in plan with a descriptive error instead).
+func requestKey(req Request) (cacheKey, bool) {
+	if req.Options.Cache == nil || req.Chain == nil || req.Scheduler == nil {
+		return cacheKey{}, false
+	}
+	k := cacheKey{
+		fp:       req.Chain.Fingerprint(),
+		r:        req.Resources,
+		strategy: req.Scheduler.Name(),
+		colocate: req.Options.Colocate,
+		raw:      req.Options.Raw,
+		memoize:  req.Options.Memoize,
+	}
+	if req.Options.Bounds != nil {
+		k.hasBounds = true
+		k.bounds = *req.Options.Bounds
+	}
+	return k, true
+}
+
+// Cache is a concurrency-safe solution cache consulted by PlanBatch:
+// requests whose (chain fingerprint, resources, strategy, options) key was
+// already solved — earlier in the same batch or by a previous batch
+// sharing the cache — reuse the stored schedule instead of re-solving it.
+// Experiment sweeps that revisit identical (SR, platform) points are the
+// intended workload.
+//
+// Every strategy is deterministic, so serving a solution from the cache is
+// behavior-preserving: the Results of a cached batch are byte-identical to
+// an uncached one (hits are resolved in request order, never by pool
+// interleaving). Failures (empty solutions) are cached too. Keys collide
+// only if two chains with different content share a 64-bit fingerprint
+// (probability ~n²·2⁻⁶⁴ for n distinct chains; see core.Fingerprint).
+//
+// The zero value is not usable; call NewCache. A Cache may be shared by
+// concurrent PlanBatch calls.
+type Cache struct {
+	mu sync.RWMutex
+	m  map[cacheKey]core.Solution
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// NewCache returns an empty solution cache.
+func NewCache() *Cache {
+	return &Cache{m: map[cacheKey]core.Solution{}}
+}
+
+// get returns a copy of the cached solution for k.
+func (c *Cache) get(k cacheKey) (core.Solution, bool) {
+	c.mu.RLock()
+	s, ok := c.m[k]
+	c.mu.RUnlock()
+	if !ok {
+		return core.Solution{}, false
+	}
+	return cloneSolution(s), true
+}
+
+// put stores a copy of s under k.
+func (c *Cache) put(k cacheKey, s core.Solution) {
+	s = cloneSolution(s)
+	c.mu.Lock()
+	c.m[k] = s
+	c.mu.Unlock()
+}
+
+// Len returns the number of cached solutions.
+func (c *Cache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}
+
+// Stats returns the cumulative hit and miss counts across every batch
+// that consulted the cache (in-batch duplicate requests count as hits).
+func (c *Cache) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// cloneSolution deep-copies s so cached schedules and the Results built
+// from them never share a Stages slice with the caller.
+func cloneSolution(s core.Solution) core.Solution {
+	if s.IsEmpty() {
+		return core.Solution{}
+	}
+	return core.Solution{Stages: append([]core.Stage(nil), s.Stages...)}
+}

@@ -59,6 +59,27 @@ type Options struct {
 	// sched.DefaultBounds plus the robustness fallback; a non-nil value
 	// disables the fallback. HeRAD and Brute ignore it.
 	Bounds *sched.Bounds
+	// Workers bounds the intra-schedule worker pool of strategies with a
+	// parallel solver — currently HeRAD's wavefront DP fill. ≤ 0 uses
+	// GOMAXPROCS, 1 forces the serial fill; strategies without internal
+	// parallelism ignore it. Every strategy is bit-identical across worker
+	// counts — only the wall clock changes — so Workers never enters the
+	// solution cache key. PlanBatch defaults unset Workers to 1 when its
+	// own pool is parallel (request-level parallelism already saturates
+	// the machine) and leaves the full-machine default for serial batches.
+	Workers int
+	// Cache, when non-nil, lets PlanBatch reuse solutions across identical
+	// requests — duplicates within a batch and repeats across batches
+	// sharing the cache — instead of re-solving them. The key is (chain
+	// fingerprint, resources, strategy name, Colocate, Raw, Memoize,
+	// Bounds); Workers and the observability sinks are excluded because
+	// they never change the emitted schedule. Every strategy is
+	// deterministic, so cached batches return byte-identical Results; only
+	// the strategy-internal metric and journal volume shrinks (a hit emits
+	// a "cache_hit" journal event instead of the solver's decision trail).
+	// Direct Scheduler.Schedule calls ignore it. Nil disables caching with
+	// zero behavior change.
+	Cache *Cache
 	// Metrics is the observability sink. When non-nil, every strategy
 	// reports its named series into it, scoped by the strategy's slug
 	// ("herad.dp.cells", "fertac.sched.search.iterations", …); PlanBatch
