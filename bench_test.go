@@ -33,7 +33,7 @@ func BenchmarkTable1(b *testing.B) {
 	cfg := experiments.Table1Config{Chains: 20, Tasks: 20, Seed: 20250704}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		cells := experiments.Table1Scenario(cfg, core.Resources{Big: 10, Little: 10}, 0.5)
+		cells := experiments.Table1Scenario(cfg, core.Res(10, 10), 0.5)
 		if cells[0].PctOptimal != 100 {
 			b.Fatal("HeRAD not optimal")
 		}
@@ -43,7 +43,7 @@ func BenchmarkTable1(b *testing.B) {
 // BenchmarkFig1 regenerates the slowdown CDFs from a Table I scenario.
 func BenchmarkFig1(b *testing.B) {
 	cfg := experiments.Table1Config{Chains: 40, Tasks: 20, Seed: 1}
-	cells := experiments.Table1Scenario(cfg, core.Resources{Big: 4, Little: 16}, 0.5)
+	cells := experiments.Table1Scenario(cfg, core.Res(4, 16), 0.5)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if s := experiments.Fig1(cells); len(s) == 0 {
@@ -74,7 +74,7 @@ func benchChains(n int, sr float64, count int) []*core.Chain {
 // scheduling time for growing task counts at R=(20,20), SR=0.5.
 // (2CATAC stops at 60 tasks, as in the paper.)
 func BenchmarkFig3(b *testing.B) {
-	r := core.Resources{Big: 20, Little: 20}
+	r := core.Res(20, 20)
 	for _, n := range []int{20, 40, 60, 80, 120, 160} {
 		chains := benchChains(n, 0.5, 8)
 		for _, strat := range experiments.Strategies {
@@ -101,7 +101,7 @@ func BenchmarkFig3(b *testing.B) {
 func BenchmarkFig4(b *testing.B) {
 	chains := benchChains(20, 0.5, 8)
 	for _, cores := range []int{20, 40, 80, 160} {
-		r := core.Resources{Big: cores, Little: cores}
+		r := core.Res(cores, cores)
 		for _, strat := range experiments.Strategies {
 			b.Run(fmt.Sprintf("%s/cores=%d", strat, 2*cores), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
@@ -144,7 +144,7 @@ func BenchmarkTable3(b *testing.B) {
 func BenchmarkFig5(b *testing.B) {
 	p := platform.MacStudio()
 	c := p.Chain()
-	r := core.Resources{Big: 16, Little: 4}
+	r := core.Res(16, 4)
 	sols := map[string]core.Solution{}
 	for _, strat := range experiments.Strategies {
 		sols[strat] = experiments.Run(strat, c, r)
@@ -163,7 +163,7 @@ func BenchmarkFig5(b *testing.B) {
 // BenchmarkFig6 regenerates the summary roll-up.
 func BenchmarkFig6(b *testing.B) {
 	cfg := experiments.Table1Config{Chains: 20, Tasks: 20, Seed: 3}
-	t1 := experiments.Table1Scenario(cfg, core.Resources{Big: 10, Little: 10}, 0.5)
+	t1 := experiments.Table1Scenario(cfg, core.Res(10, 10), 0.5)
 	t2, err := experiments.Table2(experiments.Table2Config{RunReal: false})
 	if err != nil {
 		b.Fatal(err)
@@ -182,7 +182,7 @@ func BenchmarkFig6(b *testing.B) {
 // 2CATAC recursion against the memoized variant on chains near the
 // paper's 60-task practicality limit.
 func BenchmarkAblation2CATACMemo(b *testing.B) {
-	r := core.Resources{Big: 10, Little: 10}
+	r := core.Res(10, 10)
 	for _, n := range []int{20, 40, 60} {
 		chains := benchChains(n, 0.5, 4)
 		b.Run(fmt.Sprintf("plain/tasks=%d", n), func(b *testing.B) {
@@ -205,7 +205,7 @@ func BenchmarkAblation2CATACMemo(b *testing.B) {
 // is the whole point. workers=0 is the GOMAXPROCS default.
 func BenchmarkHeRADWavefront(b *testing.B) {
 	chains := benchChains(48, 0.5, 4)
-	r := core.Resources{Big: 16, Little: 16}
+	r := core.Res(16, 16)
 	ref := herad.ScheduleOpts(chains[0], r, herad.Options{Workers: 1})
 	for _, workers := range []int{1, 2, 4, 0} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
@@ -227,7 +227,7 @@ func BenchmarkHeRADWavefront(b *testing.B) {
 // replicable-stage merge post-pass (raw extraction vs merged).
 func BenchmarkAblationMergePostPass(b *testing.B) {
 	chains := benchChains(40, 0.8, 4)
-	r := core.Resources{Big: 8, Little: 8}
+	r := core.Res(8, 8)
 	b.Run("raw", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			herad.ScheduleRaw(chains[i%len(chains)], r)
@@ -246,7 +246,7 @@ func BenchmarkAblationMergePostPass(b *testing.B) {
 func BenchmarkAblationDesimQueueCap(b *testing.B) {
 	p := platform.X7Ti()
 	c := p.Chain()
-	sol := herad.Schedule(c, core.Resources{Big: 6, Little: 8})
+	sol := herad.Schedule(c, core.Res(6, 8))
 	for _, cap := range []int{0, 1, 2, 8} {
 		b.Run(fmt.Sprintf("cap=%d", cap), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -309,8 +309,8 @@ func BenchmarkRegistry(b *testing.B) {
 		c    *core.Chain
 		r    core.Resources
 	}{
-		{"mac", platform.MacStudio().Chain(), core.Resources{Big: 16, Little: 4}},
-		{"x7", platform.X7Ti().Chain(), core.Resources{Big: 6, Little: 8}},
+		{"mac", platform.MacStudio().Chain(), core.Res(16, 4)},
+		{"x7", platform.X7Ti().Chain(), core.Res(6, 8)},
 	}
 	for _, p := range platforms {
 		for _, s := range strategy.AllRegistered() {
@@ -333,7 +333,7 @@ func BenchmarkRegistry(b *testing.B) {
 // serial fast path on a Table I-shaped request batch.
 func BenchmarkPlanBatch(b *testing.B) {
 	chains := benchChains(20, 0.5, 16)
-	r := core.Resources{Big: 10, Little: 10}
+	r := core.Res(10, 10)
 	var reqs []strategy.Request
 	for _, c := range chains {
 		for _, s := range strategy.All() {
@@ -368,7 +368,7 @@ func BenchmarkPlanBatch(b *testing.B) {
 //     exactly 0 allocs/op.
 func BenchmarkObsOverhead(b *testing.B) {
 	chains := benchChains(20, 0.5, 8)
-	r := core.Resources{Big: 10, Little: 10}
+	r := core.Res(10, 10)
 	s := strategy.MustParse("herad")
 	b.Run("schedule/disabled", func(b *testing.B) {
 		b.ReportAllocs()
@@ -410,7 +410,7 @@ func BenchmarkObsOverhead(b *testing.B) {
 // paper's synthetic scale (20 tasks, R=(16,4)) for quick comparisons.
 func BenchmarkSchedulers(b *testing.B) {
 	chains := benchChains(20, 0.5, 8)
-	r := core.Resources{Big: 16, Little: 4}
+	r := core.Res(16, 4)
 	b.Run("HeRAD", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			herad.Schedule(chains[i%len(chains)], r)

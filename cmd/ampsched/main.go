@@ -1,19 +1,27 @@
-// Command ampsched schedules a partially-replicable task chain on two
-// types of resources (big/little cores) and optionally validates the
+// Command ampsched schedules a partially-replicable task chain on k
+// types of resources (big/little cores in the paper's two-type model,
+// arbitrary type tables via -resources) and optionally validates the
 // schedule by discrete-event simulation or by executing it on the
 // streampu runtime with latency-modeled tasks.
 //
 // Usage:
 //
 //	ampsched -big 8 -little 2 [flags]
+//	ampsched -resources 4B,2M,8L [flags]
 //
 // The chain comes from -input (JSON) or -platform (the embedded DVB-S2
-// profiles "mac" / "x7"). JSON format:
+// profiles "mac" / "x7"). JSON format (two-type chains may use the named
+// big/little fields, k-type chains list one weight per core type):
 //
 //	{"tasks": [{"name": "t1", "big": 52.3, "little": 248.3, "replicable": false}, ...]}
+//	{"tasks": [{"name": "t1", "weights": [52.3, 110.0, 248.3], "replicable": false}, ...]}
 //
 // Flags:
 //
+//	-resources R  per-type core counts as COUNT[NAME] components, e.g.
+//	              "4B,2M,8L" (type order is precedence order; exclusive
+//	              with -big/-little). Strategies that only support the
+//	              paper's two-type model reject other type counts.
 //	-strategy S   herad|2catac|fertac|otac-b|otac-l|all (default herad);
 //	              also the hidden registry entries 2catac-memo and brute
 //	              (exhaustive reference — chains of ~12 tasks at most)
@@ -65,15 +73,8 @@ import (
 	"ampsched/internal/trace"
 )
 
-type jsonTask struct {
-	Name       string  `json:"name"`
-	Big        float64 `json:"big"`
-	Little     float64 `json:"little"`
-	Replicable bool    `json:"replicable"`
-}
-
 type jsonChain struct {
-	Tasks []jsonTask `json:"tasks"`
+	Tasks []core.Task `json:"tasks"`
 }
 
 type jsonStage struct {
@@ -89,6 +90,9 @@ type jsonSolution struct {
 	Stages   []jsonStage `json:"stages"`
 	BigUsed  int         `json:"big_used"`
 	LitUsed  int         `json:"little_used"`
+	// Usage lists the per-type core usage when the platform declares a
+	// type table other than the paper's two-type one.
+	Usage []int `json:"usage,omitempty"`
 }
 
 // config carries every CLI flag; mainErr consumes it so tests can drive
@@ -98,6 +102,7 @@ type config struct {
 	platform   string // embedded DVB-S2 profile name
 	big        int
 	little     int
+	resources  string // k-type resource spec, e.g. "4B,2M,8L"
 	strategy   string
 	simulate   bool
 	run        bool
@@ -127,6 +132,7 @@ func main() {
 	flag.StringVar(&cfg.platform, "platform", "", `embedded DVB-S2 profile: "mac" or "x7"`)
 	flag.IntVar(&cfg.big, "big", 0, "number of big cores")
 	flag.IntVar(&cfg.little, "little", 0, "number of little cores")
+	flag.StringVar(&cfg.resources, "resources", "", `per-type core counts, e.g. "4B,2M,8L" (exclusive with -big/-little)`)
 	flag.StringVar(&cfg.strategy, "strategy", "herad", "herad|2catac|fertac|otac-b|otac-l|all (or 2catac-memo, brute)")
 	flag.BoolVar(&cfg.simulate, "simulate", false, "validate with the discrete-event simulator")
 	flag.BoolVar(&cfg.run, "run", false, "execute on the streampu runtime")
@@ -160,6 +166,10 @@ func mainErr(cfg config) error {
 	if cfg.trace != "" && !cfg.run {
 		return fmt.Errorf("-trace requires -run: the Chrome trace records the streampu pipeline execution (pass -run, or drop -trace)")
 	}
+	r, err := resolveResources(cfg)
+	if err != nil {
+		return err
+	}
 	// Exit artifacts — profiles and the decision journal — are registered
 	// as defers here, before any work that can fail, so a failing strategy
 	// or runtime step still flushes everything gathered up to the error.
@@ -186,9 +196,13 @@ func mainErr(cfg config) error {
 	var runSpan *trace.Span
 	if cfg.explain || cfg.traceSched != "" {
 		journal = trace.New()
-		runSpan = journal.Root().Str("tool", "ampsched").
-			Str("strategy", cfg.strategy).Int("big", cfg.big).Int("little", cfg.little).
-			Bool("colocate", cfg.colocate)
+		runSpan = journal.Root().Str("tool", "ampsched").Str("strategy", cfg.strategy)
+		if r.NumTypes() == 2 {
+			runSpan.Int("big", r.Count(core.Big)).Int("little", r.Count(core.Little))
+		} else {
+			runSpan.Str("resources", r.String())
+		}
+		runSpan.Bool("colocate", cfg.colocate)
 	}
 	if cfg.traceSched != "" {
 		defer func() {
@@ -206,9 +220,8 @@ func mainErr(cfg config) error {
 	if interframe == 1 && defIF > 1 {
 		interframe = defIF
 	}
-	r := core.Resources{Big: cfg.big, Little: cfg.little}
 	if r.Total() <= 0 {
-		return fmt.Errorf("no resources: pass -big and/or -little")
+		return fmt.Errorf("no resources: pass -resources, or -big and/or -little")
 	}
 
 	scheds, err := strategyList(cfg.strategy)
@@ -227,7 +240,10 @@ func mainErr(cfg config) error {
 		defer srv.Close()
 		fmt.Fprintf(out, "# serving metrics and pprof on http://%s\n", srv.Addr())
 	}
-	header := []string{"Strategy", "Period", "FPS", "Pipeline decomposition", "b", "l"}
+	header := []string{"Strategy", "Period", "FPS", "Pipeline decomposition"}
+	for v := 0; v < r.NumTypes(); v++ {
+		header = append(header, strings.ToLower(r.TypeName(core.CoreType(v))))
+	}
 	if cfg.power {
 		header = append(header, "W", "mJ/frame")
 	}
@@ -236,6 +252,9 @@ func mainErr(cfg config) error {
 	opts := strategy.Options{Colocate: cfg.colocate, Metrics: reg, Trace: runSpan, Workers: cfg.workers}
 	for _, sc := range scheds {
 		name := sc.Name()
+		if err := strategy.CheckTypes(sc, chain, r); err != nil {
+			return err
+		}
 		sol := sc.Schedule(chain, r, opts)
 		if sol.IsEmpty() {
 			return fmt.Errorf("%s found no schedule for R=%v", name, r)
@@ -244,9 +263,15 @@ func mainErr(cfg config) error {
 			return fmt.Errorf("%s produced an invalid schedule: %v", name, err)
 		}
 		p := sol.Period(chain)
-		b, l := sol.CoresUsed()
+		usage := sol.Usage(r.NumTypes())
 		if cfg.json {
-			js := jsonSolution{Strategy: name, Period: p, BigUsed: b, LitUsed: l}
+			js := jsonSolution{Strategy: name, Period: p, BigUsed: usage[0]}
+			if len(usage) > 1 {
+				js.LitUsed = usage[1]
+			}
+			if r.NumTypes() != 2 {
+				js.Usage = usage
+			}
 			for _, st := range sol.Stages {
 				js.Stages = append(js.Stages, jsonStage{
 					Start: st.Start, End: st.End, Cores: st.Cores, Type: st.Type.String(),
@@ -259,7 +284,10 @@ func mainErr(cfg config) error {
 			}
 		} else {
 			row := []any{name, p, fmt.Sprintf("%.0f", core.Throughput(p, interframe)),
-				sol.String(), b, l}
+				sol.String()}
+			for _, u := range usage {
+				row = append(row, u)
+			}
 			if cfg.power {
 				row = append(row, pm.Power(sol), 1000*pm.EnergyPerFrame(sol, p))
 			}
@@ -421,19 +449,24 @@ func loadChain(input, plat string) (*core.Chain, int, error) {
 		if err := json.Unmarshal(data, &jc); err != nil {
 			return nil, 0, fmt.Errorf("parsing %s: %w", input, err)
 		}
-		tasks := make([]core.Task, len(jc.Tasks))
-		for i, t := range jc.Tasks {
-			tasks[i] = core.Task{
-				Name:       t.Name,
-				Weight:     [core.NumCoreTypes]float64{core.Big: t.Big, core.Little: t.Little},
-				Replicable: t.Replicable,
-			}
-		}
-		c, err := core.NewChain(tasks)
+		c, err := core.NewChain(jc.Tasks)
 		return c, 1, err
 	default:
 		return nil, 0, fmt.Errorf("pass -input FILE or -platform mac|x7")
 	}
+}
+
+// resolveResources builds the platform's type table from the flags: the
+// -resources spec when given (exclusive with the two-type shorthands),
+// the paper's big/little pair otherwise.
+func resolveResources(cfg config) (core.Resources, error) {
+	if cfg.resources == "" {
+		return core.Res(cfg.big, cfg.little), nil
+	}
+	if cfg.big != 0 || cfg.little != 0 {
+		return core.Resources{}, fmt.Errorf("pass either -resources or -big/-little, not both")
+	}
+	return core.ParseResources(cfg.resources)
 }
 
 // strategyList resolves the -strategy flag through the registry: "all"

@@ -265,7 +265,7 @@ func measure(b bench, benchtime time.Duration) Result {
 // generator seed) so successive reports measure the same workload.
 func benchmarks() []bench {
 	chains := chaingen.GenerateMany(chaingen.Default(20, 0.5), 7, 8)
-	r := core.Resources{Big: 10, Little: 10}
+	r := core.Res(10, 10)
 	herad := strategy.MustParse("herad")
 
 	// A populated journal for the export benchmarks, matching the shape a
@@ -358,7 +358,8 @@ func benchmarks() []bench {
 			}
 		}},
 	}
-	return append(benches, heradScaling()...)
+	benches = append(benches, heradScaling()...)
+	return append(benches, heradGeneral()...)
 }
 
 // heradScaling builds the wavefront sweep: HeRAD's DP fill across growing
@@ -374,7 +375,7 @@ func heradScaling() []bench {
 	}{{24, 8, 8}, {48, 16, 16}, {64, 24, 24}}
 	out := []bench{{name: calibrateName, guard: false, fn: func(n int) {
 		c := chaingen.GenerateMany(chaingen.Default(20, 0.5), 7, 1)[0]
-		r := core.Resources{Big: 8, Little: 8}
+		r := core.Res(8, 8)
 		for i := 0; i < n; i++ {
 			if s := herad.ScheduleOpts(c, r, herad.Options{Workers: 1}); s.IsEmpty() {
 				panic("no schedule")
@@ -383,7 +384,7 @@ func heradScaling() []bench {
 	}}}
 	for _, sz := range sizes {
 		c := chaingen.GenerateMany(chaingen.Default(sz.n, 0.5), 11, 1)[0]
-		r := core.Resources{Big: sz.b, Little: sz.l}
+		r := core.Res(sz.b, sz.l)
 		for _, workers := range []int{1, 2, 4} {
 			workers := workers
 			out = append(out, bench{
@@ -400,6 +401,32 @@ func heradScaling() []bench {
 		}
 	}
 	return out
+}
+
+// heradGeneral benchmarks the k-type general DP fill against the
+// specialized two-type fast path on the same instance (the cost of
+// genericity the fast path avoids), plus a three-type instance only the
+// general fill can solve. Unguarded: the rows document the ratio, the
+// fast path itself is gated through the wavefront rows.
+func heradGeneral() []bench {
+	c2 := chaingen.GenerateMany(chaingen.Default(24, 0.5), 13, 1)[0]
+	r2 := core.Res(8, 8)
+	c3 := chaingen.GenerateMany(chaingen.Default3(24, 0.5), 13, 1)[0]
+	r3 := core.Res(8, 4, 4)
+	run := func(c *core.Chain, r core.Resources, o herad.Options) func(int) {
+		return func(n int) {
+			for i := 0; i < n; i++ {
+				if s := herad.ScheduleOpts(c, r, o); s.IsEmpty() {
+					panic("no schedule")
+				}
+			}
+		}
+	}
+	return []bench{
+		{name: "herad/general/n24_k2/fast", fn: run(c2, r2, herad.Options{Workers: 1})},
+		{name: "herad/general/n24_k2/general", fn: run(c2, r2, herad.Options{Workers: 1, ForceGeneral: true})},
+		{name: "herad/general/n24_k3/general", fn: run(c3, r3, herad.Options{Workers: 1})},
+	}
 }
 
 // seedJournal fills j with a real scheduling trace: every registered

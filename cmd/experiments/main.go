@@ -211,7 +211,7 @@ func (a *app) fig1() error {
 	// Fig. 1b: the full-range plot for R = (10,10).
 	var plot []report.Series
 	for _, s := range series {
-		if s.R != (core.Resources{Big: 10, Little: 10}) || s.SR != 0.5 {
+		if s.R != core.Res(10, 10) || s.SR != 0.5 {
 			continue
 		}
 		var xs, ys []float64
@@ -268,8 +268,8 @@ func (a *app) fig3() error {
 	}
 	srs := []float64{0.2, 0.5, 0.8}
 	fmt.Printf("Fig. 3 — strategy execution times (µs) vs number of tasks (%d runs/point)\n\n", a.runs)
-	for _, r := range []core.Resources{{Big: 20, Little: 20}, {Big: 100, Little: 100}} {
-		if a.quick && r.Big == 100 {
+	for _, r := range []core.Resources{core.Res(20, 20), core.Res(100, 100)} {
+		if a.quick && r.Count(core.Big) == 100 {
 			cfg.SkipHeRADAbove = 60 // HeRAD at (100,100)×160 tasks takes minutes
 		}
 		pts := experiments.Fig3(cfg, r, taskCounts, srs)
@@ -283,7 +283,7 @@ func (a *app) fig4() error {
 	cfg.Chains = a.runs
 	resources := []core.Resources{}
 	for i := 1; i <= 8; i++ {
-		resources = append(resources, core.Resources{Big: 20 * i, Little: 20 * i})
+		resources = append(resources, core.Res(20*i, 20*i))
 	}
 	if a.quick {
 		resources = resources[:3]
@@ -448,7 +448,7 @@ func (a *app) sensitivity() error {
 
 	fmt.Println("-- heuristic quality vs number of tasks, R=(10B,10L)")
 	t := report.NewTable("Strategy", "tasks", "%opt", "avg slowdown")
-	for _, p := range experiments.SensitivityTasks(cfg, core.Resources{Big: 10, Little: 10},
+	for _, p := range experiments.SensitivityTasks(cfg, core.Res(10, 10),
 		[]int{10, 20, 40, 80}) {
 		t.AddRow(p.Strategy, p.X, fmt.Sprintf("%.1f", p.PctOptimal), p.AvgSlowdown)
 	}
@@ -457,7 +457,7 @@ func (a *app) sensitivity() error {
 	fmt.Println("-- heuristic quality vs resources, 20 tasks")
 	t2 := report.NewTable("Strategy", "cores", "%opt", "avg slowdown")
 	for _, p := range experiments.SensitivityResources(cfg, 20, []core.Resources{
-		{Big: 4, Little: 4}, {Big: 10, Little: 10}, {Big: 20, Little: 20}, {Big: 40, Little: 40},
+		core.Res(4, 4), core.Res(10, 10), core.Res(20, 20), core.Res(40, 40),
 	}) {
 		t2.AddRow(p.Strategy, p.X, fmt.Sprintf("%.1f", p.PctOptimal), p.AvgSlowdown)
 	}
@@ -488,7 +488,7 @@ func (a *app) live() error {
 	p := dvbs2.Test()
 	t := report.NewTable("Strategy", "R", "Schedule", "Predicted FPS", "Measured FPS", "BER")
 	for _, strat := range []string{experiments.StratHeRAD, experiments.StratFERTAC} {
-		for _, r := range []core.Resources{{Big: 2, Little: 2}, {Big: 4, Little: 4}} {
+		for _, r := range []core.Resources{core.Res(2, 2), core.Res(4, 4)} {
 			res, err := experiments.LiveRun(p, strat, r, 20, 150)
 			if err != nil {
 				return err

@@ -41,7 +41,7 @@ func main() {
 	fmt.Println("  (* = replicable)")
 
 	// 2. Schedule on 3 big + 2 little virtual cores with HeRAD.
-	r := core.Resources{Big: 3, Little: 2}
+	r := core.Res(3, 2)
 	sol := strategy.MustParse("herad").Schedule(chain, r, strategy.Options{})
 	fmt.Printf("\nHeRAD schedule on R=%v: %v\n", r, sol)
 	fmt.Printf("expected period %.1f µs → %.0f frames/s\n",

@@ -21,12 +21,12 @@ func main() {
 
 	fmt.Println("HeRAD with 6 big cores and a growing little-core budget:")
 	fmt.Printf("%-10s %-12s %-12s %-10s %s\n", "R", "period µs", "throughput", "cores b/l", "note")
-	bigOnly := core.Resources{Big: 6}
+	bigOnly := core.Res(6, 0)
 	base := strategy.MustParse("otac-b").Schedule(chain, bigOnly, strategy.Options{}).Period(chain)
 	fmt.Printf("%-10s %-12.1f %-12.0f %-10s %s\n", "(6B,0L)", base,
 		core.Throughput(base, p.Interframe), "6/0", "OTAC (B) baseline")
 	for l := 2; l <= 10; l += 2 {
-		r := core.Resources{Big: 6, Little: l}
+		r := core.Res(6, l)
 		s := herad.Schedule(chain, r, strategy.Options{})
 		b, lu := s.CoresUsed()
 		period := s.Period(chain)
@@ -42,16 +42,16 @@ func main() {
 	fmt.Println("the sequential bottleneck — throughput rises while the power proxy")
 	fmt.Println("(big-core usage) stays flat. With ties, HeRAD prefers little cores:")
 	tie := core.MustChain([]core.Task{
-		{Name: "even", Weight: [core.NumCoreTypes]float64{core.Big: 100, core.Little: 100}, Replicable: false},
+		{Name: "even", Weight: core.Weights(100, 100), Replicable: false},
 	})
-	s := herad.Schedule(tie, core.Resources{Big: 4, Little: 4}, strategy.Options{})
+	s := herad.Schedule(tie, core.Res(4, 4), strategy.Options{})
 	b, l := s.CoresUsed()
 	fmt.Printf("  equal-speed task on (4B,4L): HeRAD uses %d big, %d little\n", b, l)
 
 	// §VII extensions: a watts-level power model, and stage co-location
 	// (fusing adjacent light single-core stages at equal period).
 	pm := core.DefaultPowerModel()
-	r := core.Resources{Big: 6, Little: 8}
+	r := core.Res(6, 8)
 	sched := herad.Schedule(chain, r, strategy.Options{})
 	period := sched.Period(chain)
 	fmt.Printf("\nPower model (%gW big / %gW little cores), period/power trade-off\n",

@@ -23,7 +23,7 @@ func main() {
 		{Name: "emit", Weight: w(25, 60), Replicable: false},
 	})
 	// The platform: 2 big (performance) cores + 4 little (efficient) ones.
-	r := core.Resources{Big: 2, Little: 4}
+	r := core.Res(2, 4)
 
 	fmt.Printf("chain: %d tasks, platform R=%v\n\n", chain.Len(), r)
 	fmt.Printf("%-10s %-10s %-8s %s\n", "strategy", "period µs", "cores", "pipeline")
@@ -49,6 +49,6 @@ func main() {
 		res.Period, best.Period(chain), res.Throughput(1), res.Latency)
 }
 
-func w(big, little float64) [core.NumCoreTypes]float64 {
-	return [core.NumCoreTypes]float64{core.Big: big, core.Little: little}
+func w(big, little float64) []float64 {
+	return core.Weights(big, little)
 }

@@ -18,7 +18,7 @@ import (
 
 func main() {
 	const chains = 200
-	r := core.Resources{Big: 10, Little: 10}
+	r := core.Res(10, 10)
 	names := strategy.Names()
 	fmt.Printf("%d random 20-task chains on R=%v, varying stateless ratio\n\n", chains, r)
 

@@ -38,13 +38,15 @@ func MetricsFrom(r *obs.Registry) Metrics {
 }
 
 // Enumerate calls fn for every structurally valid complete solution of c
-// under resources r. Sequential stages are only generated with one core
-// (extra cores never reduce a sequential stage's weight and only waste
-// resources, so this loses no optimal solution under either objective).
+// under resources r, whatever the number of core types. Sequential stages
+// are only generated with one core (extra cores never reduce a sequential
+// stage's weight and only waste resources, so this loses no optimal
+// solution under either objective).
 func Enumerate(c *core.Chain, r core.Resources, fn func(core.Solution)) {
+	k := r.NumTypes()
 	var stages []core.Stage
-	var rec func(s, b, l int)
-	rec = func(s, b, l int) {
+	var rec func(s int, rem core.Resources)
+	rec = func(s int, rem core.Resources) {
 		if s == c.Len() {
 			sol := core.Solution{Stages: append([]core.Stage(nil), stages...)}
 			fn(sol)
@@ -52,28 +54,20 @@ func Enumerate(c *core.Chain, r core.Resources, fn func(core.Solution)) {
 		}
 		for e := s; e < c.Len(); e++ {
 			rep := c.IsRep(s, e)
-			for _, v := range []core.CoreType{core.Big, core.Little} {
-				avail := b
-				if v == core.Little {
-					avail = l
-				}
-				maxU := avail
+			for v := core.CoreType(0); int(v) < k; v++ {
+				maxU := rem.Count(v)
 				if !rep {
-					maxU = min(1, avail)
+					maxU = min(1, maxU)
 				}
 				for u := 1; u <= maxU; u++ {
 					stages = append(stages, core.Stage{Start: s, End: e, Cores: u, Type: v})
-					if v == core.Big {
-						rec(e+1, b-u, l)
-					} else {
-						rec(e+1, b, l-u)
-					}
+					rec(e+1, rem.Consume(v, u))
 					stages = stages[:len(stages)-1]
 				}
 			}
 		}
 	}
-	rec(0, r.Big, r.Little)
+	rec(0, r)
 }
 
 // Schedule returns an optimal-period solution of c on r, breaking period
@@ -86,8 +80,11 @@ func Schedule(c *core.Chain, r core.Resources) core.Solution {
 
 // ScheduleObs is Schedule reporting into m.
 func ScheduleObs(c *core.Chain, r core.Resources, m Metrics) core.Solution {
-	if c == nil || c.Len() == 0 || r.Total() <= 0 || r.Big < 0 || r.Little < 0 {
+	if c == nil || c.Len() == 0 || r.Total() <= 0 || !r.NonNegative() {
 		return core.Solution{}
+	}
+	if c.NumTypes() != r.NumTypes() {
+		return core.Solution{} // chain and platform disagree on the type table
 	}
 	var best core.Solution
 	bestP := math.Inf(1)
@@ -104,9 +101,7 @@ func ScheduleObs(c *core.Chain, r core.Resources, m Metrics) core.Solution {
 				m.Trace.Event("improved").F64("period", p).Int("stages", len(s.Stages))
 			}
 		case p == bestP && !best.IsEmpty():
-			bB, bL := best.CoresUsed()
-			nB, nL := s.CoresUsed()
-			if Beats(nB, nL, bB, bL) {
+			if BeatsVec(s.Usage(r.NumTypes()), best.Usage(r.NumTypes())) {
 				m.Improvements.Inc()
 				best = s
 				if m.Trace.Enabled() {
@@ -136,13 +131,23 @@ func MinPeriod(c *core.Chain, r core.Resources) float64 {
 // Beats reports whether core usage (bN, lN) is strictly preferable to
 // (bC, lC) under the paper's secondary objective (CompareCells, Algo 10):
 // it either exchanges big cores for little ones, or uses no more cores of
-// either type with at least one strict improvement.
+// either type with at least one strict improvement. Case analysis shows
+// both clauses together are exactly the strict lexicographic order on the
+// (big, little) usage pair — the two-type instance of BeatsVec.
 func Beats(bN, lN, bC, lC int) bool {
-	if lN > lC && bN < bC {
-		return true // better exchange of big for little
-	}
-	if lN <= lC && bN <= bC && (lN < lC || bN < bC) {
-		return true // fewer cores overall
+	return BeatsVec([]int{bN, lN}, []int{bC, lC})
+}
+
+// BeatsVec reports whether the per-type core usage n is strictly
+// preferable to c under the k-type secondary objective: strictly
+// lexicographically smaller, so a schedule first saves cores of type 0
+// (the paper's big cores), then of type 1, and so on. At k=2 this is
+// provably the paper's Algo 10 preference.
+func BeatsVec(n, c []int) bool {
+	for v := range n {
+		if n[v] != c[v] {
+			return n[v] < c[v]
+		}
 	}
 	return false
 }

@@ -8,7 +8,7 @@ import (
 )
 
 func task(wb, wl float64, rep bool) core.Task {
-	return core.Task{Weight: [core.NumCoreTypes]float64{core.Big: wb, core.Little: wl}, Replicable: rep}
+	return core.Task{Weight: core.Weights(wb, wl), Replicable: rep}
 }
 
 func TestEnumerateCountsPartitions(t *testing.T) {
@@ -18,12 +18,12 @@ func TestEnumerateCountsPartitions(t *testing.T) {
 	// and all core splits are visited.
 	c := core.MustChain([]core.Task{task(1, 1, true), task(1, 1, true), task(1, 1, true)})
 	count := 0
-	Enumerate(c, core.Resources{Big: 1}, func(core.Solution) { count++ })
+	Enumerate(c, core.Res(1, 0), func(core.Solution) { count++ })
 	if count != 1 {
 		t.Errorf("1 big core: %d solutions, want 1", count)
 	}
 	count = 0
-	Enumerate(c, core.Resources{Big: 2}, func(core.Solution) { count++ })
+	Enumerate(c, core.Res(2, 0), func(core.Solution) { count++ })
 	// 1 stage with 1 or 2 cores (2) + 2-stage partitions ({1|23},{12|3})
 	// with 1 core each (2) = 4.
 	if count != 4 {
@@ -33,7 +33,7 @@ func TestEnumerateCountsPartitions(t *testing.T) {
 
 func TestEnumerateOnlyValidSolutions(t *testing.T) {
 	c := core.MustChain([]core.Task{task(3, 6, false), task(2, 4, true)})
-	r := core.Resources{Big: 1, Little: 2}
+	r := core.Res(1, 2)
 	Enumerate(c, r, func(s core.Solution) {
 		if err := s.Validate(c, r); err != nil {
 			t.Errorf("enumerated invalid solution %v: %v", s, err)
@@ -47,7 +47,7 @@ func TestMinPeriodKnown(t *testing.T) {
 	c := core.MustChain([]core.Task{
 		task(10, 20, false), task(8, 16, true), task(8, 16, true),
 	})
-	if got := MinPeriod(c, core.Resources{Big: 1, Little: 2}); got != 16 {
+	if got := MinPeriod(c, core.Res(1, 2)); got != 16 {
 		t.Errorf("MinPeriod = %v, want 16", got)
 	}
 	if got := MinPeriod(c, core.Resources{}); !math.IsInf(got, 1) {
@@ -79,7 +79,7 @@ func TestBeatsRelation(t *testing.T) {
 
 func TestOptimalUsages(t *testing.T) {
 	c := core.MustChain([]core.Task{task(10, 10, false)})
-	p, usages := OptimalUsages(c, core.Resources{Big: 1, Little: 1})
+	p, usages := OptimalUsages(c, core.Res(1, 1))
 	if p != 10 {
 		t.Fatalf("period %v", p)
 	}

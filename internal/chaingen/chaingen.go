@@ -2,7 +2,10 @@
 // simulation campaign (§VI-A1): big-core weights drawn uniformly from the
 // integer interval [1, 100], little-core weights obtained by applying a
 // per-task slowdown drawn uniformly from [1, 5] and rounding up, and a
-// stateless ratio SR selecting the fraction of replicable tasks.
+// stateless ratio SR selecting the fraction of replicable tasks. Config
+// optionally extends the model beyond the paper's two core types: each
+// Extra slowdown range appends one more per-task weight derived from the
+// big-core weight, without perturbing the two-type random streams.
 package chaingen
 
 import (
@@ -26,12 +29,34 @@ type Config struct {
 	// generator makes exactly round(SR·N) tasks replicable, at uniformly
 	// random positions.
 	StatelessRatio float64
+	// Extra appends one additional core type per entry (types 2, 3, …):
+	// each task's extra weight is its big-core weight times a slowdown
+	// drawn uniformly from the entry's range, rounded up like the
+	// little-core weights. The extra draws happen after the two canonical
+	// ones, so a configuration with Extra == nil reproduces the paper's
+	// two-type random streams bit for bit for any shared seed.
+	Extra []SlowdownRange
+}
+
+// SlowdownRange bounds the uniform slowdown of one extra core type
+// relative to the big-core weight. Min may be below 1 (a faster type).
+type SlowdownRange struct {
+	Min, Max float64
 }
 
 // Default returns the paper's simulation configuration for n tasks and
 // stateless ratio sr.
 func Default(n int, sr float64) Config {
 	return Config{N: n, WMin: 1, WMax: 100, SlowMin: 1, SlowMax: 5, StatelessRatio: sr}
+}
+
+// Default3 returns a three-type synthetic profile: the paper's big/little
+// configuration plus a "medium" type whose slowdown interval [1, 3] sits
+// between the big cores (1) and the little cores ([1, 5]).
+func Default3(n int, sr float64) Config {
+	cfg := Default(n, sr)
+	cfg.Extra = []SlowdownRange{{Min: 1, Max: 3}}
+	return cfg
 }
 
 // Validate reports whether the configuration is internally consistent.
@@ -45,6 +70,15 @@ func (cfg Config) Validate() error {
 		return fmt.Errorf("chaingen: slowdown interval [%g,%g] invalid", cfg.SlowMin, cfg.SlowMax)
 	case cfg.StatelessRatio < 0 || cfg.StatelessRatio > 1:
 		return fmt.Errorf("chaingen: stateless ratio %g outside [0,1]", cfg.StatelessRatio)
+	case len(cfg.Extra) > core.MaxCoreTypes-2:
+		return fmt.Errorf("chaingen: %d extra core types exceed the %d-type model",
+			len(cfg.Extra), core.MaxCoreTypes)
+	}
+	for i, ex := range cfg.Extra {
+		if ex.Min <= 0 || ex.Max < ex.Min {
+			return fmt.Errorf("chaingen: extra type %d slowdown interval [%g,%g] invalid",
+				i+2, ex.Min, ex.Max)
+		}
 	}
 	return nil
 }
@@ -65,9 +99,16 @@ func Generate(cfg Config, rng *rand.Rand) *core.Chain {
 		wb := float64(cfg.WMin + rng.Intn(cfg.WMax-cfg.WMin+1))
 		slow := cfg.SlowMin + rng.Float64()*(cfg.SlowMax-cfg.SlowMin)
 		wl := math.Ceil(wb * slow)
+		w := make([]float64, 0, 2+len(cfg.Extra))
+		w = append(w, wb, wl)
+		// Extra-type draws come after the canonical two so the paper's
+		// two-type streams are untouched when Extra is empty.
+		for _, ex := range cfg.Extra {
+			w = append(w, math.Ceil(wb*(ex.Min+rng.Float64()*(ex.Max-ex.Min))))
+		}
 		tasks[i] = core.Task{
 			Name:       fmt.Sprintf("t%02d", i),
-			Weight:     [core.NumCoreTypes]float64{core.Big: wb, core.Little: wl},
+			Weight:     w,
 			Replicable: rep[i],
 		}
 	}

@@ -3,6 +3,7 @@ package chaingen
 import (
 	"math"
 	"math/rand"
+	"slices"
 	"testing"
 	"testing/quick"
 
@@ -81,7 +82,7 @@ func TestGenerateManyDeterministic(t *testing.T) {
 	}
 	for i := range a {
 		for j := 0; j < a[i].Len(); j++ {
-			if a[i].Task(j) != b[i].Task(j) {
+			if !sameTask(a[i].Task(j), b[i].Task(j)) {
 				t.Fatalf("chain %d task %d differs across identical seeds", i, j)
 			}
 		}
@@ -89,7 +90,7 @@ func TestGenerateManyDeterministic(t *testing.T) {
 	c := GenerateMany(Default(20, 0.5), 43, 5)
 	same := true
 	for j := 0; j < a[0].Len(); j++ {
-		if a[0].Task(j) != c[0].Task(j) {
+		if !sameTask(a[0].Task(j), c[0].Task(j)) {
 			same = false
 		}
 	}
@@ -107,5 +108,72 @@ func TestStatelessRatioExtremes(t *testing.T) {
 	c1 := Generate(Default(15, 1), rng)
 	if c1.SeqCount() != 0 {
 		t.Errorf("SR=1: %d sequential tasks, want 0", c1.SeqCount())
+	}
+}
+
+// sameTask compares tasks by value now that Weight is a slice.
+func sameTask(a, b core.Task) bool {
+	return a.Name == b.Name && a.Replicable == b.Replicable && slices.Equal(a.Weight, b.Weight)
+}
+
+func TestDefault3(t *testing.T) {
+	cfg := Default3(20, 0.5)
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	c := Generate(cfg, rng)
+	if c.NumTypes() != 3 {
+		t.Fatalf("NumTypes = %d, want 3", c.NumTypes())
+	}
+	for j := 0; j < c.Len(); j++ {
+		tk := c.Task(j)
+		wb, wl, wm := tk.W(core.Big), tk.W(core.Little), tk.W(2)
+		if wb < 1 || wb > 100 {
+			t.Errorf("task %d big weight %v outside [1,100]", j, wb)
+		}
+		// The medium type's slowdown interval [1,3] sits inside little's [1,5].
+		if wm < wb || wm > 3*wb+1 {
+			t.Errorf("task %d medium weight %v outside [%v,%v]", j, wm, wb, 3*wb+1)
+		}
+		if wl < wb {
+			t.Errorf("task %d little weight %v below big %v", j, wl, wb)
+		}
+	}
+	// Same seed, same chain — the extra type does not break determinism.
+	c2 := Generate(cfg, rand.New(rand.NewSource(7)))
+	for j := 0; j < c.Len(); j++ {
+		if !sameTask(c.Task(j), c2.Task(j)) {
+			t.Fatalf("task %d differs across identical seeds", j)
+		}
+	}
+	// The replicable positions and the first task's two canonical weights
+	// match the two-type profile for the same seed: the extra draws are
+	// appended after the canonical ones.
+	c2t := Generate(Default(20, 0.5), rand.New(rand.NewSource(7)))
+	t0, t0b := c.Task(0), c2t.Task(0)
+	if t0.W(core.Big) != t0b.W(core.Big) || t0.W(core.Little) != t0b.W(core.Little) ||
+		t0.Replicable != t0b.Replicable {
+		t.Errorf("task 0 canonical draws diverged: 3-type %v/%v, 2-type %v/%v",
+			t0.W(core.Big), t0.W(core.Little), t0b.W(core.Big), t0b.W(core.Little))
+	}
+}
+
+func TestValidateExtra(t *testing.T) {
+	cfg := Default(5, 0.5)
+	cfg.Extra = []SlowdownRange{{Min: 0, Max: 2}}
+	if err := cfg.Validate(); err == nil {
+		t.Error("non-positive extra slowdown accepted")
+	}
+	cfg.Extra = []SlowdownRange{{Min: 3, Max: 2}}
+	if err := cfg.Validate(); err == nil {
+		t.Error("inverted extra slowdown interval accepted")
+	}
+	cfg.Extra = make([]SlowdownRange, core.MaxCoreTypes-1)
+	for i := range cfg.Extra {
+		cfg.Extra[i] = SlowdownRange{Min: 1, Max: 2}
+	}
+	if err := cfg.Validate(); err == nil {
+		t.Error("too many extra types accepted")
 	}
 }

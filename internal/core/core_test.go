@@ -9,7 +9,7 @@ import (
 )
 
 func task(wb, wl float64, rep bool) Task {
-	return Task{Weight: [NumCoreTypes]float64{Big: wb, Little: wl}, Replicable: rep}
+	return Task{Weight: Weights(wb, wl), Replicable: rep}
 }
 
 func testChain(t *testing.T) *Chain {
@@ -61,21 +61,21 @@ func TestCoreTypeString(t *testing.T) {
 	if got := CoreType(9).String(); !strings.Contains(got, "9") {
 		t.Errorf("unknown core type formats as %q", got)
 	}
-	if Big.Other() != Little || Little.Other() != Big {
-		t.Error("Other() broken")
+	if CoreType(2).String() != "T2" {
+		t.Errorf("type 2 formats as %q", CoreType(2).String())
 	}
 }
 
 func TestResources(t *testing.T) {
-	r := Resources{Big: 3, Little: 5}
-	if r.Total() != 8 || r.Of(Big) != 3 || r.Of(Little) != 5 {
+	r := Res(3, 5)
+	if r.Total() != 8 || r.Count(Big) != 3 || r.Count(Little) != 5 {
 		t.Errorf("accessors wrong: %+v", r)
 	}
-	if got := r.Minus(Big, 2); got.Big != 1 || got.Little != 5 {
-		t.Errorf("Minus(Big,2) = %v", got)
+	if got := r.Consume(Big, 2); got.Count(Big) != 1 || got.Count(Little) != 5 {
+		t.Errorf("Consume(Big,2) = %v", got)
 	}
-	if got := r.Minus(Little, 5); got.Little != 0 {
-		t.Errorf("Minus(Little,5) = %v", got)
+	if got := r.Consume(Little, 5); got.Count(Little) != 0 {
+		t.Errorf("Consume(Little,5) = %v", got)
 	}
 	if r.String() != "(3B,5L)" {
 		t.Errorf("String = %q", r.String())
@@ -172,16 +172,16 @@ func TestSolutionPeriodAndUsage(t *testing.T) {
 	if b != 2 || l != 2 {
 		t.Errorf("CoresUsed = (%d,%d), want (2,2)", b, l)
 	}
-	if !s.IsValid(c, Resources{Big: 2, Little: 2}, 32) {
+	if !s.IsValid(c, Res(2, 2), 32) {
 		t.Error("solution should be valid at its own period")
 	}
-	if s.IsValid(c, Resources{Big: 2, Little: 2}, 31.9) {
+	if s.IsValid(c, Res(2, 2), 31.9) {
 		t.Error("solution should be invalid below its period")
 	}
-	if s.IsValid(c, Resources{Big: 1, Little: 2}, 32) {
+	if s.IsValid(c, Res(1, 2), 32) {
 		t.Error("solution should be invalid with fewer big cores")
 	}
-	if (Solution{}).IsValid(c, Resources{Big: 9, Little: 9}, 1e18) {
+	if (Solution{}).IsValid(c, Res(9, 9), 1e18) {
 		t.Error("empty solution must be invalid")
 	}
 	if p := (Solution{}).Period(c); !math.IsInf(p, 1) {
@@ -191,7 +191,7 @@ func TestSolutionPeriodAndUsage(t *testing.T) {
 
 func TestValidateStructural(t *testing.T) {
 	c := testChain(t)
-	r := Resources{Big: 4, Little: 4}
+	r := Res(4, 4)
 	good := Solution{Stages: []Stage{
 		{Start: 0, End: 2, Cores: 1, Type: Big},
 		{Start: 3, End: 4, Cores: 1, Type: Little},
@@ -214,7 +214,7 @@ func TestValidateStructural(t *testing.T) {
 		}
 	}
 	over := Solution{Stages: []Stage{{Start: 0, End: 4, Cores: 1, Type: Big}}}
-	if err := over.Validate(c, Resources{Big: 0, Little: 9}); err == nil {
+	if err := over.Validate(c, Res(0, 9)); err == nil {
 		t.Error("over-budget solution accepted")
 	}
 }
@@ -280,7 +280,7 @@ func TestMergeNeverIncreasesPeriodProperty(t *testing.T) {
 		}
 		sol := Solution{Stages: stages}
 		merged := sol.MergeReplicable(c)
-		if err := merged.Validate(c, Resources{Big: 99, Little: 99}); err != nil {
+		if err := merged.Validate(c, Res(99, 99)); err != nil {
 			t.Logf("merge broke structure: %v", err)
 			return false
 		}

@@ -29,12 +29,15 @@ func fnvByte(h uint64, b byte) uint64 {
 // replicability flag, in order. Task names are deliberately excluded —
 // two chains that differ only in naming produce identical schedules under
 // every strategy, so they must share a fingerprint (the property the
-// strategy-layer solution cache relies on).
+// strategy-layer solution cache relies on). The type count is not hashed
+// separately: it is implied by the weight stream (k float64 words per
+// task), which also keeps two-type fingerprints identical to the
+// pre-k-type encoding.
 func fingerprintTasks(tasks []Task) uint64 {
 	h := uint64(fnvOffset64)
 	h = fnvUint64(h, uint64(len(tasks)))
 	for _, t := range tasks {
-		for v := 0; v < NumCoreTypes; v++ {
+		for v := range t.Weight {
 			h = fnvUint64(h, math.Float64bits(t.Weight[v]))
 		}
 		if t.Replicable {

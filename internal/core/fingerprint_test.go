@@ -2,11 +2,12 @@ package core
 
 import (
 	"math/rand"
+	"slices"
 	"testing"
 )
 
 func fpTask(wb, wl float64, rep bool) Task {
-	return Task{Weight: [NumCoreTypes]float64{Big: wb, Little: wl}, Replicable: rep}
+	return Task{Weight: Weights(wb, wl), Replicable: rep}
 }
 
 func TestFingerprintDeterministic(t *testing.T) {
@@ -22,8 +23,8 @@ func TestFingerprintDeterministic(t *testing.T) {
 }
 
 func TestFingerprintIgnoresNames(t *testing.T) {
-	a := MustChain([]Task{{Name: "alpha", Weight: [NumCoreTypes]float64{10, 20}, Replicable: true}})
-	b := MustChain([]Task{{Name: "beta", Weight: [NumCoreTypes]float64{10, 20}, Replicable: true}})
+	a := MustChain([]Task{{Name: "alpha", Weight: Weights(10, 20), Replicable: true}})
+	b := MustChain([]Task{{Name: "beta", Weight: Weights(10, 20), Replicable: true}})
 	if a.Fingerprint() != b.Fingerprint() {
 		t.Error("names changed the fingerprint; schedules cannot depend on names")
 	}
@@ -74,7 +75,7 @@ func TestFingerprintCollisions(t *testing.T) {
 			return false
 		}
 		for i := range a {
-			if a[i].Weight != b[i].Weight || a[i].Replicable != b[i].Replicable {
+			if !slices.Equal(a[i].Weight, b[i].Weight) || a[i].Replicable != b[i].Replicable {
 				return false
 			}
 		}

@@ -3,18 +3,22 @@ package core
 import (
 	"encoding/json"
 	"fmt"
+	"strconv"
+	"strings"
 )
 
 // JSON serialization: chains and solutions round-trip through stable,
 // human-editable JSON so schedules can be computed offline and shipped
 // to a runtime (the cmd/ampsched -json output uses the same shapes).
 
-// MarshalJSON encodes the core type as "B" or "L".
+// MarshalJSON encodes the core type by its default name ("B", "L",
+// "T2", …).
 func (t CoreType) MarshalJSON() ([]byte, error) {
 	return json.Marshal(t.String())
 }
 
-// UnmarshalJSON accepts "B"/"L" (and lowercase variants).
+// UnmarshalJSON accepts "B"/"L" (and lowercase variants) plus the "T2",
+// "T3", … names of the extra types of k>2 platforms.
 func (t *CoreType) UnmarshalJSON(data []byte) error {
 	var s string
 	if err := json.Unmarshal(data, &s); err != nil {
@@ -26,35 +30,60 @@ func (t *CoreType) UnmarshalJSON(data []byte) error {
 	case "L", "l", "little":
 		*t = Little
 	default:
+		if v, err := strconv.Atoi(strings.TrimPrefix(strings.ToUpper(s), "T")); err == nil &&
+			strings.HasPrefix(strings.ToUpper(s), "T") && v >= 0 && v < MaxCoreTypes {
+			*t = CoreType(v)
+			return nil
+		}
 		return fmt.Errorf("core: unknown core type %q", s)
 	}
 	return nil
 }
 
-// taskJSON is the wire shape of a Task.
+// taskJSON is the wire shape of a Task. Two-type tasks keep the original
+// named-weight shape ({"big": …, "little": …}); tasks with any other type
+// count carry an ordered "weights" array instead. Both shapes are accepted
+// on input.
 type taskJSON struct {
-	Name       string  `json:"name"`
-	Big        float64 `json:"big"`
-	Little     float64 `json:"little"`
-	Replicable bool    `json:"replicable"`
+	Name       string    `json:"name"`
+	Big        float64   `json:"big,omitempty"`
+	Little     float64   `json:"little,omitempty"`
+	Weights    []float64 `json:"weights,omitempty"`
+	Replicable bool      `json:"replicable"`
 }
 
-// MarshalJSON encodes the task with named per-type weights.
+// MarshalJSON encodes the task with named per-type weights (two-type
+// tasks) or an ordered weight vector (any other type count).
 func (t Task) MarshalJSON() ([]byte, error) {
-	return json.Marshal(taskJSON{
-		Name: t.Name, Big: t.Weight[Big], Little: t.Weight[Little],
-		Replicable: t.Replicable,
-	})
+	if len(t.Weight) == 2 {
+		return json.Marshal(struct {
+			Name       string  `json:"name"`
+			Big        float64 `json:"big"`
+			Little     float64 `json:"little"`
+			Replicable bool    `json:"replicable"`
+		}{t.Name, t.Weight[Big], t.Weight[Little], t.Replicable})
+	}
+	return json.Marshal(struct {
+		Name       string    `json:"name"`
+		Weights    []float64 `json:"weights"`
+		Replicable bool      `json:"replicable"`
+	}{t.Name, t.Weight, t.Replicable})
 }
 
-// UnmarshalJSON decodes the named-weight shape.
+// UnmarshalJSON decodes either wire shape: an explicit "weights" array
+// wins; otherwise the named big/little pair builds a two-type task.
 func (t *Task) UnmarshalJSON(data []byte) error {
 	var j taskJSON
 	if err := json.Unmarshal(data, &j); err != nil {
 		return err
 	}
-	*t = Task{Name: j.Name, Replicable: j.Replicable,
-		Weight: [NumCoreTypes]float64{Big: j.Big, Little: j.Little}}
+	w := j.Weights
+	if w == nil {
+		w = []float64{j.Big, j.Little}
+	} else if j.Big != 0 || j.Little != 0 {
+		return fmt.Errorf("core: task %q mixes \"weights\" with named big/little weights", j.Name)
+	}
+	*t = Task{Name: j.Name, Replicable: j.Replicable, Weight: w}
 	return nil
 }
 
@@ -69,7 +98,8 @@ func (c *Chain) MarshalJSON() ([]byte, error) {
 }
 
 // UnmarshalJSON rebuilds the chain (including prefix sums) from a task
-// list; invalid chains (empty, negative weights) are rejected.
+// list; invalid chains (empty, negative weights, disagreeing type counts)
+// are rejected.
 func (c *Chain) UnmarshalJSON(data []byte) error {
 	var j chainJSON
 	if err := json.Unmarshal(data, &j); err != nil {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/json"
+	"slices"
 	"strings"
 	"testing"
 )
@@ -36,8 +37,8 @@ func TestCoreTypeJSONRoundTrip(t *testing.T) {
 
 func TestChainJSONRoundTrip(t *testing.T) {
 	orig := MustChain([]Task{
-		{Name: "a", Weight: [NumCoreTypes]float64{Big: 10, Little: 25}, Replicable: false},
-		{Name: "b", Weight: [NumCoreTypes]float64{Big: 4, Little: 9}, Replicable: true},
+		{Name: "a", Weight: Weights(10, 25), Replicable: false},
+		{Name: "b", Weight: Weights(4, 9), Replicable: true},
 	})
 	data, err := json.Marshal(orig)
 	if err != nil {
@@ -50,7 +51,9 @@ func TestChainJSONRoundTrip(t *testing.T) {
 	if err := json.Unmarshal(data, &back); err != nil {
 		t.Fatal(err)
 	}
-	if back.Len() != 2 || back.Task(1) != orig.Task(1) {
+	bt, ot := back.Task(1), orig.Task(1)
+	if back.Len() != 2 || bt.Name != ot.Name || bt.Replicable != ot.Replicable ||
+		!slices.Equal(bt.Weight, ot.Weight) {
 		t.Errorf("round trip lost data: %+v", back.Tasks())
 	}
 	// Prefix sums must be rebuilt, not zero.

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseResources(t *testing.T) {
+	good := []struct {
+		spec string
+		want Resources
+		str  string
+	}{
+		{"16B,4L", Res(16, 4), "(16B,4L)"},
+		{"16,4", Res(16, 4), "(16B,4L)"},
+		{"16b,4l", Res(16, 4), "(16B,4L)"},
+		{" 16B , 4L ", Res(16, 4), "(16B,4L)"},
+		{"4B,2M,8L", Res(4, 2, 8).With(Little, 8), "(4B,2M,8L)"},
+		{"0B,0L", Res(0, 0), "(0B,0L)"},
+		{"7", Res(7), "(7B)"},
+		{"1,2,3,4,5,6,7,8", Res(1, 2, 3, 4, 5, 6, 7, 8), "(1B,2L,3T2,4T3,5T4,6T5,7T6,8T7)"},
+	}
+	for _, tc := range good {
+		r, err := ParseResources(tc.spec)
+		if err != nil {
+			t.Errorf("ParseResources(%q): %v", tc.spec, err)
+			continue
+		}
+		if r.String() != tc.str {
+			t.Errorf("ParseResources(%q).String() = %q, want %q", tc.spec, r.String(), tc.str)
+		}
+		// Explicit default names normalize away: "16B,4L" must be the same
+		// comparable value as Res(16, 4) (cache keys depend on this).
+		if tc.spec == "16B,4L" || tc.spec == "16,4" || tc.spec == "16b,4l" {
+			if r != Res(16, 4) {
+				t.Errorf("ParseResources(%q) = %#v, not comparable-equal to Res(16,4)", tc.spec, r)
+			}
+		}
+	}
+
+	bad := []string{"", "x", "B", "-1B", "4B,", "1,2,3,4,5,6,7,8,9", "4.5B"}
+	for _, spec := range bad {
+		if r, err := ParseResources(spec); err == nil {
+			t.Errorf("ParseResources(%q) accepted: %v", spec, r)
+		}
+	}
+}
+
+// TestParseResourcesRoundTrip: parsing a Resources' own String form (sans
+// parentheses) reproduces the value.
+func TestParseResourcesRoundTrip(t *testing.T) {
+	for _, r := range []Resources{Res(16, 4), Res(1), Res(4, 2, 8), Res(0, 3, 0, 7)} {
+		spec := strings.Trim(r.String(), "()")
+		back, err := ParseResources(spec)
+		if err != nil {
+			t.Fatalf("re-parsing %q: %v", spec, err)
+		}
+		if back != r {
+			t.Errorf("round trip %v -> %q -> %v", r, spec, back)
+		}
+	}
+}
+
+// FuzzParseResources checks the parser never panics and that accepted
+// specs survive a String round trip.
+func FuzzParseResources(f *testing.F) {
+	for _, seed := range []string{"16B,4L", "4B,2M,8L", "1,2,3", "", "x", "-1B", "0"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		r, err := ParseResources(spec)
+		if err != nil {
+			return
+		}
+		back, err := ParseResources(strings.Trim(r.String(), "()"))
+		if err != nil {
+			t.Fatalf("String form %q of accepted spec %q does not re-parse: %v", r.String(), spec, err)
+		}
+		if back != r {
+			t.Errorf("spec %q: round trip %v -> %v", spec, r, back)
+		}
+	})
+}
+
+// TestConsumeCountRoundTrip is the Consume/Count algebra property: after
+// consuming u cores of type v, type v's count drops by exactly u, every
+// other type is untouched, and Total drops by u.
+func TestConsumeCountRoundTrip(t *testing.T) {
+	prop := func(raw [MaxCoreTypes]uint8, kRaw, vRaw, uRaw uint8) bool {
+		k := 1 + int(kRaw)%MaxCoreTypes
+		counts := make([]int, k)
+		for i := range counts {
+			counts[i] = int(raw[i])
+		}
+		r := Res(counts...)
+		v := CoreType(int(vRaw) % k)
+		u := int(uRaw)
+		got := r.Consume(v, u)
+		if got.NumTypes() != k || got.Count(v) != r.Count(v)-u {
+			return false
+		}
+		for i := 0; i < k; i++ {
+			if CoreType(i) != v && got.Count(CoreType(i)) != r.Count(CoreType(i)) {
+				return false
+			}
+		}
+		return got.Total() == r.Total()-u &&
+			got.NonNegative() == (r.Count(v) >= u) &&
+			got.Consume(v, -u) == r // consuming a negative count restores r
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnlimitedOnlyWith(t *testing.T) {
+	u := Unlimited(3)
+	if u.NumTypes() != 3 || u.Count(2) != 1<<30 {
+		t.Errorf("Unlimited(3) = %v", u)
+	}
+	r := Res(4, 2, 8)
+	only := r.Only(Little)
+	if only.NumTypes() != 3 || only.Count(Big) != 0 || only.Count(Little) != 2 || only.Count(2) != 0 {
+		t.Errorf("Only(Little) = %v", only)
+	}
+	if got := r.With(2, 5); got.Count(2) != 5 || got.Count(Big) != 4 {
+		t.Errorf("With(2,5) = %v", got)
+	}
+	// Count beyond the type table reads as zero.
+	if r.Count(7) != 0 {
+		t.Errorf("Count(7) = %d on a 3-type platform", r.Count(7))
+	}
+}
+
+func TestChainTypeValidation(t *testing.T) {
+	// Tasks disagreeing on the number of weights are rejected.
+	_, err := NewChain([]Task{
+		{Name: "a", Weight: Weights(1, 2)},
+		{Name: "b", Weight: Weights(1, 2, 3)},
+	})
+	if err == nil {
+		t.Error("mixed-arity chain accepted")
+	}
+	_, err = NewChain([]Task{{Name: "a"}})
+	if err == nil {
+		t.Error("weightless task accepted")
+	}
+	c := MustChain([]Task{
+		{Name: "a", Weight: Weights(4, 8, 6), Replicable: true},
+		{Name: "b", Weight: Weights(2, 3, 2)},
+	})
+	if c.NumTypes() != 3 {
+		t.Errorf("NumTypes = %d", c.NumTypes())
+	}
+	if c.TotalW(2) != 8 {
+		t.Errorf("TotalW(T2) = %v", c.TotalW(2))
+	}
+}
+
+func TestSolutionUsageKTypes(t *testing.T) {
+	s := Solution{Stages: []Stage{
+		{Start: 0, End: 0, Cores: 2, Type: Big},
+		{Start: 1, End: 1, Cores: 3, Type: 2},
+		{Start: 2, End: 2, Cores: 1, Type: Little},
+	}}
+	if got := s.Usage(3); got[0] != 2 || got[1] != 1 || got[2] != 3 {
+		t.Errorf("Usage(3) = %v", got)
+	}
+	// Types beyond k are ignored, matching Count's out-of-table reads.
+	if got := s.Usage(2); got[0] != 2 || got[1] != 1 {
+		t.Errorf("Usage(2) = %v", got)
+	}
+	c := MustChain([]Task{
+		{Name: "a", Weight: Weights(4, 8, 6), Replicable: true},
+		{Name: "b", Weight: Weights(2, 3, 2), Replicable: true},
+		{Name: "c", Weight: Weights(9, 9, 9), Replicable: true},
+	})
+	if err := s.Validate(c, Res(2, 1, 3)); err != nil {
+		t.Errorf("valid 3-type schedule rejected: %v", err)
+	}
+	if err := s.Validate(c, Res(2, 1, 2)); err == nil {
+		t.Error("over-budget 3-type schedule accepted")
+	}
+	if err := s.Validate(c, Res(2, 1)); err == nil {
+		t.Error("3-type schedule accepted on 2-type platform")
+	}
+}

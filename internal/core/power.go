@@ -10,20 +10,26 @@ package core
 
 // PowerModel assigns an active power draw to each core type.
 type PowerModel struct {
-	// Watts holds the per-core active power by core type.
-	Watts [NumCoreTypes]float64
+	// Watts holds the per-core active power by core type, one entry per
+	// type of the platform.
+	Watts []float64
 }
 
 // DefaultPowerModel returns a big.LITTLE-style assumption (documented,
 // not measured): big cores draw 4 W, little cores 1 W.
 func DefaultPowerModel() PowerModel {
-	return PowerModel{Watts: [NumCoreTypes]float64{Big: 4, Little: 1}}
+	return PowerModel{Watts: []float64{4, 1}}
 }
 
-// Power returns the total active power of the solution's cores.
+// Power returns the total active power of the solution's cores. Core
+// types beyond the model's table draw no power.
 func (m PowerModel) Power(s Solution) float64 {
-	b, l := s.CoresUsed()
-	return float64(b)*m.Watts[Big] + float64(l)*m.Watts[Little]
+	used := s.Usage(len(m.Watts))
+	p := 0.0
+	for v, u := range used {
+		p += float64(u) * m.Watts[v]
+	}
+	return p
 }
 
 // EnergyPerFrame returns the energy (joules) spent per processed frame:

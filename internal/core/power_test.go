@@ -107,7 +107,7 @@ func TestFuseProperty(t *testing.T) {
 		fused := sol.Fuse(c, target)
 		// Invariants: structurally valid, period within target, and the
 		// core usage never grows for either type.
-		if err := fused.Validate(c, Resources{Big: 99, Little: 99}); err != nil {
+		if err := fused.Validate(c, Res(99, 99)); err != nil {
 			t.Logf("structural: %v", err)
 			return false
 		}

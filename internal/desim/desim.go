@@ -78,7 +78,7 @@ func Simulate(c *core.Chain, sol core.Solution, cfg Config) (Result, error) {
 	if c == nil || c.Len() == 0 {
 		return Result{}, errors.New("desim: empty chain")
 	}
-	if err := sol.Validate(c, core.Resources{Big: 1 << 30, Little: 1 << 30}); err != nil {
+	if err := sol.Validate(c, core.Unlimited(c.NumTypes())); err != nil {
 		return Result{}, fmt.Errorf("desim: invalid solution: %w", err)
 	}
 	if cfg.Frames <= 0 {

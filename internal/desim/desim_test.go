@@ -13,7 +13,7 @@ import (
 )
 
 func task(wb, wl float64, rep bool) core.Task {
-	return core.Task{Weight: [core.NumCoreTypes]float64{core.Big: wb, core.Little: wl}, Replicable: rep}
+	return core.Task{Weight: core.Weights(wb, wl), Replicable: rep}
 }
 
 func TestErrors(t *testing.T) {
@@ -130,7 +130,7 @@ func TestMatchesAnalyticPeriodOnRandomSchedules(t *testing.T) {
 	rng := rand.New(rand.NewSource(113))
 	for iter := 0; iter < 60; iter++ {
 		c := chaingen.Generate(chaingen.Default(1+rng.Intn(15), 0.5), rng)
-		r := core.Resources{Big: 1 + rng.Intn(5), Little: 1 + rng.Intn(5)}
+		r := core.Res(1+rng.Intn(5), 1+rng.Intn(5))
 		sol := fertac.Schedule(c, r)
 		if sol.IsEmpty() {
 			t.Fatal("no schedule")
@@ -152,7 +152,7 @@ func TestTableIIPredictions(t *testing.T) {
 	// schedules: Mac Studio (8,2) → 1128.7 µs → ≈3544 FPS at interframe 4.
 	mac := platform.MacStudio()
 	c := mac.Chain()
-	sol := herad.Schedule(c, core.Resources{Big: 8, Little: 2})
+	sol := herad.Schedule(c, core.Res(8, 2))
 	res, err := Simulate(c, sol, Config{Frames: 3000})
 	if err != nil {
 		t.Fatal(err)

@@ -359,12 +359,12 @@ func (t *ldpcTask) Process(w *streampu.Worker, f *streampu.Frame) error {
 // ModelChain returns a scheduling model of this receiver with the given
 // per-task weights (e.g. from live profiling); replicability flags follow
 // the implementation (which matches Table III).
-func (r *Receiver) ModelChain(weights [][core.NumCoreTypes]float64) (*core.Chain, error) {
+func (r *Receiver) ModelChain(weights [][]float64) (*core.Chain, error) {
 	tasks := r.Tasks()
 	if len(weights) != len(tasks) {
 		return nil, fmt.Errorf("dvbs2: %d weights for %d tasks", len(weights), len(tasks))
 	}
-	return streampu.ModelChain(tasks, func(i int, t streampu.Task) [core.NumCoreTypes]float64 {
+	return streampu.ModelChain(tasks, func(i int, t streampu.Task) []float64 {
 		return weights[i]
 	})
 }

@@ -124,9 +124,9 @@ func TestMonitorBERAccounting(t *testing.T) {
 
 func TestModelChainFromReceiver(t *testing.T) {
 	rx := buildRx(t, CleanChannel())
-	weights := make([][core.NumCoreTypes]float64, 23)
+	weights := make([][]float64, 23)
 	for i := range weights {
-		weights[i] = [core.NumCoreTypes]float64{core.Big: float64(i + 1), core.Little: float64(2 * (i + 1))}
+		weights[i] = core.Weights(float64(i+1), float64(2*(i+1)))
 	}
 	c, err := rx.ModelChain(weights)
 	if err != nil {

@@ -17,9 +17,9 @@ func quickCfg() Table1Config {
 
 func TestRunDispatch(t *testing.T) {
 	c := core.MustChain([]core.Task{{
-		Weight: [core.NumCoreTypes]float64{core.Big: 5, core.Little: 10}, Replicable: true,
+		Weight: core.Weights(5, 10), Replicable: true,
 	}})
-	r := core.Resources{Big: 2, Little: 2}
+	r := core.Res(2, 2)
 	for _, name := range Strategies {
 		s := Run(name, c, r)
 		if s.IsEmpty() {
@@ -35,7 +35,7 @@ func TestRunDispatch(t *testing.T) {
 }
 
 func TestTable1ScenarioShape(t *testing.T) {
-	cells := Table1Scenario(quickCfg(), core.Resources{Big: 10, Little: 10}, 0.5)
+	cells := Table1Scenario(quickCfg(), core.Res(10, 10), 0.5)
 	if len(cells) != len(Strategies) {
 		t.Fatalf("%d cells", len(cells))
 	}
@@ -72,7 +72,7 @@ func TestTable1ScenarioShape(t *testing.T) {
 }
 
 func TestFig1DerivesCDFs(t *testing.T) {
-	cells := Table1Scenario(quickCfg(), core.Resources{Big: 4, Little: 16}, 0.2)
+	cells := Table1Scenario(quickCfg(), core.Res(4, 16), 0.2)
 	series := Fig1(cells)
 	if len(series) != len(HeuristicStrategies) {
 		t.Fatalf("%d series", len(series))
@@ -110,7 +110,7 @@ func TestFig2Heatmaps(t *testing.T) {
 
 func TestTimingFigs(t *testing.T) {
 	cfg := TimingConfig{Chains: 3, Seed: 1, MaxTasks2CATAC: 25}
-	pts := Fig3(cfg, core.Resources{Big: 8, Little: 8}, []int{10, 30}, []float64{0.5})
+	pts := Fig3(cfg, core.Res(8, 8), []int{10, 30}, []float64{0.5})
 	// 2CATAC must be skipped at 30 tasks: 2 task counts × 5 strategies − 1.
 	if len(pts) != 9 {
 		t.Fatalf("%d timing points", len(pts))
@@ -123,7 +123,7 @@ func TestTimingFigs(t *testing.T) {
 			t.Errorf("2CATAC ran at %d tasks", p.Tasks)
 		}
 	}
-	pts4 := Fig4(cfg, 10, []core.Resources{{Big: 4, Little: 4}, {Big: 12, Little: 12}}, []float64{0.5})
+	pts4 := Fig4(cfg, 10, []core.Resources{core.Res(4, 4), core.Res(12, 12)}, []float64{0.5})
 	if len(pts4) != 10 {
 		t.Fatalf("%d fig4 points", len(pts4))
 	}
@@ -131,7 +131,7 @@ func TestTimingFigs(t *testing.T) {
 	var hSmall, hBig float64
 	for _, p := range pts4 {
 		if p.Strategy == StratHeRAD {
-			if p.R.Big == 4 {
+			if p.R.Count(core.Big) == 4 {
 				hSmall = p.Micros
 			} else {
 				hBig = p.Micros
@@ -145,7 +145,7 @@ func TestTimingFigs(t *testing.T) {
 
 func TestTimingSkipHeRAD(t *testing.T) {
 	cfg := TimingConfig{Chains: 2, Seed: 1, MaxTasks2CATAC: 60, SkipHeRADAbove: 10}
-	pts := Fig4(cfg, 8, []core.Resources{{Big: 20, Little: 20}}, []float64{0.5})
+	pts := Fig4(cfg, 8, []core.Resources{core.Res(20, 20)}, []float64{0.5})
 	for _, p := range pts {
 		if p.Strategy == StratHeRAD {
 			t.Error("HeRAD not skipped above the cap")
@@ -249,7 +249,7 @@ func TestFig5AndFig6(t *testing.T) {
 			t.Errorf("%s/%s: no throughput", e.Platform, e.Strategy)
 		}
 	}
-	t1 := Table1Scenario(quickCfg(), core.Resources{Big: 10, Little: 10}, 0.5)
+	t1 := Table1Scenario(quickCfg(), core.Res(10, 10), 0.5)
 	sums := Fig6(t1, rows)
 	if len(sums) != len(Strategies) {
 		t.Fatalf("%d summaries", len(sums))
@@ -303,7 +303,7 @@ func TestLiveProfileAndRun(t *testing.T) {
 	if micros[15] <= micros[13] {
 		t.Errorf("demod (%.1fµs) not slower than PLH removal (%.1fµs)", micros[15], micros[13])
 	}
-	res, err := LiveRun(dvbs2.Test(), StratHeRAD, core.Resources{Big: 3, Little: 2}, 12, 60)
+	res, err := LiveRun(dvbs2.Test(), StratHeRAD, core.Res(3, 2), 12, 60)
 	if err != nil {
 		t.Fatal(err)
 	}

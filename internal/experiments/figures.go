@@ -47,7 +47,7 @@ type Fig2Result struct {
 
 // Fig2 runs the FERTAC-vs-HeRAD core-usage study.
 func Fig2(cfg Table1Config) Fig2Result {
-	r := core.Resources{Big: 10, Little: 10}
+	r := core.Res(10, 10)
 	sr := 0.5
 	res := Fig2Result{R: r, SR: sr, All: stats.NewHist2D(), Opt: stats.NewHist2D()}
 	chains := chaingen.GenerateMany(chaingen.Default(cfg.Tasks, sr), cfg.Seed+int64(sr*1000), cfg.Chains)

@@ -8,7 +8,7 @@ import (
 
 func TestSensitivityTasksTrend(t *testing.T) {
 	cfg := SensitivityConfig{Chains: 40, SR: 0.5, Seed: 11}
-	pts := SensitivityTasks(cfg, core.Resources{Big: 10, Little: 10}, []int{10, 40, 80})
+	pts := SensitivityTasks(cfg, core.Res(10, 10), []int{10, 40, 80})
 	byKey := map[string]map[int]SensitivityPoint{}
 	for _, p := range pts {
 		if byKey[p.Strategy] == nil {
@@ -36,7 +36,7 @@ func TestSensitivityTasksTrend(t *testing.T) {
 func TestSensitivityResourcesTrend(t *testing.T) {
 	cfg := SensitivityConfig{Chains: 40, SR: 0.5, Seed: 12}
 	pts := SensitivityResources(cfg, 20, []core.Resources{
-		{Big: 4, Little: 4}, {Big: 30, Little: 30},
+		core.Res(4, 4), core.Res(30, 30),
 	})
 	var small, large SensitivityPoint
 	for _, p := range pts {

@@ -12,9 +12,9 @@ import (
 
 // Table1Resources are the three resource pairs of the simulation study.
 var Table1Resources = []core.Resources{
-	{Big: 16, Little: 4},
-	{Big: 10, Little: 10},
-	{Big: 4, Little: 16},
+	core.Res(16, 4),
+	core.Res(10, 10),
+	core.Res(4, 16),
 }
 
 // Table1SRs are the evaluated stateless ratios.

@@ -15,7 +15,7 @@ type Table3Row struct {
 	Name       string
 	Replicable bool
 	// Weights per platform: [platform][core type], µs.
-	Weights map[string][core.NumCoreTypes]float64
+	Weights map[string][]float64
 }
 
 // Table3 returns the embedded paper profile (the scheduling input of the
@@ -34,7 +34,7 @@ func Table3() []Table3Row {
 			ID:         i + 1,
 			Name:       t0.Name,
 			Replicable: t0.Replicable,
-			Weights:    map[string][core.NumCoreTypes]float64{},
+			Weights:    map[string][]float64{},
 		}
 		for pi, p := range plats {
 			rows[i].Weights[p.Name] = chains[pi].Task(i).Weight
@@ -60,7 +60,7 @@ func LiveProfile(p dvbs2.Params, frames int) (*core.Chain, []float64, error) {
 		return nil, nil, err
 	}
 	micros := prof[core.Big]
-	weights := make([][core.NumCoreTypes]float64, len(tasks))
+	weights := make([][]float64, len(tasks))
 	for i := range weights {
 		w := micros[i]
 		if w <= 0 {
@@ -68,7 +68,7 @@ func LiveProfile(p dvbs2.Params, frames int) (*core.Chain, []float64, error) {
 		}
 		// The host has one core type; model "little" with the paper's
 		// average slowdown so heterogeneous scheduling stays meaningful.
-		weights[i] = [core.NumCoreTypes]float64{core.Big: w, core.Little: w * 2.3}
+		weights[i] = core.Weights(w, w*2.3)
 	}
 	chain, err := rx.ModelChain(weights)
 	if err != nil {

@@ -22,46 +22,46 @@ func TestTableIIPublishedRows(t *testing.T) {
 	}
 	rows := []row{
 		// Mac Studio, R=(8,2) — S1..S5.
-		{"mac", core.Resources{Big: 8, Little: 2}, StratHeRAD, 1128.7,
+		{"mac", core.Res(8, 2), StratHeRAD, 1128.7,
 			"(5,1B),(1,1B),(9,1B),(1,2B),(2,1L),(1,3B),(4,1L)"},
-		{"mac", core.Resources{Big: 8, Little: 2}, StratTwoCAT, 1154.3,
+		{"mac", core.Res(8, 2), StratTwoCAT, 1154.3,
 			"(5,1B),(3,1B),(7,1B),(4,5B),(4,1L)"},
-		{"mac", core.Resources{Big: 8, Little: 2}, StratFERTAC, 1265.6,
+		{"mac", core.Res(8, 2), StratFERTAC, 1265.6,
 			"(3,1L),(1,1L),(2,1B),(9,1B),(5,5B),(3,1B)"},
-		{"mac", core.Resources{Big: 8, Little: 2}, StratOTACB, 1442.9,
+		{"mac", core.Res(8, 2), StratOTACB, 1442.9,
 			"(5,1B),(4,1B),(6,1B),(4,4B),(4,1B)"},
-		{"mac", core.Resources{Big: 8, Little: 2}, StratOTACL, 11440.0,
+		{"mac", core.Res(8, 2), StratOTACL, 11440.0,
 			"(16,1L),(7,1L)"},
 		// Mac Studio, R=(16,4) — S6..S10.
-		{"mac", core.Resources{Big: 16, Little: 4}, StratHeRAD, 950.6,
+		{"mac", core.Res(16, 4), StratHeRAD, 950.6,
 			"(3,1L),(1,1L),(1,1L),(1,1B),(6,1B),(7,7B),(4,1L)"},
-		{"mac", core.Resources{Big: 16, Little: 4}, StratTwoCAT, 950.6,
+		{"mac", core.Res(16, 4), StratTwoCAT, 950.6,
 			"(3,1L),(1,1L),(1,1L),(1,1B),(9,1B),(5,7B),(3,1L)"},
-		{"mac", core.Resources{Big: 16, Little: 4}, StratFERTAC, 950.6,
+		{"mac", core.Res(16, 4), StratFERTAC, 950.6,
 			"(3,1L),(1,1L),(1,1L),(1,1B),(2,1L),(7,1B),(5,7B),(3,1B)"},
-		{"mac", core.Resources{Big: 16, Little: 4}, StratOTACB, 950.6,
+		{"mac", core.Res(16, 4), StratOTACB, 950.6,
 			"(5,1B),(1,1B),(9,1B),(5,7B),(3,1B)"},
-		{"mac", core.Resources{Big: 16, Little: 4}, StratOTACL, 6470.9,
+		{"mac", core.Res(16, 4), StratOTACL, 6470.9,
 			"(13,1L),(6,2L),(4,1L)"},
 		// X7 Ti, R=(3,4) — S11..S15.
-		{"x7", core.Resources{Big: 3, Little: 4}, StratHeRAD, 2722.1,
+		{"x7", core.Res(3, 4), StratHeRAD, 2722.1,
 			"(5,1B),(10,1B),(3,1B),(1,3L),(4,1L)"},
-		{"x7", core.Resources{Big: 3, Little: 4}, StratTwoCAT, 2722.1, ""},
-		{"x7", core.Resources{Big: 3, Little: 4}, StratFERTAC, 2867.0,
+		{"x7", core.Res(3, 4), StratTwoCAT, 2722.1, ""},
+		{"x7", core.Res(3, 4), StratFERTAC, 2867.0,
 			"(5,1L),(3,1L),(7,1L),(4,3B),(4,1L)"},
-		{"x7", core.Resources{Big: 3, Little: 4}, StratOTACB, 6209.0,
+		{"x7", core.Res(3, 4), StratOTACB, 6209.0,
 			"(18,1B),(1,1B),(4,1B)"},
-		{"x7", core.Resources{Big: 3, Little: 4}, StratOTACL, 7490.3,
+		{"x7", core.Res(3, 4), StratOTACL, 7490.3,
 			"(15,1L),(4,2L),(4,1L)"},
 		// X7 Ti, R=(6,8) — S16..S20.
-		{"x7", core.Resources{Big: 6, Little: 8}, StratHeRAD, 1341.9,
+		{"x7", core.Res(6, 8), StratHeRAD, 1341.9,
 			"(5,1B),(1,1B),(6,1B),(4,2B),(3,7L),(4,1L)"},
-		{"x7", core.Resources{Big: 6, Little: 8}, StratTwoCAT, 1341.9, ""},
-		{"x7", core.Resources{Big: 6, Little: 8}, StratFERTAC, 1552.3,
+		{"x7", core.Res(6, 8), StratTwoCAT, 1341.9, ""},
+		{"x7", core.Res(6, 8), StratFERTAC, 1552.3,
 			"(3,1L),(2,1L),(3,1B),(4,1L),(6,5L),(1,4B),(4,1B)"},
-		{"x7", core.Resources{Big: 6, Little: 8}, StratOTACB, 2867.0,
+		{"x7", core.Res(6, 8), StratOTACB, 2867.0,
 			"(8,1B),(7,1B),(4,3B),(4,1B)"},
-		{"x7", core.Resources{Big: 6, Little: 8}, StratOTACL, 3745.1,
+		{"x7", core.Res(6, 8), StratOTACL, 3745.1,
 			"(5,1L),(5,1L),(5,1L),(4,4L),(4,1L)"},
 	}
 	chains := map[string]*core.Chain{
@@ -99,8 +99,8 @@ func TestTableIITieBreakVariants(t *testing.T) {
 		paperL     int
 		paperStage int
 	}{
-		{core.Resources{Big: 3, Little: 4}, 3, 4, 5}, // S12
-		{core.Resources{Big: 6, Little: 8}, 6, 8, 6}, // S17 (paper prints b=6)
+		{core.Res(3, 4), 3, 4, 5}, // S12
+		{core.Res(6, 8), 6, 8, 6}, // S17 (paper prints b=6)
 	} {
 		sol := Run(StratTwoCAT, x7, tc.r)
 		b, l := sol.CoresUsed()

@@ -57,18 +57,18 @@ func ComputeSolution(c *core.Chain, s int, r core.Resources, target float64) cor
 
 func computeSolution(c *core.Chain, s int, r core.Resources, target float64, m Metrics) core.Solution {
 	m.ComputeCalls.Inc()
-	e, u := sched.ComputeStageM(c, s, r.Little, core.Little, target, m.Sched)
+	e, u := sched.ComputeStageM(c, s, r.Count(core.Little), core.Little, target, m.Sched)
 	v := core.Little
 	fallback := false
 	if !stageValid(c, s, e, u, r, v, target) {
 		m.BigFallbacks.Inc()
 		fallback = true
-		e, u = sched.ComputeStageM(c, s, r.Big, core.Big, target, m.Sched)
+		e, u = sched.ComputeStageM(c, s, r.Count(core.Big), core.Big, target, m.Sched)
 		v = core.Big
 		if !stageValid(c, s, e, u, r, v, target) {
 			if m.Sched.Trace.Enabled() {
 				m.Sched.Trace.Event("no_stage").Int("first_task", s).
-					Int("big", r.Big).Int("little", r.Little)
+					Int("big", r.Count(core.Big)).Int("little", r.Count(core.Little))
 			}
 			return core.Solution{} // no valid stage with either core type
 		}
@@ -81,7 +81,7 @@ func computeSolution(c *core.Chain, s int, r core.Resources, target float64, m M
 	if e == c.Len()-1 {
 		return core.Solution{Stages: []core.Stage{st}} // valid final stage
 	}
-	rest := computeSolution(c, e+1, r.Minus(v, u), target, m)
+	rest := computeSolution(c, e+1, r.Consume(v, u), target, m)
 	if rest.IsEmpty() {
 		return core.Solution{}
 	}
@@ -92,5 +92,5 @@ func computeSolution(c *core.Chain, s int, r core.Resources, target float64, m M
 // the stage must meet the target period and fit in the available cores of
 // its type.
 func stageValid(c *core.Chain, s, e, u int, r core.Resources, v core.CoreType, target float64) bool {
-	return u >= 1 && u <= r.Of(v) && c.Weight(s, e, u, v) <= target
+	return u >= 1 && u <= r.Count(v) && c.Weight(s, e, u, v) <= target
 }

@@ -11,12 +11,12 @@ import (
 )
 
 func task(wb, wl float64, rep bool) core.Task {
-	return core.Task{Weight: [core.NumCoreTypes]float64{core.Big: wb, core.Little: wl}, Replicable: rep}
+	return core.Task{Weight: core.Weights(wb, wl), Replicable: rep}
 }
 
 func TestDegenerate(t *testing.T) {
 	c := core.MustChain([]core.Task{task(5, 10, true)})
-	if s := Schedule(nil, core.Resources{Big: 1}); !s.IsEmpty() {
+	if s := Schedule(nil, core.Res(1, 0)); !s.IsEmpty() {
 		t.Error("nil chain should be empty")
 	}
 	if s := Schedule(c, core.Resources{}); !s.IsEmpty() {
@@ -30,9 +30,9 @@ func TestAlwaysProducesValidSchedules(t *testing.T) {
 		n := 1 + rng.Intn(25)
 		sr := []float64{0, 0.2, 0.5, 0.8, 1}[rng.Intn(5)]
 		c := chaingen.Generate(chaingen.Default(n, sr), rng)
-		r := core.Resources{Big: rng.Intn(8), Little: rng.Intn(8)}
+		r := core.Res(rng.Intn(8), rng.Intn(8))
 		if r.Total() == 0 {
-			r.Little = 1
+			r = r.With(core.Little, 1)
 		}
 		s := Schedule(c, r)
 		if s.IsEmpty() {
@@ -48,7 +48,7 @@ func TestNeverBeatsOptimal(t *testing.T) {
 	rng := rand.New(rand.NewSource(67))
 	for iter := 0; iter < 80; iter++ {
 		c := chaingen.Generate(chaingen.Default(1+rng.Intn(15), 0.5), rng)
-		r := core.Resources{Big: 1 + rng.Intn(6), Little: 1 + rng.Intn(6)}
+		r := core.Res(1+rng.Intn(6), 1+rng.Intn(6))
 		opt := herad.Period(c, r)
 		got := Schedule(c, r).Period(c)
 		if got < opt-1e-9 {
@@ -61,7 +61,7 @@ func TestLittleFirstPreference(t *testing.T) {
 	// Two identical sequential tasks, plenty of both core types, little
 	// cores fast enough: FERTAC must place the first stage on little.
 	c := core.MustChain([]core.Task{task(10, 10, false), task(10, 10, false)})
-	s := Schedule(c, core.Resources{Big: 2, Little: 2})
+	s := Schedule(c, core.Res(2, 2))
 	if s.IsEmpty() {
 		t.Fatal("no schedule")
 	}
@@ -77,7 +77,7 @@ func TestBigUsedWhenLittleTooSlow(t *testing.T) {
 	// One sequential task that is 10× slower on little: any target close
 	// to the optimum forces a big core.
 	c := core.MustChain([]core.Task{task(10, 100, false)})
-	s := Schedule(c, core.Resources{Big: 1, Little: 1})
+	s := Schedule(c, core.Res(1, 1))
 	if s.IsEmpty() {
 		t.Fatal("no schedule")
 	}
@@ -93,7 +93,7 @@ func TestComputeSolutionRespectsTarget(t *testing.T) {
 	rng := rand.New(rand.NewSource(71))
 	for iter := 0; iter < 100; iter++ {
 		c := chaingen.Generate(chaingen.Default(1+rng.Intn(12), 0.5), rng)
-		r := core.Resources{Big: 1 + rng.Intn(4), Little: 1 + rng.Intn(4)}
+		r := core.Res(1+rng.Intn(4), 1+rng.Intn(4))
 		target := 50 + float64(rng.Intn(500))
 		s := ComputeSolution(c, 0, r, target)
 		if s.IsEmpty() {
@@ -113,7 +113,7 @@ func TestHomogeneousFallbackToBigOnly(t *testing.T) {
 	rng := rand.New(rand.NewSource(73))
 	for iter := 0; iter < 40; iter++ {
 		c := chaingen.Generate(chaingen.Default(1+rng.Intn(10), 0.5), rng)
-		s := Schedule(c, core.Resources{Big: 4, Little: 0})
+		s := Schedule(c, core.Res(4, 0))
 		if s.IsEmpty() {
 			t.Fatal("big-only schedule missing")
 		}
@@ -131,7 +131,7 @@ func TestOptimalWhenAbundantResources(t *testing.T) {
 	rng := rand.New(rand.NewSource(79))
 	for iter := 0; iter < 30; iter++ {
 		c := chaingen.Generate(chaingen.Default(10, 0.2), rng)
-		r := core.Resources{Big: 32, Little: 32}
+		r := core.Res(32, 32)
 		got := Schedule(c, r).Period(c)
 		opt := herad.Period(c, r)
 		if math.Abs(got-opt) > opt*0.25+1e-9 {

@@ -26,7 +26,7 @@ func mixedChain(rng *rand.Rand, n int) *core.Chain {
 			wl = math.Ceil(wb / (1 + 2*rng.Float64()))
 		}
 		tasks[i] = core.Task{
-			Weight:     [core.NumCoreTypes]float64{core.Big: wb, core.Little: wl},
+			Weight:     core.Weights(wb, wl),
 			Replicable: rng.Intn(2) == 0,
 		}
 	}
@@ -37,7 +37,7 @@ func TestHeuristicsValidOnMixedSpeedPlatforms(t *testing.T) {
 	rng := rand.New(rand.NewSource(223))
 	for iter := 0; iter < 120; iter++ {
 		c := mixedChain(rng, 1+rng.Intn(16))
-		r := core.Resources{Big: 1 + rng.Intn(5), Little: 1 + rng.Intn(5)}
+		r := core.Res(1+rng.Intn(5), 1+rng.Intn(5))
 		opt := herad.Period(c, r)
 		for name, s := range map[string]core.Solution{
 			"FERTAC": Schedule(c, r),

@@ -11,11 +11,11 @@ import (
 // partially-replicable chain on a 1-big + 2-little platform.
 func ExampleSchedule() {
 	chain := core.MustChain([]core.Task{
-		{Name: "ingest", Weight: [core.NumCoreTypes]float64{core.Big: 10, core.Little: 20}, Replicable: false},
-		{Name: "decode", Weight: [core.NumCoreTypes]float64{core.Big: 8, core.Little: 16}, Replicable: true},
-		{Name: "check", Weight: [core.NumCoreTypes]float64{core.Big: 8, core.Little: 16}, Replicable: true},
+		{Name: "ingest", Weight: core.Weights(10, 20), Replicable: false},
+		{Name: "decode", Weight: core.Weights(8, 16), Replicable: true},
+		{Name: "check", Weight: core.Weights(8, 16), Replicable: true},
 	})
-	sol := herad.Schedule(chain, core.Resources{Big: 1, Little: 2})
+	sol := herad.Schedule(chain, core.Res(1, 2))
 	fmt.Println(sol)
 	fmt.Println("period:", sol.Period(chain))
 	// Output:

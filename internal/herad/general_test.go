@@ -1,0 +1,86 @@
+package herad
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+
+	"ampsched/internal/brute"
+	"ampsched/internal/chaingen"
+	"ampsched/internal/core"
+)
+
+// TestGeneralMatchesFastPathK2 is the license for keeping the specialized
+// 2D fill: on two-type platforms the general k-type fill must emit
+// byte-identical schedules — same stages, same tie-breaks — not merely
+// equal periods.
+func TestGeneralMatchesFastPathK2(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for iter := 0; iter < 200; iter++ {
+		n := 1 + rng.Intn(8)
+		sr := []float64{0, 0.2, 0.5, 0.8, 1}[rng.Intn(5)]
+		c := chaingen.Generate(chaingen.Default(n, sr), rng)
+		r := core.Res(rng.Intn(5), rng.Intn(5))
+		fast := ScheduleOpts(c, r, Options{})
+		gen := ScheduleOpts(c, r, Options{ForceGeneral: true})
+		if !slices.Equal(fast.Stages, gen.Stages) {
+			t.Fatalf("iter %d (n=%d sr=%g R=%v):\nfast    %v\ngeneral %v",
+				iter, n, sr, r, fast, gen)
+		}
+	}
+}
+
+// TestGeneralK3VsBrute cross-validates the general fill against exhaustive
+// enumeration on three-type platforms: the DP must reach the optimal
+// period on every instance small enough to enumerate.
+func TestGeneralK3VsBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	for iter := 0; iter < 60; iter++ {
+		n := 1 + rng.Intn(5)
+		sr := []float64{0, 0.5, 1}[rng.Intn(3)]
+		c := chaingen.Generate(chaingen.Default3(n, sr), rng)
+		r := core.Res(rng.Intn(3), rng.Intn(3), rng.Intn(3))
+		want := brute.MinPeriod(c, r)
+		s := Schedule(c, r)
+		if got := s.Period(c); got != want {
+			t.Fatalf("iter %d (n=%d sr=%g R=%v): period %v, want %v\n%v",
+				iter, n, sr, r, got, want, s)
+		}
+		if !s.IsEmpty() {
+			if err := s.Validate(c, r); err != nil {
+				t.Fatalf("iter %d: invalid schedule: %v", iter, err)
+			}
+		}
+	}
+}
+
+// TestGeneralK1VsBrute exercises the degenerate single-type table.
+func TestGeneralK1VsBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	for iter := 0; iter < 40; iter++ {
+		n := 1 + rng.Intn(6)
+		tasks := make([]core.Task, n)
+		for i := range tasks {
+			tasks[i] = core.Task{
+				Weight:     core.Weights(float64(1 + rng.Intn(50))),
+				Replicable: rng.Intn(2) == 0,
+			}
+		}
+		c := core.MustChain(tasks)
+		r := core.Res(1 + rng.Intn(4))
+		want := brute.MinPeriod(c, r)
+		s := Schedule(c, r)
+		if got := s.Period(c); got != want {
+			t.Fatalf("iter %d (n=%d R=%v): period %v, want %v", iter, n, r, got, want)
+		}
+	}
+}
+
+// TestGeneralRejectsTypeMismatch: a chain and a platform disagreeing on
+// the number of core types cannot be scheduled.
+func TestGeneralTypeMismatch(t *testing.T) {
+	c := core.MustChain([]core.Task{task(5, 10, true)})
+	if s := Schedule(c, core.Res(1, 1, 1)); !s.IsEmpty() {
+		t.Errorf("2-type chain scheduled on 3-type platform: %v", s)
+	}
+}

@@ -19,6 +19,13 @@
 // sufficiently large diagonal over a worker pool; each cell's value is a
 // pure function of its dependencies, so the result is bit-identical for
 // every worker count (asserted by parallel_test.go under -race).
+//
+// Platforms with k≠2 core types are solved by the general k-type fill in
+// general.go, whose DP state is indexed by the k-vector of remaining core
+// counts. Two-type problems keep this file's specialized 2D fill — the
+// wavefront parallelism and the bit-exact outputs above are its contract —
+// unless Options.ForceGeneral routes them through the general fill (which
+// provably emits the same schedules; see general.go).
 package herad
 
 import (
@@ -111,6 +118,12 @@ type Options struct {
 	// Raw skips the replicable-stage merge post-pass, exposing schedules
 	// exactly as extracted from the DP matrix.
 	Raw bool
+	// ForceGeneral routes two-type problems through the general k-type DP
+	// fill instead of the specialized 2D wavefront fill. The schedules are
+	// identical (asserted by general_test.go); only the wall clock and the
+	// pruning counters differ. Platforms with k≠2 always use the general
+	// fill. Intended for tests and benchmarks of the specialization.
+	ForceGeneral bool
 	// Metrics holds the instrumentation sinks (zero value disables).
 	Metrics Metrics
 }
@@ -158,11 +171,17 @@ func ScheduleOpts(c *core.Chain, r core.Resources, o Options) core.Solution {
 }
 
 func scheduleRaw(c *core.Chain, r core.Resources, o Options) core.Solution {
-	if c == nil || c.Len() == 0 || r.Total() <= 0 || r.Big < 0 || r.Little < 0 {
+	if c == nil || c.Len() == 0 || r.Total() <= 0 || !r.NonNegative() {
 		return core.Solution{}
 	}
+	if c.NumTypes() != r.NumTypes() {
+		return core.Solution{} // chain and platform disagree on the type table
+	}
+	if r.NumTypes() != 2 || o.ForceGeneral {
+		return scheduleRawGeneral(c, r, o)
+	}
 	om := o.Metrics
-	n, b, l := c.Len(), r.Big, r.Little
+	n, b, l := c.Len(), r.Count(core.Big), r.Count(core.Little)
 	workers := o.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)

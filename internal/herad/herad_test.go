@@ -11,26 +11,26 @@ import (
 )
 
 func task(wb, wl float64, rep bool) core.Task {
-	return core.Task{Weight: [core.NumCoreTypes]float64{core.Big: wb, core.Little: wl}, Replicable: rep}
+	return core.Task{Weight: core.Weights(wb, wl), Replicable: rep}
 }
 
 func TestDegenerate(t *testing.T) {
 	c := core.MustChain([]core.Task{task(5, 10, true)})
-	if s := Schedule(nil, core.Resources{Big: 1}); !s.IsEmpty() {
+	if s := Schedule(nil, core.Res(1, 0)); !s.IsEmpty() {
 		t.Error("nil chain")
 	}
 	if s := Schedule(c, core.Resources{}); !s.IsEmpty() {
 		t.Error("no cores")
 	}
-	if s := Schedule(c, core.Resources{Big: -2, Little: 1}); !s.IsEmpty() {
+	if s := Schedule(c, core.Res(-2, 1)); !s.IsEmpty() {
 		t.Error("negative cores")
 	}
 }
 
 func TestSingleTask(t *testing.T) {
 	c := core.MustChain([]core.Task{task(10, 30, true)})
-	s := Schedule(c, core.Resources{Big: 2, Little: 2})
-	if err := s.Validate(c, core.Resources{Big: 2, Little: 2}); err != nil {
+	s := Schedule(c, core.Res(2, 2))
+	if err := s.Validate(c, core.Res(2, 2)); err != nil {
 		t.Fatalf("invalid: %v", err)
 	}
 	if p := s.Period(c); p != 5 {
@@ -38,7 +38,7 @@ func TestSingleTask(t *testing.T) {
 	}
 	// Sequential single task: period is its big-core weight, one core.
 	cs := core.MustChain([]core.Task{task(10, 30, false)})
-	ss := Schedule(cs, core.Resources{Big: 2, Little: 2})
+	ss := Schedule(cs, core.Res(2, 2))
 	if p := ss.Period(cs); p != 10 {
 		t.Errorf("seq period = %v, want 10", p)
 	}
@@ -52,7 +52,7 @@ func TestLittlePreferredOnTies(t *testing.T) {
 	// Equal weights on both types: the optimum must prefer little cores
 	// (Lemma 1: ties solved in favor of little).
 	c := core.MustChain([]core.Task{task(10, 10, false)})
-	s := Schedule(c, core.Resources{Big: 3, Little: 3})
+	s := Schedule(c, core.Res(3, 3))
 	if p := s.Period(c); p != 10 {
 		t.Fatalf("period = %v", p)
 	}
@@ -69,7 +69,7 @@ func TestKnownTwoStage(t *testing.T) {
 	c := core.MustChain([]core.Task{
 		task(10, 20, false), task(8, 16, true), task(8, 16, true),
 	})
-	r := core.Resources{Big: 1, Little: 2}
+	r := core.Res(1, 2)
 	s := Schedule(c, r)
 	if err := s.Validate(c, r); err != nil {
 		t.Fatalf("invalid: %v", err)
@@ -81,7 +81,7 @@ func TestKnownTwoStage(t *testing.T) {
 
 func TestPeriodHelper(t *testing.T) {
 	c := core.MustChain([]core.Task{task(10, 20, false), task(8, 16, true)})
-	r := core.Resources{Big: 1, Little: 1}
+	r := core.Res(1, 1)
 	if got, want := Period(c, r), Schedule(c, r).Period(c); got != want {
 		t.Errorf("Period = %v, Schedule period = %v", got, want)
 	}
@@ -96,9 +96,9 @@ func TestMatchesBruteForcePeriod(t *testing.T) {
 		n := 1 + rng.Intn(7)
 		cfg := chaingen.Default(n, []float64{0, 0.2, 0.5, 0.8, 1}[rng.Intn(5)])
 		c := chaingen.Generate(cfg, rng)
-		r := core.Resources{Big: rng.Intn(4), Little: rng.Intn(4)}
+		r := core.Res(rng.Intn(4), rng.Intn(4))
 		if r.Total() == 0 {
-			r.Big = 1
+			r = r.With(core.Big, 1)
 		}
 		want := brute.MinPeriod(c, r)
 		s := Schedule(c, r)
@@ -118,7 +118,7 @@ func TestSecondaryObjectiveNotDominated(t *testing.T) {
 	for iter := 0; iter < 60; iter++ {
 		n := 1 + rng.Intn(6)
 		c := chaingen.Generate(chaingen.Default(n, 0.5), rng)
-		r := core.Resources{Big: 1 + rng.Intn(3), Little: 1 + rng.Intn(3)}
+		r := core.Res(1+rng.Intn(3), 1+rng.Intn(3))
 		s := ScheduleRaw(c, r)
 		p := s.Period(c)
 		bH, lH := s.CoresUsed()
@@ -139,7 +139,7 @@ func TestMergePostPass(t *testing.T) {
 	rng := rand.New(rand.NewSource(47))
 	for iter := 0; iter < 40; iter++ {
 		c := chaingen.Generate(chaingen.Default(2+rng.Intn(10), 0.8), rng)
-		r := core.Resources{Big: 1 + rng.Intn(4), Little: 1 + rng.Intn(4)}
+		r := core.Res(1+rng.Intn(4), 1+rng.Intn(4))
 		raw := ScheduleRaw(c, r)
 		merged := Schedule(c, r)
 		if math.Abs(raw.Period(c)-merged.Period(c)) > 1e-9 {
@@ -158,7 +158,7 @@ func TestHomogeneousOnlyResources(t *testing.T) {
 	rng := rand.New(rand.NewSource(53))
 	for iter := 0; iter < 30; iter++ {
 		c := chaingen.Generate(chaingen.Default(1+rng.Intn(8), 0.5), rng)
-		for _, r := range []core.Resources{{Big: 3}, {Little: 3}} {
+		for _, r := range []core.Resources{core.Res(3, 0), core.Res(0, 3)} {
 			s := Schedule(c, r)
 			if err := s.Validate(c, r); err != nil {
 				t.Fatalf("invalid on %v: %v", r, err)
@@ -178,7 +178,7 @@ func TestMonotoneInResources(t *testing.T) {
 		c := chaingen.Generate(chaingen.Default(1+rng.Intn(10), 0.5), rng)
 		prev := math.Inf(1)
 		for total := 1; total <= 6; total++ {
-			p := Period(c, core.Resources{Big: total, Little: total})
+			p := Period(c, core.Res(total, total))
 			if p > prev+1e-9 {
 				t.Fatalf("period increased with more cores: %v -> %v", prev, p)
 			}
@@ -194,7 +194,7 @@ func TestAllReplicableUsesEverything(t *testing.T) {
 	c := core.MustChain([]core.Task{
 		task(10, 20, true), task(10, 20, true), task(10, 20, true), task(10, 20, true),
 	})
-	r := core.Resources{Big: 2, Little: 2}
+	r := core.Res(2, 2)
 	s := Schedule(c, r)
 	want := brute.MinPeriod(c, r)
 	if got := s.Period(c); math.Abs(got-want) > 1e-9 {

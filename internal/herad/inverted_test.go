@@ -29,7 +29,7 @@ func invertedChain(rng *rand.Rand, n int) *core.Chain {
 			wl = wb
 		}
 		tasks[i] = core.Task{
-			Weight:     [core.NumCoreTypes]float64{core.Big: wb, core.Little: wl},
+			Weight:     core.Weights(wb, wl),
 			Replicable: rng.Intn(2) == 0,
 		}
 	}
@@ -40,9 +40,9 @@ func TestOptimalOnMixedSpeedPlatforms(t *testing.T) {
 	rng := rand.New(rand.NewSource(211))
 	for iter := 0; iter < 60; iter++ {
 		c := invertedChain(rng, 1+rng.Intn(7))
-		r := core.Resources{Big: rng.Intn(4), Little: rng.Intn(4)}
+		r := core.Res(rng.Intn(4), rng.Intn(4))
 		if r.Total() == 0 {
-			r.Little = 2
+			r = r.With(core.Little, 2)
 		}
 		want := brute.MinPeriod(c, r)
 		s := Schedule(c, r)
@@ -60,10 +60,10 @@ func TestLittleFasterTaskGoesLittle(t *testing.T) {
 	// A single task that is faster on little cores: the optimum uses the
 	// little core, and the period is the little-core weight.
 	c := core.MustChain([]core.Task{{
-		Weight:     [core.NumCoreTypes]float64{core.Big: 100, core.Little: 40},
+		Weight:     core.Weights(100, 40),
 		Replicable: false,
 	}})
-	s := Schedule(c, core.Resources{Big: 2, Little: 2})
+	s := Schedule(c, core.Res(2, 2))
 	if p := s.Period(c); p != 40 {
 		t.Errorf("period %v, want 40", p)
 	}

@@ -55,7 +55,7 @@ func TestWavefrontWorkersBitIdentical(t *testing.T) {
 	for iter := 0; iter < 6; iter++ {
 		sh := shapes[iter%len(shapes)]
 		c := chaingen.Generate(chaingen.Default(sh.n, []float64{0.2, 0.5, 0.8}[iter%3]), rng)
-		r := core.Resources{Big: sh.b, Little: sh.l}
+		r := core.Res(sh.b, sh.l)
 		ref, refCounts := scheduleCounted(c, r, 1)
 		for _, workers := range []int{2, 8} {
 			got, gotCounts := scheduleCounted(c, r, workers)
@@ -79,9 +79,9 @@ func TestWavefrontMatchesBruteForce(t *testing.T) {
 	for iter := 0; iter < 60; iter++ {
 		n := 1 + rng.Intn(7)
 		c := chaingen.Generate(chaingen.Default(n, []float64{0, 0.5, 1}[rng.Intn(3)]), rng)
-		r := core.Resources{Big: rng.Intn(4), Little: rng.Intn(4)}
+		r := core.Res(rng.Intn(4), rng.Intn(4))
 		if r.Total() == 0 {
-			r.Little = 2
+			r = r.With(core.Little, 2)
 		}
 		want := brute.MinPeriod(c, r)
 		for _, workers := range []int{1, 2, 8} {
@@ -102,7 +102,7 @@ func TestWavefrontMatchesBruteForce(t *testing.T) {
 func TestWorkersZeroDefaultsToParallel(t *testing.T) {
 	rng := rand.New(rand.NewSource(99))
 	c := chaingen.Generate(chaingen.Default(30, 0.6), rng)
-	r := core.Resources{Big: 12, Little: 12}
+	r := core.Res(12, 12)
 	ref := ScheduleOpts(c, r, Options{Workers: 1})
 	for _, workers := range []int{0, -3} {
 		if got := ScheduleOpts(c, r, Options{Workers: workers}); got.String() != ref.String() {

@@ -43,13 +43,7 @@ func Schedule(c *core.Chain, cores int, v core.CoreType) core.Solution {
 	if cores <= 0 {
 		return core.Solution{}
 	}
-	r := core.Resources{}
-	if v == core.Big {
-		r.Big = cores
-	} else {
-		r.Little = cores
-	}
-	return sched.Schedule(c, r, Compute(v))
+	return sched.Schedule(c, core.Res(0, 0).With(v, cores), Compute(v))
 }
 
 // Compute returns OTAC's ComputeSolution restricted to core type v, for use
@@ -57,7 +51,7 @@ func Schedule(c *core.Chain, cores int, v core.CoreType) core.Solution {
 // is consumed.
 func Compute(v core.CoreType) sched.ComputeSolutionFunc {
 	return func(ch *core.Chain, s int, res core.Resources, target float64) core.Solution {
-		return computeSolution(ch, s, res.Of(v), v, target, Metrics{})
+		return computeSolution(ch, s, res.Count(v), v, target, Metrics{})
 	}
 }
 
@@ -65,7 +59,7 @@ func Compute(v core.CoreType) sched.ComputeSolutionFunc {
 // sched.ScheduleM/ScheduleBoundsM.
 func ComputeObs(v core.CoreType, m Metrics) sched.ComputeSolutionFunc {
 	return func(ch *core.Chain, s int, res core.Resources, target float64) core.Solution {
-		return computeSolution(ch, s, res.Of(v), v, target, m)
+		return computeSolution(ch, s, res.Count(v), v, target, m)
 	}
 }
 

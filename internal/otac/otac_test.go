@@ -12,7 +12,7 @@ import (
 )
 
 func task(wb, wl float64, rep bool) core.Task {
-	return core.Task{Weight: [core.NumCoreTypes]float64{core.Big: wb, core.Little: wl}, Replicable: rep}
+	return core.Task{Weight: core.Weights(wb, wl), Replicable: rep}
 }
 
 func TestDegenerate(t *testing.T) {
@@ -37,12 +37,7 @@ func TestValiditySingleType(t *testing.T) {
 			if s.IsEmpty() {
 				t.Fatalf("iter %d: OTAC(%v) found no schedule", iter, v)
 			}
-			r := core.Resources{}
-			if v == core.Big {
-				r.Big = cores
-			} else {
-				r.Little = cores
-			}
+			r := core.Res(0, 0).With(v, cores)
 			if err := s.Validate(c, r); err != nil {
 				t.Fatalf("iter %d: OTAC(%v) invalid: %v", iter, v, err)
 			}
@@ -63,12 +58,7 @@ func TestOptimalOnHomogeneousPlatforms(t *testing.T) {
 		c := chaingen.Generate(chaingen.Default(1+rng.Intn(9), 0.5), rng)
 		cores := 1 + rng.Intn(4)
 		for _, v := range []core.CoreType{core.Big, core.Little} {
-			r := core.Resources{}
-			if v == core.Big {
-				r.Big = cores
-			} else {
-				r.Little = cores
-			}
+			r := core.Res(0, 0).With(v, cores)
 			got := Schedule(c, cores, v).Period(c)
 			wantH := herad.Period(c, r)
 			wantB := brute.MinPeriod(c, r)
@@ -87,7 +77,7 @@ func TestNeverBelowHeterogeneousOptimum(t *testing.T) {
 	for iter := 0; iter < 40; iter++ {
 		c := chaingen.Generate(chaingen.Default(1+rng.Intn(12), 0.5), rng)
 		b, l := 1+rng.Intn(4), 1+rng.Intn(4)
-		opt := herad.Period(c, core.Resources{Big: b, Little: l})
+		opt := herad.Period(c, core.Res(b, l))
 		if p := Schedule(c, b, core.Big).Period(c); p < opt-1e-9 {
 			t.Fatalf("OTAC(B) %v beats heterogeneous optimum %v", p, opt)
 		}

@@ -34,10 +34,11 @@ func (p *Platform) Chain() *core.Chain { return core.MustChain(p.tasks) }
 // Configs returns the paper's two scheduling configurations for the
 // platform: half the cores and all the cores (Table II).
 func (p *Platform) Configs() []core.Resources {
-	return []core.Resources{
-		{Big: p.Full.Big / 2, Little: p.Full.Little / 2},
-		p.Full,
+	half := p.Full
+	for v := 0; v < p.Full.NumTypes(); v++ {
+		half = half.With(core.CoreType(v), p.Full.Count(core.CoreType(v))/2)
 	}
+	return []core.Resources{half, p.Full}
 }
 
 // MbPerSecond converts a frame rate into the paper's information
@@ -86,14 +87,14 @@ var tableIII = []taskSpec{
 // MacStudio returns the Apple M1 Ultra platform model: 16 big (p) cores,
 // 4 little (e) cores, interframe level 4.
 func MacStudio() *Platform {
-	return build("Mac Studio", core.Resources{Big: 16, Little: 4}, 4,
+	return build("Mac Studio", core.Res(16, 4), 4,
 		func(s taskSpec) (float64, float64) { return s.macB, s.macL })
 }
 
 // X7Ti returns the Minisforum AtomMan X7 Ti platform model: 6 big (p)
 // cores, 8 little (e) cores, interframe level 8.
 func X7Ti() *Platform {
-	return build("X7 Ti", core.Resources{Big: 6, Little: 8}, 8,
+	return build("X7 Ti", core.Res(6, 8), 8,
 		func(s taskSpec) (float64, float64) { return s.x7B, s.x7L })
 }
 
@@ -108,7 +109,7 @@ func build(name string, full core.Resources, interframe int, pick func(taskSpec)
 		wb, wl := pick(s)
 		tasks[i] = core.Task{
 			Name:       fmt.Sprintf("τ%02d %s", i+1, s.name),
-			Weight:     [core.NumCoreTypes]float64{core.Big: wb, core.Little: wl},
+			Weight:     core.Weights(wb, wl),
 			Replicable: s.replicable,
 		}
 	}

@@ -74,14 +74,14 @@ func TestConfigs(t *testing.T) {
 	if len(cfgs) != 2 {
 		t.Fatalf("%d configs", len(cfgs))
 	}
-	if cfgs[0] != (core.Resources{Big: 8, Little: 2}) {
+	if cfgs[0] != (core.Res(8, 2)) {
 		t.Errorf("half config = %v", cfgs[0])
 	}
-	if cfgs[1] != (core.Resources{Big: 16, Little: 4}) {
+	if cfgs[1] != (core.Res(16, 4)) {
 		t.Errorf("full config = %v", cfgs[1])
 	}
 	x7 := X7Ti()
-	if got := x7.Configs()[0]; got != (core.Resources{Big: 3, Little: 4}) {
+	if got := x7.Configs()[0]; got != (core.Res(3, 4)) {
 		t.Errorf("X7 half config = %v", got)
 	}
 	if x7.Interframe != 8 || mac.Interframe != 4 {

@@ -99,25 +99,31 @@ func DefaultBounds(c *core.Chain, r core.Resources) Bounds {
 }
 
 func bestWeight(t core.Task, r core.Resources) float64 {
-	switch {
-	case r.Big > 0 && r.Little > 0:
-		return math.Min(t.W(core.Big), t.W(core.Little))
-	case r.Big > 0:
-		return t.W(core.Big)
-	default:
-		return t.W(core.Little)
+	w, any := math.Inf(1), false
+	for v := 0; v < r.NumTypes(); v++ {
+		if r.Count(core.CoreType(v)) > 0 {
+			w, any = math.Min(w, t.W(core.CoreType(v))), true
+		}
 	}
+	if !any {
+		// No type has cores; mirror the historical convention of reading
+		// the last (slowest-by-assumption) type's weight.
+		return t.W(core.CoreType(r.NumTypes() - 1))
+	}
+	return w
 }
 
 func worstWeight(t core.Task, r core.Resources) float64 {
-	switch {
-	case r.Big > 0 && r.Little > 0:
-		return math.Max(t.W(core.Big), t.W(core.Little))
-	case r.Big > 0:
-		return t.W(core.Big)
-	default:
-		return t.W(core.Little)
+	w, any := math.Inf(-1), false
+	for v := 0; v < r.NumTypes(); v++ {
+		if r.Count(core.CoreType(v)) > 0 {
+			w, any = math.Max(w, t.W(core.CoreType(v))), true
+		}
 	}
+	if !any {
+		return t.W(core.CoreType(r.NumTypes() - 1))
+	}
+	return w
 }
 
 // Schedule implements Algo 1: a binary search over target periods that
@@ -130,7 +136,7 @@ func Schedule(c *core.Chain, r core.Resources, compute ComputeSolutionFunc) core
 
 // ScheduleM is Schedule reporting into m.
 func ScheduleM(c *core.Chain, r core.Resources, compute ComputeSolutionFunc, m Metrics) core.Solution {
-	if c == nil || c.Len() == 0 || r.Total() <= 0 || r.Big < 0 || r.Little < 0 {
+	if c == nil || c.Len() == 0 || r.Total() <= 0 || !r.NonNegative() {
 		return core.Solution{}
 	}
 	best := ScheduleBoundsM(c, r, DefaultBounds(c, r), compute, m)
@@ -143,11 +149,10 @@ func ScheduleM(c *core.Chain, r core.Resources, compute ComputeSolutionFunc, m M
 	// feasible, so retry with that period as the upper bound.
 	m.SearchFallbacks.Inc()
 	fb := math.Inf(1)
-	if r.Big > 0 {
-		fb = c.TotalW(core.Big)
-	}
-	if r.Little > 0 {
-		fb = math.Min(fb, c.TotalW(core.Little))
+	for v := 0; v < r.NumTypes(); v++ {
+		if r.Count(core.CoreType(v)) > 0 {
+			fb = math.Min(fb, c.TotalW(core.CoreType(v)))
+		}
 	}
 	b := DefaultBounds(c, r)
 	b.Max = fb * (1 + b.Eps)

@@ -10,7 +10,7 @@ import (
 )
 
 func task(wb, wl float64, rep bool) core.Task {
-	return core.Task{Weight: [core.NumCoreTypes]float64{core.Big: wb, core.Little: wl}, Replicable: rep}
+	return core.Task{Weight: core.Weights(wb, wl), Replicable: rep}
 }
 
 func randChain(rng *rand.Rand, n int) *core.Chain {
@@ -249,7 +249,7 @@ func TestDefaultBounds(t *testing.T) {
 	c := core.MustChain([]core.Task{
 		task(10, 20, false), task(30, 60, true), task(20, 45, false),
 	})
-	b := DefaultBounds(c, core.Resources{Big: 2, Little: 2})
+	b := DefaultBounds(c, core.Res(2, 2))
 	// Lower bound: max(60/4, 20) = 20 (largest sequential big weight).
 	if b.Min != 20 {
 		t.Errorf("Min = %v, want 20", b.Min)
@@ -262,7 +262,7 @@ func TestDefaultBounds(t *testing.T) {
 		t.Errorf("Eps = %v, want 1/4", b.Eps)
 	}
 	// Little-only platform must use little weights.
-	bl := DefaultBounds(c, core.Resources{Big: 0, Little: 5})
+	bl := DefaultBounds(c, core.Res(0, 5))
 	if bl.Min != 45 {
 		t.Errorf("little-only Min = %v, want 45", bl.Min)
 	}
@@ -270,13 +270,13 @@ func TestDefaultBounds(t *testing.T) {
 
 func TestScheduleDegenerate(t *testing.T) {
 	c := core.MustChain([]core.Task{task(1, 2, true)})
-	if s := Schedule(nil, core.Resources{Big: 1}, nil); !s.IsEmpty() {
+	if s := Schedule(nil, core.Res(1, 0), nil); !s.IsEmpty() {
 		t.Error("nil chain should yield empty solution")
 	}
 	if s := Schedule(c, core.Resources{}, nil); !s.IsEmpty() {
 		t.Error("no resources should yield empty solution")
 	}
-	if s := Schedule(c, core.Resources{Big: -1, Little: 2}, nil); !s.IsEmpty() {
+	if s := Schedule(c, core.Res(-1, 2), nil); !s.IsEmpty() {
 		t.Error("negative resources should yield empty solution")
 	}
 }
@@ -287,7 +287,7 @@ func TestScheduleBinarySearchConverges(t *testing.T) {
 	all := func(ch *core.Chain, s int, r core.Resources, target float64) core.Solution {
 		return core.Solution{Stages: []core.Stage{{Start: 0, End: ch.Len() - 1, Cores: 1, Type: core.Big}}}
 	}
-	got := Schedule(c, core.Resources{Big: 1, Little: 0}, all)
+	got := Schedule(c, core.Res(1, 0), all)
 	if got.IsEmpty() {
 		t.Fatal("expected a solution")
 	}
@@ -305,7 +305,7 @@ func TestScheduleFallbackUpperBound(t *testing.T) {
 	needed := c.TotalW(core.Big) // 30; default upper bound is 10+... < 30? Min=max(30/1,10)=30.
 	// With a single big core, Min is already 30, so instead force failure
 	// below 30 and success at ≥ 30 with two cores where Min = 15, Max = 25.
-	r := core.Resources{Big: 2, Little: 0}
+	r := core.Res(2, 0)
 	fn := func(ch *core.Chain, s int, res core.Resources, target float64) core.Solution {
 		if target < needed {
 			return core.Solution{}

@@ -239,6 +239,14 @@ func plan(req Request, sp *trace.Span, batchParallel bool) Result {
 		res.Err = fmt.Errorf("strategy: %s request has no chain", req.Scheduler.Name())
 		res.Period = res.Solution.Period(nil)
 	default:
+		if err := CheckTypes(req.Scheduler, req.Chain, req.Resources); err != nil {
+			// A type-table mismatch (k≠2 resources on a two-type strategy, or
+			// chain/platform disagreement) fails loudly instead of letting the
+			// strategy silently misplan.
+			res.Err = err
+			res.Period = res.Solution.Period(nil)
+			break
+		}
 		start := time.Now()
 		res.Solution = req.Scheduler.Schedule(req.Chain, req.Resources, req.Options)
 		res.Elapsed = time.Since(start)

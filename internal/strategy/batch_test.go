@@ -44,7 +44,7 @@ func (f fakeScheduler) Schedule(c *core.Chain, r core.Resources, o Options) core
 func batchRequests(t testing.TB, n int) []Request {
 	t.Helper()
 	rng := rand.New(rand.NewSource(3))
-	r := core.Resources{Big: 3, Little: 3}
+	r := core.Res(3, 3)
 	var reqs []Request
 	for i := 0; i < n; i++ {
 		c := chaingen.Generate(chaingen.Default(8+rng.Intn(8), 0.5), rng)
@@ -88,7 +88,7 @@ func TestPlanBatchWorkerBound(t *testing.T) {
 	c := testChain(t)
 	reqs := make([]Request, n)
 	for i := range reqs {
-		reqs[i] = Request{Chain: c, Resources: core.Resources{Big: 1}, Scheduler: fs}
+		reqs[i] = Request{Chain: c, Resources: core.Res(1, 0), Scheduler: fs}
 	}
 	var wg sync.WaitGroup
 	wg.Add(1)
@@ -110,9 +110,9 @@ func TestPlanBatchWorkerBound(t *testing.T) {
 func TestPlanBatchErrors(t *testing.T) {
 	c := testChain(t)
 	reqs := []Request{
-		{Chain: c, Resources: core.Resources{Big: 2}, Scheduler: MustParse("herad")},
-		{Chain: nil, Resources: core.Resources{Big: 2}, Scheduler: MustParse("herad")},
-		{Chain: c, Resources: core.Resources{Big: 2}}, // no scheduler
+		{Chain: c, Resources: core.Res(2, 0), Scheduler: MustParse("herad")},
+		{Chain: nil, Resources: core.Res(2, 0), Scheduler: MustParse("herad")},
+		{Chain: c, Resources: core.Res(2, 0)}, // no scheduler
 		{Chain: c, Resources: core.Resources{}, Scheduler: MustParse("fertac")},
 	}
 	res := PlanBatch(reqs, 2)
@@ -138,7 +138,7 @@ func TestPlanBatchEmpty(t *testing.T) {
 
 func TestPlanAll(t *testing.T) {
 	c := testChain(t)
-	r := core.Resources{Big: 2, Little: 4}
+	r := core.Res(2, 4)
 	res := PlanAll(c, r, Options{}, 0)
 	names := Names()
 	if len(res) != len(names) {

@@ -25,6 +25,14 @@ func init() {
 	RegisterHidden(bruteScheduler{}, "brute-force", "exhaustive")
 }
 
+// twoTypes reports whether chain and resources both declare exactly two
+// core types — the defensive guard of the TypeConstrained strategies for
+// direct Scheduler.Schedule calls (PlanBatch rejects mismatches with a
+// descriptive error before the strategy ever runs; see CheckTypes).
+func twoTypes(c *core.Chain, r core.Resources) bool {
+	return r.NumTypes() == 2 && (c == nil || c.NumTypes() == 2)
+}
+
 // observe wraps a strategy's instrumented scheduling path with the
 // common per-strategy series: schedule.ns (wall clock), schedule.calls
 // and schedule.empty. It is nil-safe on m (journal-only runs pass a nil
@@ -75,7 +83,13 @@ func (t twocatacScheduler) Name() string {
 	return "2CATAC"
 }
 
+// SupportedTypes declares the two-choice recursion's fixed platform shape.
+func (twocatacScheduler) SupportedTypes() int { return 2 }
+
 func (t twocatacScheduler) Schedule(c *core.Chain, r core.Resources, o Options) core.Solution {
+	if !twoTypes(c, r) {
+		return core.Solution{}
+	}
 	memo := t.memo || o.Memoize
 	m := o.scope(t.Name())
 	sp := o.span(t.Name())
@@ -96,7 +110,13 @@ type fertacScheduler struct{}
 
 func (fertacScheduler) Name() string { return "FERTAC" }
 
+// SupportedTypes declares the little-first greedy's fixed platform shape.
+func (fertacScheduler) SupportedTypes() int { return 2 }
+
 func (f fertacScheduler) Schedule(c *core.Chain, r core.Resources, o Options) core.Solution {
+	if !twoTypes(c, r) {
+		return core.Solution{}
+	}
 	m := o.scope(f.Name())
 	sp := o.span(f.Name())
 	if m == nil && sp == nil {
@@ -117,13 +137,15 @@ type otacScheduler struct{ v core.CoreType }
 
 func (s otacScheduler) Name() string { return "OTAC (" + s.v.String() + ")" }
 
+// SupportedTypes declares the single-type baseline's fixed platform shape
+// (it reads one component of a two-type platform).
+func (otacScheduler) SupportedTypes() int { return 2 }
+
 func (s otacScheduler) Schedule(c *core.Chain, r core.Resources, o Options) core.Solution {
-	rr := core.Resources{}
-	if s.v == core.Big {
-		rr.Big = r.Big
-	} else {
-		rr.Little = r.Little
+	if !twoTypes(c, r) {
+		return core.Solution{}
 	}
+	rr := r.Only(s.v)
 	m := o.scope(s.Name())
 	sp := o.span(s.Name())
 	if m == nil && sp == nil {

@@ -26,9 +26,11 @@ type cacheKey struct {
 
 // requestKey derives req's cache key. ok is false when the request does
 // not participate in caching: no cache attached, or malformed (nil chain
-// or scheduler — those fail in plan with a descriptive error instead).
+// or scheduler, or a core-type mismatch — those fail in plan with a
+// descriptive error instead, which caching an empty solution would mask).
 func requestKey(req Request) (cacheKey, bool) {
-	if req.Options.Cache == nil || req.Chain == nil || req.Scheduler == nil {
+	if req.Options.Cache == nil || req.Chain == nil || req.Scheduler == nil ||
+		CheckTypes(req.Scheduler, req.Chain, req.Resources) != nil {
 		return cacheKey{}, false
 	}
 	k := cacheKey{

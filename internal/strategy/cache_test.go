@@ -16,7 +16,7 @@ import (
 func cacheBatch(t *testing.T, opts Options) []Request {
 	t.Helper()
 	chains := []*core.Chain{testChain(t), traceChain(t)}
-	r := core.Resources{Big: 2, Little: 3}
+	r := core.Res(2, 3)
 	var reqs []Request
 	for rep := 0; rep < 3; rep++ {
 		for _, c := range chains {
@@ -106,11 +106,11 @@ func TestCacheKeySeparatesVariants(t *testing.T) {
 	raw := base
 	raw.Raw = true
 	reqs := []Request{
-		{Chain: c1, Resources: core.Resources{Big: 2, Little: 2}, Scheduler: h, Options: base},
-		{Chain: c2, Resources: core.Resources{Big: 2, Little: 2}, Scheduler: h, Options: base},
-		{Chain: c1, Resources: core.Resources{Big: 3, Little: 2}, Scheduler: h, Options: base},
-		{Chain: c1, Resources: core.Resources{Big: 2, Little: 2}, Scheduler: MustParse("fertac"), Options: base},
-		{Chain: c1, Resources: core.Resources{Big: 2, Little: 2}, Scheduler: h, Options: raw},
+		{Chain: c1, Resources: core.Res(2, 2), Scheduler: h, Options: base},
+		{Chain: c2, Resources: core.Res(2, 2), Scheduler: h, Options: base},
+		{Chain: c1, Resources: core.Res(3, 2), Scheduler: h, Options: base},
+		{Chain: c1, Resources: core.Res(2, 2), Scheduler: MustParse("fertac"), Options: base},
+		{Chain: c1, Resources: core.Res(2, 2), Scheduler: h, Options: raw},
 	}
 	res := PlanBatch(reqs, 1)
 	for i, re := range res {
@@ -133,7 +133,7 @@ func TestCacheKeySeparatesVariants(t *testing.T) {
 // entry.
 func TestCacheIgnoresWorkers(t *testing.T) {
 	c := testChain(t)
-	r := core.Resources{Big: 2, Little: 2}
+	r := core.Res(2, 2)
 	cache := NewCache()
 	var reqs []Request
 	for _, w := range []int{1, 2, 8} {
@@ -159,7 +159,7 @@ func TestCacheFailures(t *testing.T) {
 	c := testChain(t) // has non-replicable tasks; zero resources cannot host them
 	cache := NewCache()
 	o := Options{Cache: cache}
-	req := Request{Chain: c, Resources: core.Resources{}, Scheduler: MustParse("fertac"), Options: o}
+	req := Request{Chain: c, Resources: core.Res(0, 0), Scheduler: MustParse("fertac"), Options: o}
 	res := PlanBatch([]Request{req, req, req}, 1)
 	if res[0].Err == nil {
 		t.Fatal("expected a scheduling failure on zero resources")

@@ -14,7 +14,7 @@ import (
 // least one algorithm-specific series, all under its slug prefix.
 func TestEveryStrategyEmitsSeries(t *testing.T) {
 	c := testChain(t)
-	r := core.Resources{Big: 2, Little: 2}
+	r := core.Res(2, 2)
 	for _, s := range AllRegistered() {
 		s := s
 		t.Run(s.Name(), func(t *testing.T) {
@@ -54,7 +54,7 @@ func TestEveryStrategyEmitsSeries(t *testing.T) {
 // returns the identical schedule.
 func TestMetricsDoNotChangeSolutions(t *testing.T) {
 	c := testChain(t)
-	for _, r := range []core.Resources{{Big: 1}, {Big: 2, Little: 2}, {Big: 4, Little: 4}} {
+	for _, r := range []core.Resources{core.Res(1, 0), core.Res(2, 2), core.Res(4, 4)} {
 		for _, s := range AllRegistered() {
 			plain := s.Schedule(c, r, Options{})
 			obsd := s.Schedule(c, r, Options{Metrics: obs.NewRegistry()})

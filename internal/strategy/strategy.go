@@ -28,16 +28,46 @@ import (
 )
 
 // Scheduler is a scheduling strategy: it computes a pipelined-and-
-// replicated schedule of a task chain on two types of resources.
+// replicated schedule of a task chain on the platform's typed resources.
 // Implementations must be safe for concurrent use (PlanBatch invokes them
 // from multiple goroutines) and must return the empty solution — never
-// panic — when no valid schedule exists.
+// panic — when no valid schedule exists. Strategies defined for a fixed
+// number of core types additionally implement TypeConstrained.
 type Scheduler interface {
 	// Name returns the canonical display name (e.g. "HeRAD", "OTAC (B)"),
 	// unique within the registry.
 	Name() string
 	// Schedule computes a schedule of c on r under the given options.
 	Schedule(c *core.Chain, r core.Resources, opts Options) core.Solution
+}
+
+// TypeConstrained is implemented by Schedulers that only handle platforms
+// with a specific number of core types (the paper's greedy strategies —
+// 2CATAC, FERTAC, OTAC — are defined for exactly two). PlanBatch rejects
+// requests whose resources declare a different type count with a clear
+// error instead of letting the strategy silently misplan; CheckTypes
+// exposes the same test to drivers. Schedulers without the method (HeRAD,
+// Brute) accept any type count.
+type TypeConstrained interface {
+	// SupportedTypes returns the exact number of core types the scheduler
+	// handles.
+	SupportedTypes() int
+}
+
+// CheckTypes verifies that chain, resources and scheduler agree on the
+// number of core types: the chain must declare one weight per resource
+// type, and a TypeConstrained scheduler must support that count. It
+// returns nil for unconstrained schedulers on matching inputs.
+func CheckTypes(s Scheduler, c *core.Chain, r core.Resources) error {
+	if c != nil && c.NumTypes() != r.NumTypes() {
+		return fmt.Errorf("strategy: chain declares %d core types, resources %v declare %d",
+			c.NumTypes(), r, r.NumTypes())
+	}
+	if tc, ok := s.(TypeConstrained); ok && r.NumTypes() != tc.SupportedTypes() {
+		return fmt.Errorf("strategy: %s supports exactly %d core types, resources %v declare %d",
+			s.Name(), tc.SupportedTypes(), r, r.NumTypes())
+	}
+	return nil
 }
 
 // Options carries the cross-cutting scheduling knobs shared by every
@@ -128,8 +158,13 @@ func traceSolution(sp *trace.Span, c *core.Chain, s core.Solution) {
 		return
 	}
 	b, l := s.CoresUsed()
-	sp.Event("solution").F64("period", s.Period(c)).Int("stages", len(s.Stages)).
+	ev := sp.Event("solution").F64("period", s.Period(c)).Int("stages", len(s.Stages)).
 		Int("big_used", b).Int("little_used", l)
+	if k := c.NumTypes(); k > 2 {
+		// Two-type journals keep the historical big/little fields only; the
+		// extra types of k>2 platforms ride in one usage vector field.
+		ev.Str("usage", fmt.Sprint(s.Usage(k)))
+	}
 	for i, st := range s.Stages {
 		sp.Event("stage").Int("index", i).Int("first_task", st.Start).Int("last_task", st.End).
 			Int("cores", st.Cores).Str("type", st.Type.String()).
@@ -151,7 +186,7 @@ func (o Options) finish(c *core.Chain, s core.Solution) core.Solution {
 // schedulable rejects the degenerate inputs that sched.Schedule guards
 // against, so Bounds-overridden runs share the same contract.
 func schedulable(c *core.Chain, r core.Resources) bool {
-	return c != nil && c.Len() > 0 && r.Total() > 0 && r.Big >= 0 && r.Little >= 0
+	return c != nil && c.Len() > 0 && r.Total() > 0 && r.NonNegative()
 }
 
 // binarySearch runs compute through the shared binary search, honoring a

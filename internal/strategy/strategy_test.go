@@ -13,11 +13,11 @@ import (
 func testChain(t testing.TB) *core.Chain {
 	t.Helper()
 	return core.MustChain([]core.Task{
-		{Name: "a", Weight: [core.NumCoreTypes]float64{core.Big: 40, core.Little: 90}, Replicable: false},
-		{Name: "b", Weight: [core.NumCoreTypes]float64{core.Big: 120, core.Little: 300}, Replicable: true},
-		{Name: "c", Weight: [core.NumCoreTypes]float64{core.Big: 200, core.Little: 520}, Replicable: true},
-		{Name: "d", Weight: [core.NumCoreTypes]float64{core.Big: 310, core.Little: 700}, Replicable: true},
-		{Name: "e", Weight: [core.NumCoreTypes]float64{core.Big: 25, core.Little: 60}, Replicable: false},
+		{Name: "a", Weight: core.Weights(40, 90), Replicable: false},
+		{Name: "b", Weight: core.Weights(120, 300), Replicable: true},
+		{Name: "c", Weight: core.Weights(200, 520), Replicable: true},
+		{Name: "d", Weight: core.Weights(310, 700), Replicable: true},
+		{Name: "e", Weight: core.Weights(25, 60), Replicable: false},
 	})
 }
 
@@ -124,7 +124,7 @@ func TestScheduleDegenerateInputs(t *testing.T) {
 		if got := s.Schedule(c, core.Resources{}, Options{}); !got.IsEmpty() {
 			t.Errorf("%s scheduled on zero resources: %v", s.Name(), got)
 		}
-		if got := s.Schedule(nil, core.Resources{Big: 2}, Options{}); !got.IsEmpty() {
+		if got := s.Schedule(nil, core.Res(2, 0), Options{}); !got.IsEmpty() {
 			t.Errorf("%s scheduled a nil chain: %v", s.Name(), got)
 		}
 	}
@@ -132,7 +132,7 @@ func TestScheduleDegenerateInputs(t *testing.T) {
 
 func TestOptionsColocate(t *testing.T) {
 	c := testChain(t)
-	r := core.Resources{Big: 2, Little: 4}
+	r := core.Res(2, 4)
 	for _, s := range All() {
 		plain := s.Schedule(c, r, Options{})
 		fused := s.Schedule(c, r, Options{Colocate: true})
@@ -154,7 +154,7 @@ func TestOptionsColocate(t *testing.T) {
 
 func TestOptionsMemoizeIdentical(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
-	r := core.Resources{Big: 3, Little: 3}
+	r := core.Res(3, 3)
 	plain := MustParse("2catac")
 	memoHidden := MustParse("2catac-memo")
 	for i := 0; i < 20; i++ {
@@ -171,7 +171,7 @@ func TestOptionsMemoizeIdentical(t *testing.T) {
 
 func TestOptionsBounds(t *testing.T) {
 	c := testChain(t)
-	r := core.Resources{Big: 2, Little: 4}
+	r := core.Res(2, 4)
 	s := MustParse("2catac")
 	ref := s.Schedule(c, r, Options{})
 	b := sched.DefaultBounds(c, r)
@@ -196,7 +196,7 @@ func TestOptionsRaw(t *testing.T) {
 	// shorter and has the same period.
 	rng := rand.New(rand.NewSource(11))
 	h := MustParse("herad")
-	r := core.Resources{Big: 4, Little: 4}
+	r := core.Res(4, 4)
 	for i := 0; i < 10; i++ {
 		c := chaingen.Generate(chaingen.Default(12, 0.7), rng)
 		merged := h.Schedule(c, r, Options{})
@@ -219,7 +219,7 @@ func TestCrossStrategyProperties(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	herad := MustParse("herad")
 	resources := []core.Resources{
-		{Big: 1, Little: 1}, {Big: 2, Little: 1}, {Big: 1, Little: 3}, {Big: 3, Little: 3},
+		core.Res(1, 1), core.Res(2, 1), core.Res(1, 3), core.Res(3, 3),
 	}
 	for trial := 0; trial < 40; trial++ {
 		n := 2 + rng.Intn(6) // 2..7 tasks: brute-force stays tractable

@@ -11,10 +11,10 @@ import (
 func traceChain(t *testing.T) *core.Chain {
 	t.Helper()
 	c, err := core.NewChain([]core.Task{
-		{Name: "source", Weight: [core.NumCoreTypes]float64{core.Big: 40, core.Little: 90}},
-		{Name: "filter", Weight: [core.NumCoreTypes]float64{core.Big: 120, core.Little: 300}, Replicable: true},
-		{Name: "decode", Weight: [core.NumCoreTypes]float64{core.Big: 310, core.Little: 700}, Replicable: true},
-		{Name: "sink", Weight: [core.NumCoreTypes]float64{core.Big: 25, core.Little: 60}},
+		{Name: "source", Weight: core.Weights(40, 90)},
+		{Name: "filter", Weight: core.Weights(120, 300), Replicable: true},
+		{Name: "decode", Weight: core.Weights(310, 700), Replicable: true},
+		{Name: "sink", Weight: core.Weights(25, 60)},
 	})
 	if err != nil {
 		t.Fatalf("NewChain: %v", err)
@@ -47,7 +47,7 @@ func planAllJournal(t *testing.T, c *core.Chain, r core.Resources, workers int) 
 // appends into one journal from the pool workers.
 func TestPlanBatchJournalDeterministic(t *testing.T) {
 	c := traceChain(t)
-	r := core.Resources{Big: 2, Little: 2}
+	r := core.Res(2, 2)
 	serial := planAllJournal(t, c, r, 1)
 	if len(bytes.TrimSpace(serial)) == 0 {
 		t.Fatal("serial journal is empty")
@@ -70,7 +70,7 @@ func TestPlanBatchJournalRecordsErrors(t *testing.T) {
 	// OTAC (L) cannot schedule with zero little cores.
 	results := PlanBatch([]Request{{
 		Chain:     c,
-		Resources: core.Resources{Big: 2, Little: 0},
+		Resources: core.Res(2, 0),
 		Scheduler: MustParse("otac-l"),
 		Options:   opts,
 		Label:     "doomed",
@@ -98,7 +98,7 @@ func TestPlanBatchJournalRecordsErrors(t *testing.T) {
 // no metrics registry attached (journal-only mode).
 func TestStrategySpansJournalDecisions(t *testing.T) {
 	c := traceChain(t)
-	r := core.Resources{Big: 2, Little: 2}
+	r := core.Res(2, 2)
 	wantEvents := map[string][]string{
 		"herad":       {`"name":"dp_pass"`, `"name":"dp_cell"`, `"name":"solution"`, `"name":"stage"`},
 		"2catac":      {`"name":"probe"`, `"name":"node"`, `"name":"solution"`},
@@ -128,7 +128,7 @@ func TestStrategySpansJournalDecisions(t *testing.T) {
 // a nil Options.Trace (and nil Metrics) adds zero allocations.
 func TestTraceDisabledIsAllocationFree(t *testing.T) {
 	c := traceChain(t)
-	r := core.Resources{Big: 2, Little: 2}
+	r := core.Res(2, 2)
 	s := MustParse("otac-b")
 	// Warm up once so lazily-initialized state does not count.
 	s.Schedule(c, r, Options{})

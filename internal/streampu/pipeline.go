@@ -345,13 +345,19 @@ func RunChain(tasks []Task, frames int, src func(f *Frame)) (Stats, error) {
 }
 
 // Profile measures each task's mean latency (in µs) by running the chain
-// sequentially on a single virtual core of each type. For latency-modeled
-// tasks this recovers their weights; for computational tasks it measures
-// real execution time. The scale stretches modeled time for measurement
-// stability.
-func Profile(tasks []Task, frames int, scale float64) ([core.NumCoreTypes][]float64, error) {
-	var out [core.NumCoreTypes][]float64
-	for v := 0; v < core.NumCoreTypes; v++ {
+// sequentially on a single virtual core of each of the two canonical core
+// types. For latency-modeled tasks this recovers their weights; for
+// computational tasks it measures real execution time. The scale stretches
+// modeled time for measurement stability. ProfileTypes generalizes to
+// platforms with a different type count.
+func Profile(tasks []Task, frames int, scale float64) ([][]float64, error) {
+	return ProfileTypes(tasks, 2, frames, scale)
+}
+
+// ProfileTypes is Profile over numTypes virtual core types.
+func ProfileTypes(tasks []Task, numTypes, frames int, scale float64) ([][]float64, error) {
+	out := make([][]float64, numTypes)
+	for v := 0; v < numTypes; v++ {
 		sol := core.Solution{Stages: []core.Stage{
 			{Start: 0, End: len(tasks) - 1, Cores: 1, Type: core.CoreType(v)},
 		}}

@@ -13,7 +13,7 @@ import (
 )
 
 func timedTask(name string, wb, wl float64, rep bool) Task {
-	return &TimedTask{TaskName: name, Weights: [core.NumCoreTypes]float64{core.Big: wb, core.Little: wl}, Rep: rep}
+	return &TimedTask{TaskName: name, Weights: core.Weights(wb, wl), Rep: rep}
 }
 
 // orderCheck records the sequence numbers it sees and verifies order.
@@ -390,9 +390,9 @@ func TestModelFromTimed(t *testing.T) {
 
 func TestModelChain(t *testing.T) {
 	tasks := []Task{&FuncTask{TaskName: "x", Rep: true}, &FuncTask{TaskName: "y", Rep: false}}
-	c, err := ModelChain(tasks, func(i int, t Task) [core.NumCoreTypes]float64 {
+	c, err := ModelChain(tasks, func(i int, t Task) []float64 {
 		w := float64(i + 1)
-		return [core.NumCoreTypes]float64{core.Big: w, core.Little: 2 * w}
+		return core.Weights(w, 2*w)
 	})
 	if err != nil {
 		t.Fatal(err)

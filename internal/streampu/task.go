@@ -121,7 +121,7 @@ func cloneFor(t Task) Task {
 // have heterogeneous cores.
 type TimedTask struct {
 	TaskName string
-	Weights  [core.NumCoreTypes]float64 // modeled latency per core type, µs
+	Weights  []float64 // modeled latency per core type, µs
 	Rep      bool
 }
 
@@ -154,7 +154,7 @@ func (t *TimedTask) Process(w *Worker, f *Frame) error {
 }
 
 func (t *TimedTask) validateCore(v core.CoreType) {
-	if int(v) >= core.NumCoreTypes {
+	if int(v) >= len(t.Weights) {
 		panic(fmt.Sprintf("streampu: invalid core type %d for task %s", v, t.TaskName))
 	}
 }
@@ -180,7 +180,7 @@ func (t *FuncTask) Process(w *Worker, f *Frame) error { return t.Fn(w, f) }
 // and a latency profile: profile(i, task) must return the task's weights.
 // Real computational chains use measured profiles (see Profile in this
 // package); latency-modeled chains use their embedded weights.
-func ModelChain(tasks []Task, profile func(i int, t Task) [core.NumCoreTypes]float64) (*core.Chain, error) {
+func ModelChain(tasks []Task, profile func(i int, t Task) []float64) (*core.Chain, error) {
 	model := make([]core.Task, len(tasks))
 	for i, t := range tasks {
 		model[i] = core.Task{Name: t.Name(), Weight: profile(i, t), Replicable: t.Replicable()}

@@ -50,7 +50,7 @@ func Schedule(c *core.Chain, r core.Resources) core.Solution {
 }
 
 // ScheduleMemo computes the same schedules as Schedule but memoizes the
-// recursion on (start task, remaining big, remaining little) within each
+// recursion on (start task, remaining resources) within each
 // binary-search probe. This is an implementation ablation, not a paper
 // algorithm.
 func ScheduleMemo(c *core.Chain, r core.Resources) core.Solution {
@@ -84,7 +84,8 @@ func ComputeObs(memo bool, m Metrics) sched.ComputeSolutionFunc {
 }
 
 type memoKey struct {
-	s, b, l int
+	s int
+	r core.Resources
 }
 
 // ComputeSolution implements Algo 5: it builds the stage starting at task
@@ -95,38 +96,38 @@ func ComputeSolution(c *core.Chain, s int, r core.Resources, target float64) cor
 }
 
 func computeSolutionMemo(c *core.Chain, s int, r core.Resources, target float64, memo map[memoKey]core.Solution, m Metrics) core.Solution {
-	if got, ok := memo[memoKey{s, r.Big, r.Little}]; ok {
+	if got, ok := memo[memoKey{s, r}]; ok {
 		m.MemoHits.Inc()
 		if m.Sched.Trace.Enabled() {
 			m.Sched.Trace.Event("memo_hit").Int("first_task", s).
-				Int("big", r.Big).Int("little", r.Little)
+				Int("big", r.Count(core.Big)).Int("little", r.Count(core.Little))
 		}
 		return got
 	}
 	m.MemoMisses.Inc()
 	sol := computeSolution(c, s, r, target, memo, m)
-	memo[memoKey{s, r.Big, r.Little}] = sol
+	memo[memoKey{s, r}] = sol
 	return sol
 }
 
 func computeSolution(c *core.Chain, s int, r core.Resources, target float64, memo map[memoKey]core.Solution, m Metrics) core.Solution {
 	m.Nodes.Inc()
-	var sols [core.NumCoreTypes]core.Solution
+	var sols [2]core.Solution
 	for _, v := range []core.CoreType{core.Big, core.Little} {
-		e, u := sched.ComputeStageM(c, s, r.Of(v), v, target, m.Sched)
+		e, u := sched.ComputeStageM(c, s, r.Count(v), v, target, m.Sched)
 		switch {
-		case u < 1 || u > r.Of(v) || c.Weight(s, e, u, v) > target:
+		case u < 1 || u > r.Count(v) || c.Weight(s, e, u, v) > target:
 			// no valid stage with this type of cores
 		case e == c.Len()-1:
 			sols[v] = core.Solution{Stages: []core.Stage{{Start: s, End: e, Cores: u, Type: v}}}
 		default:
 			rest := core.Solution{}
 			if memo != nil {
-				rest = computeSolutionMemo(c, e+1, r.Minus(v, u), target, memo, m)
+				rest = computeSolutionMemo(c, e+1, r.Consume(v, u), target, memo, m)
 			} else {
-				rest = computeSolution(c, e+1, r.Minus(v, u), target, nil, m)
+				rest = computeSolution(c, e+1, r.Consume(v, u), target, nil, m)
 			}
-			if rest.IsValid(c, r.Minus(v, u), target) {
+			if rest.IsValid(c, r.Consume(v, u), target) {
 				sols[v] = rest.Prepend(core.Stage{Start: s, End: e, Cores: u, Type: v})
 			}
 		}
@@ -134,7 +135,7 @@ func computeSolution(c *core.Chain, s int, r core.Resources, target float64, mem
 	best := ChooseBestSolution(c, sols[core.Big], sols[core.Little], r, target)
 	if m.Sched.Trace.Enabled() {
 		ev := m.Sched.Trace.Event("node").Int("first_task", s).
-			Int("big", r.Big).Int("little", r.Little).
+			Int("big", r.Count(core.Big)).Int("little", r.Count(core.Little)).
 			Bool("big_valid", sols[core.Big].IsValid(c, r, target)).
 			Bool("little_valid", sols[core.Little].IsValid(c, r, target))
 		if !best.IsEmpty() {

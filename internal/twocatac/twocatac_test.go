@@ -12,12 +12,12 @@ import (
 )
 
 func task(wb, wl float64, rep bool) core.Task {
-	return core.Task{Weight: [core.NumCoreTypes]float64{core.Big: wb, core.Little: wl}, Replicable: rep}
+	return core.Task{Weight: core.Weights(wb, wl), Replicable: rep}
 }
 
 func TestDegenerate(t *testing.T) {
 	c := core.MustChain([]core.Task{task(5, 10, true)})
-	if s := Schedule(nil, core.Resources{Big: 1}); !s.IsEmpty() {
+	if s := Schedule(nil, core.Res(1, 0)); !s.IsEmpty() {
 		t.Error("nil chain should be empty")
 	}
 	if s := Schedule(c, core.Resources{}); !s.IsEmpty() {
@@ -31,9 +31,9 @@ func TestAlwaysProducesValidSchedules(t *testing.T) {
 		n := 1 + rng.Intn(20)
 		sr := []float64{0, 0.2, 0.5, 0.8, 1}[rng.Intn(5)]
 		c := chaingen.Generate(chaingen.Default(n, sr), rng)
-		r := core.Resources{Big: rng.Intn(6), Little: rng.Intn(6)}
+		r := core.Res(rng.Intn(6), rng.Intn(6))
 		if r.Total() == 0 {
-			r.Big = 1
+			r = r.With(core.Big, 1)
 		}
 		s := Schedule(c, r)
 		if s.IsEmpty() {
@@ -50,7 +50,7 @@ func TestNeverBeatsOptimalAndUsuallyBeatsFertac(t *testing.T) {
 	wins, losses := 0, 0
 	for iter := 0; iter < 80; iter++ {
 		c := chaingen.Generate(chaingen.Default(1+rng.Intn(15), 0.5), rng)
-		r := core.Resources{Big: 1 + rng.Intn(6), Little: 1 + rng.Intn(6)}
+		r := core.Res(1+rng.Intn(6), 1+rng.Intn(6))
 		opt := herad.Period(c, r)
 		p2 := Schedule(c, r).Period(c)
 		pf := fertac.Schedule(c, r).Period(c)
@@ -75,7 +75,7 @@ func TestMemoVariantIdenticalSchedules(t *testing.T) {
 	rng := rand.New(rand.NewSource(97))
 	for iter := 0; iter < 60; iter++ {
 		c := chaingen.Generate(chaingen.Default(1+rng.Intn(14), 0.5), rng)
-		r := core.Resources{Big: 1 + rng.Intn(5), Little: 1 + rng.Intn(5)}
+		r := core.Res(1+rng.Intn(5), 1+rng.Intn(5))
 		a := Schedule(c, r)
 		b := ScheduleMemo(c, r)
 		if a.String() != b.String() {
@@ -88,7 +88,7 @@ func TestChooseBestSolutionRules(t *testing.T) {
 	c := core.MustChain([]core.Task{
 		task(10, 10, true), task(10, 10, true),
 	})
-	r := core.Resources{Big: 4, Little: 4}
+	r := core.Res(4, 4)
 	target := 20.0
 	mk := func(stages ...core.Stage) core.Solution { return core.Solution{Stages: stages} }
 	sB := mk(core.Stage{Start: 0, End: 1, Cores: 1, Type: core.Big})
@@ -124,7 +124,7 @@ func TestMatchesHeradOnEasyCases(t *testing.T) {
 	total := 40
 	for iter := 0; iter < total; iter++ {
 		c := chaingen.Generate(chaingen.Default(10, 0.2), rng)
-		r := core.Resources{Big: 8, Little: 2}
+		r := core.Res(8, 2)
 		p2 := Schedule(c, r).Period(c)
 		ph := herad.Period(c, r)
 		if p2 <= ph*1.0+1e-9 {
@@ -147,7 +147,7 @@ func TestMostlyLittleWhenLittleSuffice(t *testing.T) {
 		tasks = append(tasks, task(10, 12, true))
 	}
 	c := core.MustChain(tasks)
-	s := Schedule(c, core.Resources{Big: 2, Little: 8})
+	s := Schedule(c, core.Res(2, 8))
 	if s.IsEmpty() {
 		t.Fatal("no schedule")
 	}
