@@ -35,6 +35,15 @@
 //	-workers N    wavefront workers for HeRAD's DP fill (0 = one per CPU,
 //	              1 = serial); the schedule is bit-identical for every
 //	              value, only the wall clock changes
+//	-epsilon E    ε-optimal beam pruning for HeRAD's DP fill: the period
+//	              is guaranteed within (1+E)·optimal, large chains fill
+//	              several times faster (DESIGN.md §4g). 0 (the default)
+//	              is the exact fill; other strategies ignore the flag
+//	-replan N     demo of the incremental re-planner: N deterministic
+//	              tail reweighs of the chain resolved through
+//	              strategy.ReplanBatch, each warm-started schedule
+//	              cross-checked against a from-scratch run (hard error
+//	              on any divergence), with the saved DP row work reported
 //	-power        report watts and mJ/frame under the default power model
 //	-trace FILE   with -run: dump a Chrome trace of the pipeline execution
 //	-stats        report scheduler metrics (binary-search probes, DP
@@ -57,6 +66,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -112,14 +122,16 @@ type config struct {
 	json       bool
 	colocate   bool
 	power      bool
-	workers    int    // wavefront workers for HeRAD's DP fill (0 = GOMAXPROCS)
-	trace      string // Chrome trace output path (requires run)
-	stats      bool   // report scheduler metrics after the schedules
-	explain    bool   // print the decision-trace narrative
-	traceSched string // decision-journal JSONL output path
-	listen     string // live exposition address (metrics + pprof)
-	cpuProfile string // pprof CPU profile output path
-	memProfile string // pprof heap profile output path
+	workers    int     // wavefront workers for HeRAD's DP fill (0 = GOMAXPROCS)
+	epsilon    float64 // ε-beam slack for HeRAD (0 = exact fill)
+	replan     int     // tail reweighs for the incremental re-plan demo (0 = off)
+	trace      string  // Chrome trace output path (requires run)
+	stats      bool    // report scheduler metrics after the schedules
+	explain    bool    // print the decision-trace narrative
+	traceSched string  // decision-journal JSONL output path
+	listen     string  // live exposition address (metrics + pprof)
+	cpuProfile string  // pprof CPU profile output path
+	memProfile string  // pprof heap profile output path
 
 	// out receives everything the command prints to stdout. Tests inject
 	// a buffer; nil means os.Stdout.
@@ -143,6 +155,8 @@ func main() {
 	flag.BoolVar(&cfg.colocate, "colocate", false, "fuse adjacent light single-core stages (saves cores at equal period)")
 	flag.BoolVar(&cfg.power, "power", false, "report power/energy under the default power model")
 	flag.IntVar(&cfg.workers, "workers", 0, "wavefront workers for HeRAD's DP fill (0 = one per CPU, 1 = serial; schedules are identical)")
+	flag.Float64Var(&cfg.epsilon, "epsilon", 0, "ε-beam slack for HeRAD: period within (1+ε)·optimal, faster fill (0 = exact)")
+	flag.IntVar(&cfg.replan, "replan", 0, "run N deterministic tail reweighs through the incremental re-planner and report the saved row work")
 	flag.StringVar(&cfg.trace, "trace", "", "with -run: write a Chrome trace (chrome://tracing) to this file")
 	flag.BoolVar(&cfg.stats, "stats", false, "report scheduler metrics (table, or obs report in -json mode)")
 	flag.BoolVar(&cfg.explain, "explain", false, "print the decision-trace narrative after the schedules")
@@ -165,6 +179,12 @@ func mainErr(cfg config) error {
 	}
 	if cfg.trace != "" && !cfg.run {
 		return fmt.Errorf("-trace requires -run: the Chrome trace records the streampu pipeline execution (pass -run, or drop -trace)")
+	}
+	if cfg.epsilon < 0 || math.IsNaN(cfg.epsilon) {
+		return fmt.Errorf("-epsilon must be a non-negative period slack, got %v", cfg.epsilon)
+	}
+	if cfg.replan < 0 {
+		return fmt.Errorf("-replan must be a non-negative edit count, got %d", cfg.replan)
 	}
 	r, err := resolveResources(cfg)
 	if err != nil {
@@ -249,7 +269,7 @@ func mainErr(cfg config) error {
 	}
 	t := report.NewTable(header...)
 	pm := core.DefaultPowerModel()
-	opts := strategy.Options{Colocate: cfg.colocate, Metrics: reg, Trace: runSpan, Workers: cfg.workers}
+	opts := strategy.Options{Colocate: cfg.colocate, Metrics: reg, Trace: runSpan, Workers: cfg.workers, Epsilon: cfg.epsilon}
 	for _, sc := range scheds {
 		name := sc.Name()
 		if err := strategy.CheckTypes(sc, chain, r); err != nil {
@@ -338,6 +358,11 @@ func mainErr(cfg config) error {
 	if !cfg.json {
 		t.Render(out)
 	}
+	if cfg.replan > 0 {
+		if err := replanDemo(out, chain, r, opts, cfg.replan); err != nil {
+			return err
+		}
+	}
 	if cfg.explain {
 		fmt.Fprintln(out, "# decision trace")
 		if err := journal.WriteExplain(out); err != nil {
@@ -350,6 +375,75 @@ func mainErr(cfg config) error {
 		}
 	}
 	return nil
+}
+
+// replanDemo drives -replan: a deterministic stream of n tail reweighs
+// (the last task's weights alternately scaled by 1.25 and 0.8) resolved
+// through strategy.ReplanBatch, so the incremental planner's row reuse is
+// observable from the CLI. Every warm-started schedule is cross-checked
+// against a from-scratch run of the same request — the planner's
+// bit-identity contract, enforced at runtime — and the demo hard-fails on
+// any divergence. The demo always uses the HeRAD scheduler: it is the only
+// strategy with an incremental mode.
+func replanDemo(out io.Writer, chain *core.Chain, r core.Resources, opts strategy.Options, n int) error {
+	sc, err := strategy.Parse("herad")
+	if err != nil {
+		return err
+	}
+	// The reference runs strip the sinks: re-tracing every from-scratch
+	// cross-check would double the journal without adding information.
+	ref := opts
+	ref.Trace = nil
+	ref.Metrics = nil
+	cur := chain
+	reqs := []strategy.Request{{Chain: cur, Resources: r, Scheduler: sc, Options: opts, Label: "base"}}
+	scales := [2]float64{1.25, 0.8}
+	edit := chain.Len() - 1
+	for i := 0; i < n; i++ {
+		ts := cur.Tasks()
+		t := ts[edit]
+		w := append([]float64(nil), t.Weight...)
+		for v := range w {
+			w[v] *= scales[i%2]
+		}
+		ts[edit] = core.Task{Name: t.Name, Weight: w, Replicable: t.Replicable}
+		c2, err := core.NewChain(ts)
+		if err != nil {
+			return err
+		}
+		cur = c2
+		reqs = append(reqs, strategy.Request{Chain: cur, Resources: r, Scheduler: sc, Options: opts,
+			Label: fmt.Sprintf("edit%d", i+1)})
+	}
+	results, _, st := strategy.ReplanBatch(nil, reqs)
+	for i, res := range results {
+		if res.Err != nil {
+			return fmt.Errorf("replan %s: %w", reqs[i].Label, res.Err)
+		}
+		check := sc.Schedule(reqs[i].Chain, r, ref)
+		if !sameSolution(res.Solution, check) {
+			return fmt.Errorf("replan %s: incremental schedule diverged from from-scratch (period %.3f vs %.3f)",
+				reqs[i].Label, res.Period, check.Period(reqs[i].Chain))
+		}
+	}
+	last := results[len(results)-1]
+	fmt.Fprintf(out, "# replan: %d tail reweighs, %d warm starts, %d cold; rows refilled %d of %d (%.1f%% saved); final period %.1f; all schedules match from-scratch\n",
+		n, st.WarmStarts, st.Cold, st.RowsRefilled, st.RowsTotal,
+		100*(1-float64(st.RowsRefilled)/float64(st.RowsTotal)), last.Period)
+	return nil
+}
+
+// sameSolution reports stage-for-stage equality of two schedules.
+func sameSolution(a, b core.Solution) bool {
+	if len(a.Stages) != len(b.Stages) {
+		return false
+	}
+	for i := range a.Stages {
+		if a.Stages[i] != b.Stages[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // writeJournal writes the decision journal as canonical JSONL to path plus

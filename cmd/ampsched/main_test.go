@@ -1,6 +1,7 @@
 package main
 
 import (
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -155,6 +156,39 @@ func TestMainErrProfiles(t *testing.T) {
 		}
 		if st.Size() == 0 {
 			t.Errorf("%s is empty", p)
+		}
+	}
+}
+
+func TestMainErrEpsilonAndReplan(t *testing.T) {
+	// -epsilon and -replan together: the demo warm-starts the incumbent
+	// planner through the tail edits and cross-checks every incremental
+	// schedule against a from-scratch run, so a pass here is the planner's
+	// bit-identity contract exercised end-to-end through the CLI.
+	var out strings.Builder
+	if err := mainErr(config{input: "testdata/chain.json", big: 2, little: 2,
+		strategy: "herad", frames: 10, scale: 1, interframe: 1,
+		epsilon: 0.05, replan: 3, out: &out}); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"# replan: 3 tail reweighs", "warm starts",
+		"all schedules match from-scratch"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	// Invalid slack and edit counts are rejected before any planning.
+	for _, cfg := range []config{
+		{input: "testdata/chain.json", big: 2, little: 2, strategy: "herad",
+			frames: 10, scale: 1, interframe: 1, epsilon: -0.1},
+		{input: "testdata/chain.json", big: 2, little: 2, strategy: "herad",
+			frames: 10, scale: 1, interframe: 1, epsilon: math.NaN()},
+		{input: "testdata/chain.json", big: 2, little: 2, strategy: "herad",
+			frames: 10, scale: 1, interframe: 1, replan: -1},
+	} {
+		if err := mainErr(cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
 		}
 	}
 }

@@ -1,6 +1,7 @@
 // Command benchreport runs the repository's performance micro-benchmarks —
 // the strategy registry dispatch, the obs metrics layer, the decision-trace
-// journal, and the HeRAD wavefront scaling sweep — and writes a machine-
+// journal, the HeRAD wavefront scaling sweep, the large-n exact-vs-ε-beam
+// scaling rows and the incremental replan rows — and writes a machine-
 // readable JSON report with ns/op, allocs/op and B/op per benchmark. CI
 // publishes the report as an artifact next to the coverage profile so
 // performance regressions show up in review instead of in production.
@@ -19,8 +20,9 @@
 //
 // Usage:
 //
-//	benchreport [-o BENCH_PR5.json] [-benchtime 100ms] [-match herad]
-//	            [-baseline BENCH_PR5.json] [-maxregress 25] [-list]
+//	benchreport [-o BENCH_PR7.json] [-benchtime 100ms] [-match herad]
+//	            [-baseline BENCH_PR7.json] [-maxregress 25] [-list]
+//	            [-cpuprofile cpu.prof] [-memprofile mem.prof]
 package main
 
 import (
@@ -30,6 +32,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -85,18 +88,54 @@ type gateOptions struct {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_PR5.json", "report output path")
+	out := flag.String("o", "BENCH_PR7.json", "report output path")
 	benchtime := flag.Duration("benchtime", 100*time.Millisecond, "target measuring time per benchmark")
 	match := flag.String("match", "", "run only benchmarks whose name contains this substring")
 	baseline := flag.String("baseline", "", "committed report to gate guarded benchmarks against")
 	maxRegress := flag.Float64("maxregress", 25, "allowed calibrated slowdown vs -baseline, percent")
 	list := flag.Bool("list", false, "list benchmark names and exit")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the benchmark run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	flag.Parse()
 	g := gateOptions{baseline: *baseline, maxRegress: *maxRegress}
-	if err := mainErr(*out, *benchtime, *match, g, *list, os.Stdout); err != nil {
+	if err := run(*out, *benchtime, *match, g, *list, *cpuProfile, *memProfile); err != nil {
 		fmt.Fprintln(os.Stderr, "benchreport:", err)
 		os.Exit(1)
 	}
+}
+
+// run wraps mainErr with the pprof exit artifacts (mirroring cmd/ampsched:
+// the CPU profile covers the whole benchmark run, the heap profile is
+// taken at exit — so scaling-sweep hotspots can be profiled directly from
+// the bench harness the numbers come from).
+func run(out string, benchtime time.Duration, match string, g gateOptions, list bool, cpuProfile, memProfile string) (err error) {
+	if cpuProfile != "" {
+		f, cerr := os.Create(cpuProfile)
+		if cerr != nil {
+			return cerr
+		}
+		defer f.Close()
+		if cerr := pprof.StartCPUProfile(f); cerr != nil {
+			return fmt.Errorf("starting CPU profile: %w", cerr)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if memProfile != "" {
+		defer func() {
+			f, merr := os.Create(memProfile)
+			if merr == nil {
+				runtime.GC()
+				merr = pprof.WriteHeapProfile(f)
+				if cerr := f.Close(); merr == nil {
+					merr = cerr
+				}
+			}
+			if merr != nil && err == nil {
+				err = fmt.Errorf("heap profile: %w", merr)
+			}
+		}()
+	}
+	return mainErr(out, benchtime, match, g, list, os.Stdout)
 }
 
 func mainErr(out string, benchtime time.Duration, match string, g gateOptions, list bool, w io.Writer) error {
@@ -227,7 +266,38 @@ func gate(cur Report, g gateOptions, w io.Writer) error {
 // measure calibrates b.fn to roughly benchtime and reports per-op cost.
 // Allocation counts come from runtime.MemStats deltas around the measured
 // run (GC forced before, so the deltas are the benchmark's own).
+//
+// Rows the -baseline gate inspects — the guarded benchmarks and the
+// calibrate row that anchors their normalization — are re-measured up to
+// three more times, keeping the fastest run and stopping early once a
+// sample lands within 5% of the running min. Machine contention is
+// one-sided (it only ever slows), so a reproduced min is the benchmark's
+// real cost while an unreproduced one may still be inflated and is worth
+// another sample. This matters most for ops that exceed benchtime (the
+// large-n herad/scale and herad/replan rows, measured one-shot, where a
+// transient load spike lands entirely on the single sample), but guarded
+// multi-iteration rows average over the whole window and flake the same
+// way under sustained load, so they get the same treatment. Unguarded
+// rows keep the single cheap measurement: nothing gates on them.
 func measure(b bench, benchtime time.Duration) Result {
+	res := measureOnce(b, benchtime)
+	if !b.guard && b.name != calibrateName {
+		return res
+	}
+	for i := 0; i < 3; i++ {
+		again := measureOnce(b, benchtime)
+		reproduced := again.NsPerOp < res.NsPerOp*1.05
+		if again.NsPerOp < res.NsPerOp {
+			res = again
+		}
+		if reproduced {
+			break
+		}
+	}
+	return res
+}
+
+func measureOnce(b bench, benchtime time.Duration) Result {
 	b.fn(1) // warm-up: lazy initialization outside the measurement
 	n := int64(1)
 	for {
@@ -359,7 +429,101 @@ func benchmarks() []bench {
 		}},
 	}
 	benches = append(benches, heradScaling()...)
-	return append(benches, heradGeneral()...)
+	benches = append(benches, heradGeneral()...)
+	benches = append(benches, heradScale()...)
+	return append(benches, heradReplan()...)
+}
+
+// heradScale is the large-n sweep behind DESIGN.md §4g: exact HeRAD
+// against the ε-beam fill on chains one to two orders of magnitude past
+// the wavefront sizes, where the O(n²) split-point scan dominates. The
+// exact rows pin the serial baseline; the ε rows are guarded too, so a
+// change that silently erodes the beam pruning (and with it the headline
+// speedup) fails the gate just like a slowdown of the exact fill. Every
+// row is serial: the sweep isolates the pruning win from the wavefront
+// parallelism measured above.
+func heradScale() []bench {
+	c2k := chaingen.GenerateMany(chaingen.Default(2048, 0.5), 11, 1)[0]
+	c4k := chaingen.GenerateMany(chaingen.Default(4096, 0.5), 11, 1)[0]
+	r := core.Res(4, 4)
+	run := func(c *core.Chain, eps float64) func(int) {
+		return func(n int) {
+			for i := 0; i < n; i++ {
+				if s := herad.ScheduleOpts(c, r, herad.Options{Workers: 1, Epsilon: eps}); s.IsEmpty() {
+					panic("no schedule")
+				}
+			}
+		}
+	}
+	return []bench{
+		{name: "herad/scale/n2048_b4_l4/exact", guard: true, fn: run(c2k, 0)},
+		{name: "herad/scale/n2048_b4_l4/eps=0.01", guard: true, fn: run(c2k, 0.01)},
+		{name: "herad/scale/n2048_b4_l4/eps=0.05", guard: true, fn: run(c2k, 0.05)},
+		{name: "herad/scale/n4096_b4_l4/exact", guard: true, fn: run(c4k, 0)},
+		{name: "herad/scale/n4096_b4_l4/eps=0.05", guard: true, fn: run(c4k, 0.05)},
+	}
+}
+
+// heradReplan measures the chain-edit warm start: one op is "react to a
+// tail reweigh", either by scheduling the edited chain from scratch or by
+// applying the same edit to an incumbent herad.Planner (refilling the 8
+// invalidated tail rows out of 2048) and extracting the solution. The two
+// paths produce bit-identical schedules (planner_test.go), so the row pair
+// is a pure wall-clock comparison. The edit alternates scale 1.25/0.8 so
+// the workload is stationary across iterations.
+var replanIncumbent *herad.Planner
+
+func heradReplan() []bench {
+	const tasks = 2048
+	base := chaingen.GenerateMany(chaingen.Default(tasks, 0.5), 17, 1)[0]
+	r := core.Res(4, 4)
+	edit := tasks - 8
+	retask := func(t core.Task, scale float64) core.Task {
+		w := append([]float64(nil), t.Weight...)
+		for v := range w {
+			w[v] *= scale
+		}
+		return core.Task{Name: t.Name, Weight: w, Replicable: t.Replicable}
+	}
+	scales := [2]float64{1.25, 0.8}
+	return []bench{
+		{name: "herad/replan/n2048_b4_l4/scratch", guard: true, fn: func(n int) {
+			cur := base
+			for i := 0; i < n; i++ {
+				ts := cur.Tasks()
+				ts[edit] = retask(ts[edit], scales[i%2])
+				c, err := core.NewChain(ts)
+				if err != nil {
+					panic(err)
+				}
+				cur = c
+				if s := herad.ScheduleOpts(cur, r, herad.Options{Workers: 1}); s.IsEmpty() {
+					panic("no schedule")
+				}
+			}
+		}},
+		{name: "herad/replan/n2048_b4_l4/edit_tail", guard: true, fn: func(n int) {
+			// Built once, during measure's warm-up call: the incumbent's
+			// initial full fill is the cost the warm starts amortize away.
+			if replanIncumbent == nil {
+				p, err := herad.NewPlanner(base, r, herad.Options{Workers: 1})
+				if err != nil {
+					panic(err)
+				}
+				replanIncumbent = p
+			}
+			p := replanIncumbent
+			for i := 0; i < n; i++ {
+				t := p.Chain().Task(edit)
+				if err := p.Reweigh(edit, retask(t, scales[i%2])); err != nil {
+					panic(err)
+				}
+				if s := p.Solution(); s.IsEmpty() {
+					panic("no schedule")
+				}
+			}
+		}},
+	}
 }
 
 // heradScaling builds the wavefront sweep: HeRAD's DP fill across growing

@@ -49,10 +49,21 @@ type kmatrix struct {
 	counts [core.MaxCoreTypes]int   // per-type capacity C_v
 	stride [core.MaxCoreTypes]int32 // mixed-radix strides; stride[k-1] == 1
 	states int32                    // Π_v (C_v+1)
+	// eps/inv/sqInv/gamma mirror the 2D matrix's ε-fill constants
+	// (herad.go): all exact identities at ε=0, so the exact fill's
+	// comparisons are unchanged.
+	eps, inv, sqInv, gamma float64
 }
 
-func newKMatrix(n int, r core.Resources) *kmatrix {
+func newKMatrix(n int, r core.Resources, eps float64) *kmatrix {
 	m := &kmatrix{k: r.NumTypes()}
+	m.eps, m.inv, m.sqInv, m.gamma = eps, 1.0, 1.0, 0
+	if eps > 0 {
+		m.inv = 1 / (1 + eps)
+		root := math.Sqrt(1 + eps)
+		m.sqInv = 1 / root
+		m.gamma = root - 1
+	}
 	states := int32(1)
 	for v := m.k - 1; v >= 0; v-- {
 		m.counts[v] = r.Count(core.CoreType(v))
@@ -70,6 +81,30 @@ func newKMatrix(n int, r core.Resources) *kmatrix {
 		m.cells[i].pbest = 0
 	}
 	return m
+}
+
+// resetRow restores row j to its pre-fill (+Inf) state, the k-type twin of
+// the 2D matrix's resetRow (kSingleStageSolution never writes the no-core
+// state 0 of a row, which must read as unschedulable after a refill).
+func (m *kmatrix) resetRow(j int) {
+	row := m.cells[int32(j)*m.states : int32(j+1)*m.states]
+	inf := math.Inf(1)
+	for i := range row {
+		row[i] = kcell{pbest: inf}
+	}
+}
+
+// resize adjusts the matrix to hold rows 0..n — the k-type twin of the 2D
+// matrix's resize (grown rows must be resetRow-initialized before use).
+func (m *kmatrix) resize(n int) {
+	want := (n + 1) * int(m.states)
+	if want <= cap(m.cells) {
+		m.cells = m.cells[:want]
+		return
+	}
+	grown := make([]kcell, want, want+want/2)
+	copy(grown, m.cells)
+	m.cells = grown
 }
 
 // at returns the cell of row j at flattened state s.
@@ -93,14 +128,21 @@ func scheduleRawGeneral(c *core.Chain, r core.Resources, o Options) core.Solutio
 	n := c.Len()
 	dp, exit := om.Trace.Enter("dp_pass")
 	dp.Int("tasks", n).Str("resources", r.String())
-	m := newKMatrix(n, r)
-	kSingleStageSolution(m, c, 1)
-	for e := 2; e <= n; e++ {
-		kSingleStageSolution(m, c, e)
-		kFillRow(m, c, e, om)
-	}
+	m := newKMatrix(n, r, o.epsilon())
+	kFillRows(m, c, 1, n, om)
 	exit()
 	return kExtractSolution(m, c, n)
+}
+
+// kFillRows computes rows from..to in ascending row order — the k-type
+// twin of fillRows (always serial). Rows < from are read, never written.
+func kFillRows(m *kmatrix, c *core.Chain, from, to int, om Metrics) {
+	for e := from; e <= to; e++ {
+		kSingleStageSolution(m, c, e)
+		if e >= 2 {
+			kFillRow(m, c, e, om)
+		}
+	}
 }
 
 // kSingleStageSolution implements Algo 8 for k types: every state r⃗ of row
@@ -174,12 +216,15 @@ func kRecomputeCell(m *kmatrix, c *core.Chain, j int, s int32, om Metrics) {
 	pruned := false
 	for i := j; i > 0; i-- {
 		// The candidate stage holds tasks [i-1, j-1] (0-based); its
-		// predecessor subproblem is row i-1.
+		// predecessor subproblem is row i-1. The ε fill relaxes the
+		// dominance threshold to cur.pbest/(1+ε), exactly like the 2D
+		// fill (m.inv is 1.0 at ε=0).
 		rep := c.IsRep(i-1, j-1)
+		thr := cur.pbest * m.inv
 		dominatedAll := true
 		for v := 0; v < m.k; v++ {
 			w[v] = c.SumW(i-1, j-1, core.CoreType(v))
-			if stageWeight(w[v], rep, int(rv[v])) <= cur.pbest {
+			if stageWeight(w[v], rep, int(rv[v])) <= thr {
 				dominatedAll = false
 			}
 		}
@@ -192,8 +237,12 @@ func kRecomputeCell(m *kmatrix, c *core.Chain, j int, s int32, om Metrics) {
 			if !rep && maxU > 1 {
 				maxU = 1 // sequential stages cannot benefit from extra cores
 			}
-			candidates += maxU
-			for u := 1; u <= maxU; u++ {
+			uStart := 1
+			if m.eps > 0 {
+				uStart = uFloor(w[v], cur.pbest*m.sqInv) // see the 2D fill's uFloor
+			}
+			for u := uStart; u <= maxU; u++ {
+				candidates++
 				prevState := s - int32(u)*m.stride[v]
 				prev := m.at(i-1, prevState)
 				p := w[v]
@@ -216,7 +265,15 @@ func kRecomputeCell(m *kmatrix, c *core.Chain, j int, s int32, om Metrics) {
 					cand.acc[v]++
 				}
 				kCompareCells(&cur, &cand, m.k)
+				if m.eps > 0 {
+					u = gridNext(u, m.gamma) - 1 // loop's u++ lands on the grid point
+				}
 			}
+		}
+		if m.eps > 0 && i > 1 {
+			// Geometric split grid — the k-type twin of the 2D fill's
+			// skipSplit (the loop's i-- lands on the returned probe).
+			i = kSkipSplit(m, c, j, i, &w) + 1
 		}
 	}
 	if pruned {
@@ -232,6 +289,59 @@ func kRecomputeCell(m *kmatrix, c *core.Chain, j int, s int32, om Metrics) {
 			Str("type", cur.v.String()).Int("candidates", candidates)
 	}
 	*m.at(j, s) = cur
+}
+
+// kSkipSplit is skipSplit for k types: the smallest split i' < i whose
+// stage keeps every type's weight within the √(1+ε) grid factor of probe
+// i's weights w, clamped up to the last still-replicable split when probe
+// i's stage is replicable. Called with i ≥ 2 (split 1 is the last the
+// loop visits).
+func kSkipSplit(m *kmatrix, c *core.Chain, j, i int, w *[core.MaxCoreTypes]float64) int {
+	grid := 1 + m.gamma
+	within := func(x int) bool {
+		for v := 0; v < m.k; v++ {
+			if c.SumW(x-1, j-1, core.CoreType(v)) > w[v]*grid {
+				return false
+			}
+		}
+		return true
+	}
+	if !within(i - 1) {
+		return i - 1
+	}
+	// Walk short skips linearly before bisecting, as in skipSplit: at
+	// small ε the skip rarely outruns a few prefix-sum probes.
+	lo, hi := 1, i-1 // within(hi) holds; the smallest within is in [lo, hi]
+	for s := 0; s < shortWalk && hi > lo && within(hi-1); s++ {
+		hi--
+	}
+	if hi > lo && within(hi-1) { // long skip: binary-search the rest
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if within(mid) {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+	}
+	lo = hi
+	if c.IsRep(i-1, j-1) && !c.IsRep(lo-1, j-1) {
+		rlo, rhi := lo+1, i // IsRep(i-1, j-1) holds; the flip is in [rlo, rhi]
+		for rlo < rhi {
+			mid := int(uint(rlo+rhi) >> 1)
+			if c.IsRep(mid-1, j-1) {
+				rhi = mid
+			} else {
+				rlo = mid + 1
+			}
+		}
+		if rlo >= i {
+			return i - 1 // every split below i is sequential: no safe skip
+		}
+		lo = rlo
+	}
+	return lo
 }
 
 // kCompareCells implements Algo 10 for k types: cand replaces cur when it

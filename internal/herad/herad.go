@@ -85,10 +85,20 @@ type cell struct {
 type matrix struct {
 	cells []cell
 	b, l  int
+	// ε-fill constants (all exact identities at ε=0, so the exact fill's
+	// comparisons are bit-identical to the pre-ε code): eps is the ε of
+	// the beam-pruned fill (0 = exact); inv = 1/(1+ε) scales the split
+	// dominance threshold; sqInv = 1/√(1+ε) scales the per-candidate
+	// replica floor; gamma = √(1+ε)−1 is the step of both geometric
+	// candidate grids (split points and replica counts). The two grids
+	// each round by at most √(1+ε), so their composition stays within the
+	// (1+ε) budget — see DESIGN.md §4g.
+	eps, inv, sqInv, gamma float64
 }
 
-func newMatrix(n, b, l int) *matrix {
+func newMatrix(n, b, l int, eps float64) *matrix {
 	m := &matrix{cells: make([]cell, (n+1)*(b+1)*(l+1)), b: b, l: l}
+	m.setEpsilon(eps)
 	inf := math.Inf(1)
 	for i := range m.cells {
 		m.cells[i].pbest = inf
@@ -100,8 +110,49 @@ func newMatrix(n, b, l int) *matrix {
 	return m
 }
 
+func (m *matrix) setEpsilon(eps float64) {
+	m.eps, m.inv, m.sqInv, m.gamma = eps, 1.0, 1.0, 0
+	if eps > 0 {
+		m.inv = 1 / (1 + eps)
+		root := math.Sqrt(1 + eps)
+		m.sqInv = 1 / root
+		m.gamma = root - 1
+	}
+}
+
 func (m *matrix) at(j, rb, rl int) *cell {
 	return &m.cells[(j*(m.b+1)+rb)*(m.l+1)+rl]
+}
+
+// rowLen is the number of cells of one matrix row.
+func (m *matrix) rowLen() int { return (m.b + 1) * (m.l + 1) }
+
+// resetRow restores row j to its pre-fill state: every cell back to the
+// +Inf initialization of newMatrix, so an incremental refill recomputes
+// the row exactly as a from-scratch fill would (singleStageSolution never
+// touches the no-core cell (j, 0, 0), which must read as unschedulable).
+func (m *matrix) resetRow(j int) {
+	row := m.cells[j*m.rowLen() : (j+1)*m.rowLen()]
+	inf := math.Inf(1)
+	for i := range row {
+		row[i] = cell{pbest: inf}
+	}
+}
+
+// resize adjusts the matrix to hold rows 0..n. Shrinking truncates,
+// leaving every surviving row intact; growing keeps the existing rows and
+// appends rows of arbitrary content, which the caller must resetRow
+// before filling. Extra capacity is reserved so a run of Appends does not
+// reallocate per edit.
+func (m *matrix) resize(n int) {
+	want := (n + 1) * m.rowLen()
+	if want <= cap(m.cells) {
+		m.cells = m.cells[:want]
+		return
+	}
+	grown := make([]cell, want, want+want/2)
+	copy(grown, m.cells)
+	m.cells = grown
 }
 
 // Options carries the scheduling knobs of the DP. The zero value is the
@@ -124,6 +175,17 @@ type Options struct {
 	// pruning counters differ. Platforms with k≠2 always use the general
 	// fill. Intended for tests and benchmarks of the specialization.
 	ForceGeneral bool
+	// Epsilon > 0 selects the ε-optimal beam-pruned fill: the reverse
+	// split-point loop is cut once a candidate stage cannot beat the
+	// incumbent period by more than the (1+ε) factor, and replica counts
+	// are probed on a geometric grid instead of exhaustively. The emitted
+	// schedule's period P satisfies P ≤ (1+ε)·P* (see DESIGN.md §4g; the
+	// bound does not compound across stages because the DP objective is a
+	// max, not a sum), at a fraction of the exact fill's candidate count.
+	// Epsilon = 0 (and any negative or NaN value) is the exact fill,
+	// bit-identical to the pre-ε implementation; the property tests in
+	// epsilon_test.go pin both contracts.
+	Epsilon float64
 	// Metrics holds the instrumentation sinks (zero value disables).
 	Metrics Metrics
 }
@@ -153,7 +215,12 @@ func ScheduleRawObs(c *core.Chain, r core.Resources, om Metrics) core.Solution {
 
 // ScheduleOpts computes the optimal schedule of c on r under o.
 func ScheduleOpts(c *core.Chain, r core.Resources, o Options) core.Solution {
-	s := scheduleRaw(c, r, o)
+	return finishSolution(c, scheduleRaw(c, r, o), o)
+}
+
+// finishSolution applies the replicable-stage merge post-pass requested by
+// o to an extracted solution (shared by ScheduleOpts and Planner).
+func finishSolution(c *core.Chain, s core.Solution, o Options) core.Solution {
 	if o.Raw {
 		return s
 	}
@@ -170,6 +237,15 @@ func ScheduleOpts(c *core.Chain, r core.Resources, o Options) core.Solution {
 	return merged
 }
 
+// epsilon normalizes Options.Epsilon: negative and NaN values mean the
+// exact fill, exactly like the zero default.
+func (o Options) epsilon() float64 {
+	if o.Epsilon > 0 {
+		return o.Epsilon
+	}
+	return 0
+}
+
 func scheduleRaw(c *core.Chain, r core.Resources, o Options) core.Solution {
 	if c == nil || c.Len() == 0 || r.Total() <= 0 || !r.NonNegative() {
 		return core.Solution{}
@@ -182,33 +258,53 @@ func scheduleRaw(c *core.Chain, r core.Resources, o Options) core.Solution {
 	}
 	om := o.Metrics
 	n, b, l := c.Len(), r.Count(core.Big), r.Count(core.Little)
+	dp, exit := om.Trace.Enter("dp_pass")
+	dp.Int("tasks", n).Int("big", b).Int("little", l)
+	m := newMatrix(n, b, l, o.epsilon())
+	fillRows(m, c, 1, n, o)
+	exit()
+	return extractSolution(m, c, n, b, l)
+}
+
+// fillWorkers resolves the wavefront worker count for one fill of m:
+// Options.Workers (GOMAXPROCS when unset), forced serial under tracing so
+// the journal keeps its deterministic order, and capped by the widest
+// anti-diagonal a row can offer.
+func fillWorkers(m *matrix, o Options) int {
 	workers := o.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if om.Trace.Enabled() {
+	if o.Metrics.Trace.Enabled() {
 		// Journal events must appear in the serial fill order for the
 		// exported journal (and the -explain goldens) to stay byte-exact.
 		workers = 1
 	}
-	if w := maxDiagonal(b, l); workers > w {
+	if w := maxDiagonal(m.b, m.l); workers > w {
 		workers = w // a diagonal never has more cells than min(b,l)+1
 	}
-	dp, exit := om.Trace.Enter("dp_pass")
-	dp.Int("tasks", n).Int("big", b).Int("little", l)
-	m := newMatrix(n, b, l)
-	singleStageSolution(m, c, 1)
+	return workers
+}
+
+// fillRows computes rows from..to of the matrix in ascending row order:
+// each row is seeded by singleStageSolution and, from row 2 on, completed
+// by the Eq. 4 recurrence over its cells. Rows < from are read, never
+// written, which is what lets the incremental Planner refill only the
+// suffix a chain edit invalidates. The rows must be in their pre-fill
+// (+Inf) state — fresh from newMatrix, or resetRow.
+func fillRows(m *matrix, c *core.Chain, from, to int, o Options) {
+	om := o.Metrics
 	var pool *wavePool
-	if workers > 1 {
-		pool = newWavePool(m, c, om, workers)
+	if fillWorkers(m, o) > 1 {
+		pool = newWavePool(m, c, om, fillWorkers(m, o))
 		defer pool.close()
 	}
-	for e := 2; e <= n; e++ {
+	for e := from; e <= to; e++ {
 		singleStageSolution(m, c, e)
-		fillRow(m, c, e, om, pool)
+		if e >= 2 {
+			fillRow(m, c, e, om, pool)
+		}
 	}
-	exit()
-	return extractSolution(m, c, n, b, l)
 }
 
 // parGrain is the minimum estimated work — candidate comparisons, i.e.
@@ -390,14 +486,120 @@ func stageWeight(w float64, rep bool, r int) float64 {
 }
 
 // dominated reports whether every stage-[i-1, j-1] candidate is period-
-// dominated at pbest: even with all b big or all l little cores the stage
-// weight exceeds pbest. It is non-increasing in i — a longer interval only
-// gains prefix-sum weight and can only lose replicability (dropping the
-// divisor) — which makes the dominance cutoff binary-searchable.
-func dominated(c *core.Chain, j, b, l, i int, pbest float64) bool {
+// dominated at the threshold thr: even with all b big or all l little
+// cores the stage weight exceeds thr. It is non-increasing in i — a longer
+// interval only gains prefix-sum weight and can only lose replicability
+// (dropping the divisor) — which makes the dominance cutoff binary-
+// searchable. The exact fill passes thr = cur.pbest; the ε fill passes
+// thr = cur.pbest/(1+ε), pruning splits that could not improve on the
+// incumbent by more than the factor the ε bound already concedes.
+func dominated(c *core.Chain, j, b, l, i int, thr float64) bool {
 	rep := c.IsRep(i-1, j-1)
-	return stageWeight(c.SumW(i-1, j-1, core.Big), rep, b) > pbest &&
-		stageWeight(c.SumW(i-1, j-1, core.Little), rep, l) > pbest
+	return stageWeight(c.SumW(i-1, j-1, core.Big), rep, b) > thr &&
+		stageWeight(c.SumW(i-1, j-1, core.Little), rep, l) > thr
+}
+
+// gridNext returns the replica count following u on the ε fill's geometric
+// candidate grid: ⌊u·(1+ε)⌋ + 1. Consecutive grid points differ by a
+// factor ≤ (1+ε), so for every exact count u* there is a probed count
+// u ≤ u* with stage weight w/u ≤ (1+ε)·w/u* — the inequality the ε bound
+// rests on. At ε=0 the grid degenerates to u+1, i.e. the exhaustive walk.
+// shortWalk bounds the linear probe the ε fill's split-skip helpers try
+// before resorting to a binary search: skips shorter than this are cheaper
+// to walk than to bisect.
+const shortWalk = 8
+
+func gridNext(u int, eps float64) int {
+	next := int(float64(u)*(1+eps)) + 1
+	if next <= u {
+		return u + 1
+	}
+	return next
+}
+
+// uFloor returns the smallest replica count whose stage period w/u does
+// not exceed thr (⌈w/thr⌉, clamped below at 1) — the ε fill's
+// per-candidate beam cut. The fill passes thr = cur.pbest/√(1+ε): a
+// count under the floor, evaluated at the probed split OR at any split
+// the probe covers (whose weight is at most a √(1+ε) grid step smaller),
+// has true candidate period above cur.pbest/(1+ε) — it cannot beat the
+// incumbent by more than the factor the ε bound already concedes. The u
+// loop therefore starts at the floor and the geometric grid runs upward
+// from it; every count skipped below the floor is ruled out against its
+// true period, never against another rounded candidate, so the floor
+// consumes no grid budget. For a sequential stage (weight w regardless
+// of u) a floor > 1 exceeds maxU = 1 and skips the stage outright — the
+// per-type form of the dominance cut.
+func uFloor(w, thr float64) int {
+	if !(w > thr) {
+		return 1
+	}
+	u := int(w / thr)
+	if float64(u)*thr < w {
+		u++
+	}
+	if u < 1 {
+		u = 1
+	}
+	return u
+}
+
+// skipSplit returns the split point the ε fill probes after i (the
+// enclosing loop's i-- lands on it): the smallest i' in (iCut, i) whose
+// stage [i'-1, j-1] keeps both type weights within the √(1+ε) grid
+// factor of probe i's — every split skipped in between is then covered
+// by the returned probe within one grid step, because interval weights
+// only grow as the split moves left. When probe i's stage is replicable
+// the result is clamped up to the last still-replicable split: a
+// sequential covering stage cannot stand in for a replicated one (it
+// lost the divisor), and clamping — probing earlier than the weight grid
+// requires — only tightens the coverage. Both searches are O(log n) on
+// the chain's monotone prefix structure, which is what makes a probe
+// cheaper than the splits it skips.
+func skipSplit(c *core.Chain, j, i, iCut int, limB, limL float64) int {
+	within := func(x int) bool {
+		return c.SumW(x-1, j-1, core.Big) <= limB &&
+			c.SumW(x-1, j-1, core.Little) <= limL
+	}
+	if i-1 <= iCut || !within(i-1) {
+		return i - 1
+	}
+	// Short skips are the common case at small ε (the grid factor shrinks
+	// toward per-task weight granularity), and there a full binary search
+	// costs more than the handful of cheap prefix-sum probes it replaces —
+	// so walk linearly first and only fall back to the O(log n) search when
+	// the skip turns out to be long.
+	lo, hi := iCut+1, i-1 // within(hi) holds; the smallest within is in [lo, hi]
+	for s := 0; s < shortWalk && hi > lo && within(hi-1); s++ {
+		hi--
+	}
+	if hi > lo && within(hi-1) { // long skip: binary-search the rest
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if within(mid) {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+	}
+	lo = hi
+	if c.IsRep(i-1, j-1) && !c.IsRep(lo-1, j-1) {
+		rlo, rhi := lo+1, i // IsRep(i-1, j-1) holds; the flip is in [rlo, rhi]
+		for rlo < rhi {
+			mid := int(uint(rlo+rhi) >> 1)
+			if c.IsRep(mid-1, j-1) {
+				rhi = mid
+			} else {
+				rlo = mid + 1
+			}
+		}
+		if rlo >= i {
+			return i - 1 // every split below i is sequential: no safe skip
+		}
+		lo = rlo
+	}
+	return lo
 }
 
 // recomputeCell implements Algo 9: it computes P*(j, b, l) by comparing
@@ -426,13 +628,15 @@ func recomputeCell(m *matrix, c *core.Chain, j, b, l int, om Metrics) {
 	// iCut is the largest split point whose stage the seed period already
 	// dominates (0 when none): the reverse loop stops above it. Any
 	// in-loop cut at a larger i would also have stopped the former linear
-	// walk there, so the candidate set is unchanged.
+	// walk there, so the candidate set is unchanged. The ε fill multiplies
+	// the threshold by 1/(1+ε) — m.inv is exactly 1.0 at ε=0, so the exact
+	// fill compares against cur.pbest bit-for-bit as before.
 	iCut := 0
-	if dominated(c, j, b, l, 1, cur.pbest) {
+	if dominated(c, j, b, l, 1, cur.pbest*m.inv) {
 		lo, hi := 1, j // invariant: dominated(lo); the cutoff is in [lo, hi]
 		for lo < hi {
 			mid := int(uint(lo+hi+1) >> 1)
-			if dominated(c, j, b, l, mid, cur.pbest) {
+			if dominated(c, j, b, l, mid, cur.pbest*m.inv) {
 				lo = mid
 			} else {
 				hi = mid - 1
@@ -450,9 +654,11 @@ func recomputeCell(m *matrix, c *core.Chain, j, b, l int, om Metrics) {
 		wL := c.SumW(i-1, j-1, core.Little)
 		// Period-dominance pruning against the improving cur.pbest: stage
 		// weight grows as i decreases, so once the lightest possible stage
-		// (all cores of the cheaper type) exceeds cur.pbest, no candidate
-		// at this or any smaller i can win.
-		if stageWeight(wB, rep, b) > cur.pbest && stageWeight(wL, rep, l) > cur.pbest {
+		// (all cores of the cheaper type) exceeds the threshold, no
+		// candidate at this or any smaller i can win (outright at ε=0, by
+		// more than the conceded (1+ε) factor otherwise).
+		thr := cur.pbest * m.inv
+		if stageWeight(wB, rep, b) > thr && stageWeight(wL, rep, l) > thr {
 			iCut = i
 			pruned = true
 			break
@@ -468,8 +674,13 @@ func recomputeCell(m *matrix, c *core.Chain, j, b, l int, om Metrics) {
 				maxUL = 1
 			}
 		}
-		candidates += maxUB + maxUL
-		for u := 1; u <= maxUB; u++ {
+		uStartB, uStartL := 1, 1
+		if m.eps > 0 {
+			thrU := cur.pbest * m.sqInv
+			uStartB, uStartL = uFloor(wB, thrU), uFloor(wL, thrU)
+		}
+		for u := uStartB; u <= maxUB; u++ {
+			candidates++
 			prev := m.at(i-1, b-u, l)
 			p := wB
 			if rep {
@@ -488,8 +699,12 @@ func recomputeCell(m *matrix, c *core.Chain, j, b, l int, om Metrics) {
 				cand.accB = prev.accB + int32(u)
 			}
 			compareCells(&cur, &cand)
+			if m.eps > 0 {
+				u = gridNext(u, m.gamma) - 1 // loop's u++ lands on the grid point
+			}
 		}
-		for u := 1; u <= maxUL; u++ {
+		for u := uStartL; u <= maxUL; u++ {
+			candidates++
 			prev := m.at(i-1, b, l-u)
 			p := wL
 			if rep {
@@ -508,6 +723,14 @@ func recomputeCell(m *matrix, c *core.Chain, j, b, l int, om Metrics) {
 				cand.accL = prev.accL + int32(u)
 			}
 			compareCells(&cur, &cand)
+			if m.eps > 0 {
+				u = gridNext(u, m.gamma) - 1
+			}
+		}
+		if m.eps > 0 && i-1 > iCut {
+			// Geometric split grid: jump straight to the next probe; the
+			// loop's i-- lands on skipSplit's result.
+			i = skipSplit(c, j, i, iCut, wB*(1+m.gamma), wL*(1+m.gamma)) + 1
 		}
 	}
 	if pruned {

@@ -1,0 +1,243 @@
+package herad
+
+import (
+	"fmt"
+
+	"ampsched/internal/core"
+)
+
+// Planner is the incremental HeRAD engine: it retains the filled DP
+// matrix of its current chain and, on a chain edit, refills only the rows
+// an edit can affect. Row j of the matrix covers the first j tasks, so it
+// depends exclusively on tasks 0..j-1 and on rows < j — an edit at task
+// index i (0-based) therefore invalidates rows ≥ i+1 and provably leaves
+// every prefix row untouched (DESIGN.md §4g). Refilled rows are first
+// reset to their pre-fill +Inf state and then recomputed by the same
+// fillRows/kFillRows the from-scratch fill uses, so an edited Planner's
+// schedule is bit-identical to scheduling the edited chain from scratch
+// (planner_test.go drives random edit sequences against that oracle).
+//
+// A Planner carries one chain, one resource vector and one Options value
+// for its whole life; edits change only the chain. It composes with every
+// fill mode — wavefront workers, ForceGeneral, ε-beam pruning — because
+// it reuses the underlying row fillers verbatim. Like those fillers, a
+// Planner is not safe for concurrent use.
+type Planner struct {
+	c *core.Chain
+	r core.Resources
+	o Options
+
+	m2 *matrix  // two-type fast path (nil when the general fill is in use)
+	mk *kmatrix // general k-type fill (nil when the 2D fast path is in use)
+
+	lastRefilled int // rows recomputed by the most recent fill or edit
+}
+
+// NewPlanner fills the full DP matrix for c on r under o and returns the
+// incumbent Planner. Unlike Schedule — which answers unschedulable inputs
+// with the empty solution — an unusable chain/resource pairing is an
+// error here, because a Planner is a handle edits will be applied to.
+func NewPlanner(c *core.Chain, r core.Resources, o Options) (*Planner, error) {
+	if c == nil || c.Len() == 0 {
+		return nil, fmt.Errorf("herad: planner needs a non-empty chain")
+	}
+	if r.Total() <= 0 || !r.NonNegative() {
+		return nil, fmt.Errorf("herad: planner needs positive resources, got R=%s", r)
+	}
+	if c.NumTypes() != r.NumTypes() {
+		return nil, fmt.Errorf("herad: chain declares %d core types, resources %d",
+			c.NumTypes(), r.NumTypes())
+	}
+	p := &Planner{c: c, r: r, o: o}
+	n := c.Len()
+	if r.NumTypes() != 2 || o.ForceGeneral {
+		p.mk = newKMatrix(n, r, o.epsilon())
+	} else {
+		p.m2 = newMatrix(n, r.Count(core.Big), r.Count(core.Little), o.epsilon())
+	}
+	om := o.Metrics
+	dp, exit := om.Trace.Enter("dp_pass")
+	if p.m2 != nil {
+		dp.Int("tasks", n).Int("big", p.m2.b).Int("little", p.m2.l)
+		fillRows(p.m2, c, 1, n, o)
+	} else {
+		dp.Int("tasks", n).Str("resources", r.String())
+		kFillRows(p.mk, c, 1, n, om)
+	}
+	exit()
+	p.lastRefilled = n
+	return p, nil
+}
+
+// Chain returns the planner's current chain.
+func (p *Planner) Chain() *core.Chain { return p.c }
+
+// Resources returns the platform the planner was built for.
+func (p *Planner) Resources() core.Resources { return p.r }
+
+// Opts returns the Options the planner fills with. Edits cannot change
+// them — in particular Epsilon is baked into the matrix, which is why the
+// strategy cache keys solutions by ε as well.
+func (p *Planner) Opts() Options { return p.o }
+
+// RowsRefilled reports how many matrix rows the most recent operation
+// recomputed: the chain length after NewPlanner or Append, less for the
+// other edits. It is the planner's work meter — the incremental win over
+// a from-scratch fill is (1 - RowsRefilled/Len) of the row work.
+func (p *Planner) RowsRefilled() int { return p.lastRefilled }
+
+// Solution returns the schedule of the planner's current chain, applying
+// the replicable-stage merge post-pass unless Options.Raw — exactly
+// ScheduleOpts(Chain(), Resources(), Opts()), without the fill.
+func (p *Planner) Solution() core.Solution {
+	return finishSolution(p.c, p.raw(), p.o)
+}
+
+// Period returns the current optimal period without running the merge
+// post-pass (merging never changes the period).
+func (p *Planner) Period() float64 {
+	return p.raw().Period(p.c)
+}
+
+func (p *Planner) raw() core.Solution {
+	if p.m2 != nil {
+		return extractSolution(p.m2, p.c, p.c.Len(), p.m2.b, p.m2.l)
+	}
+	return kExtractSolution(p.mk, p.c, p.c.Len())
+}
+
+// Append adds t to the end of the chain. Only the single new row is
+// filled: every existing row covers an unchanged prefix.
+func (p *Planner) Append(t core.Task) error {
+	tasks := append(p.c.Tasks(), t)
+	return p.apply(tasks, len(tasks))
+}
+
+// Remove deletes the task at index i (0-based), refilling rows i+1 and
+// up. Removing the last remaining task is an error — a Planner always
+// holds a schedulable chain.
+func (p *Planner) Remove(i int) error {
+	if i < 0 || i >= p.c.Len() {
+		return fmt.Errorf("herad: remove index %d out of range [0, %d)", i, p.c.Len())
+	}
+	if p.c.Len() == 1 {
+		return fmt.Errorf("herad: cannot remove the only task of the chain")
+	}
+	tasks := p.c.Tasks()
+	tasks = append(tasks[:i], tasks[i+1:]...)
+	return p.apply(tasks, i+1)
+}
+
+// Reweigh replaces the task at index i (0-based) with t, refilling rows
+// i+1 and up.
+func (p *Planner) Reweigh(i int, t core.Task) error {
+	if i < 0 || i >= p.c.Len() {
+		return fmt.Errorf("herad: reweigh index %d out of range [0, %d)", i, p.c.Len())
+	}
+	tasks := p.c.Tasks()
+	tasks[i] = t
+	return p.apply(tasks, i+1)
+}
+
+// Rebase adopts c2 as the planner's chain, warm-starting from the longest
+// common prefix with the current chain: only rows past the first
+// scheduling-relevant difference (weight vector or replicability — names
+// are cosmetic) are refilled. An identical chain refills nothing. This is
+// the entry point strategy.ReplanBatch uses to re-plan an edited batch
+// against an incumbent planner.
+func (p *Planner) Rebase(c2 *core.Chain) error {
+	if c2 == nil || c2.Len() == 0 {
+		return fmt.Errorf("herad: planner needs a non-empty chain")
+	}
+	if c2.NumTypes() != p.r.NumTypes() {
+		return fmt.Errorf("herad: chain declares %d core types, resources %d",
+			c2.NumTypes(), p.r.NumTypes())
+	}
+	cp := commonPrefix(p.c, c2)
+	if cp == c2.Len() && cp == p.c.Len() {
+		p.c = c2
+		p.lastRefilled = 0
+		return nil
+	}
+	p.c = c2
+	p.refill(cp + 1)
+	return nil
+}
+
+// apply validates the edited task list as a chain, commits it and refills
+// the invalidated row suffix. A rejected edit (core.NewChain error, type
+// table mismatch) leaves the planner untouched.
+func (p *Planner) apply(tasks []core.Task, from int) error {
+	c, err := core.NewChain(tasks)
+	if err != nil {
+		return err
+	}
+	if c.NumTypes() != p.r.NumTypes() {
+		return fmt.Errorf("herad: chain declares %d core types, resources %d",
+			c.NumTypes(), p.r.NumTypes())
+	}
+	p.c = c
+	p.refill(from)
+	return nil
+}
+
+// refill resizes the matrix to the current chain length, resets rows
+// from..n to their pre-fill +Inf state and recomputes them with the same
+// row fillers the from-scratch fill uses. Rows < from are read, never
+// written.
+func (p *Planner) refill(from int) {
+	n := p.c.Len()
+	if from < 1 {
+		from = 1
+	}
+	refilled := n - from + 1
+	if refilled < 0 {
+		refilled = 0 // pure truncation (e.g. Remove of the last task)
+	}
+	p.lastRefilled = refilled
+	om := p.o.Metrics
+	rf, exit := om.Trace.Enter("dp_refill")
+	rf.Int("tasks", n).Int("from_row", from).Int("rows", refilled)
+	if p.m2 != nil {
+		p.m2.resize(n)
+		for j := from; j <= n; j++ {
+			p.m2.resetRow(j)
+		}
+		fillRows(p.m2, p.c, from, n, p.o)
+	} else {
+		p.mk.resize(n)
+		for j := from; j <= n; j++ {
+			p.mk.resetRow(j)
+		}
+		kFillRows(p.mk, p.c, from, n, om)
+	}
+	exit()
+}
+
+// commonPrefix returns the number of leading tasks a and b agree on in
+// every scheduling-relevant field (weights and replicability; names never
+// enter the DP). Rows up to that count are valid for both chains.
+func commonPrefix(a, b *core.Chain) int {
+	n := a.Len()
+	if b.Len() < n {
+		n = b.Len()
+	}
+	for i := 0; i < n; i++ {
+		if !sameTask(a.Task(i), b.Task(i)) {
+			return i
+		}
+	}
+	return n
+}
+
+func sameTask(x, y core.Task) bool {
+	if x.Replicable != y.Replicable || len(x.Weight) != len(y.Weight) {
+		return false
+	}
+	for v := range x.Weight {
+		if x.Weight[v] != y.Weight[v] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,213 @@
+package herad
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"ampsched/internal/chaingen"
+	"ampsched/internal/core"
+)
+
+// scratchOracle is the planner's correctness oracle: the from-scratch fill
+// of the planner's current chain under its own options.
+func scratchOracle(t *testing.T, p *Planner) core.Solution {
+	t.Helper()
+	return ScheduleOpts(p.Chain(), p.Resources(), p.Opts())
+}
+
+func checkAgainstScratch(t *testing.T, p *Planner, step string) {
+	t.Helper()
+	got := p.Solution()
+	want := scratchOracle(t, p)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("%s: planner diverged from from-scratch\n got %v\nwant %v\nchain=%+v",
+			step, got, want, p.Chain().Tasks())
+	}
+	if err := got.Validate(p.Chain(), p.Resources()); err != nil {
+		t.Fatalf("%s: invalid planner solution: %v", step, err)
+	}
+}
+
+// randTask draws a task compatible with k core types.
+func randTask(rng *rand.Rand, k int) core.Task {
+	w := make([]float64, k)
+	for v := range w {
+		w[v] = 1 + 99*rng.Float64()
+	}
+	return core.Task{Weight: w, Replicable: rng.Intn(2) == 0}
+}
+
+// TestPlannerEditSequence drives random Append/Remove/Reweigh sequences
+// and checks after every edit that the planner's solution is bit-identical
+// to scheduling the edited chain from scratch — on the 2D fast path, the
+// forced general fill, a three-type platform, and an ε-beam fill. This is
+// the row-reuse invariant of DESIGN.md §4g under fire.
+func TestPlannerEditSequence(t *testing.T) {
+	cases := []struct {
+		name string
+		k    int
+		r    core.Resources
+		o    Options
+	}{
+		{"fast2d", 2, core.Res(3, 4), Options{Workers: 1}},
+		{"general2d", 2, core.Res(3, 4), Options{Workers: 1, ForceGeneral: true}},
+		{"ktype3", 3, core.Res(2, 2, 3), Options{}},
+		{"epsilon", 2, core.Res(4, 4), Options{Workers: 1, Epsilon: 0.05}},
+		{"raw", 2, core.Res(3, 3), Options{Workers: 1, Raw: true}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(101 + int64(tc.k)))
+			tasks := make([]core.Task, 6+rng.Intn(8))
+			for i := range tasks {
+				tasks[i] = randTask(rng, tc.k)
+			}
+			p, err := NewPlanner(core.MustChain(tasks), tc.r, tc.o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := p.RowsRefilled(), p.Chain().Len(); got != want {
+				t.Fatalf("initial fill refilled %d rows, want %d", got, want)
+			}
+			checkAgainstScratch(t, p, "initial")
+			for step := 0; step < 40; step++ {
+				n := p.Chain().Len()
+				switch op := rng.Intn(3); {
+				case op == 0 || n == 1:
+					if err := p.Append(randTask(rng, tc.k)); err != nil {
+						t.Fatalf("step %d append: %v", step, err)
+					}
+					if p.RowsRefilled() != 1 {
+						t.Fatalf("step %d: append refilled %d rows, want 1", step, p.RowsRefilled())
+					}
+				case op == 1:
+					i := rng.Intn(n)
+					if err := p.Remove(i); err != nil {
+						t.Fatalf("step %d remove %d: %v", step, i, err)
+					}
+					if want := n - 1 - i; p.RowsRefilled() != want {
+						t.Fatalf("step %d: remove %d of %d refilled %d rows, want %d",
+							step, i, n, p.RowsRefilled(), want)
+					}
+				default:
+					i := rng.Intn(n)
+					if err := p.Reweigh(i, randTask(rng, tc.k)); err != nil {
+						t.Fatalf("step %d reweigh %d: %v", step, i, err)
+					}
+					if want := n - i; p.RowsRefilled() != want {
+						t.Fatalf("step %d: reweigh %d of %d refilled %d rows, want %d",
+							step, i, n, p.RowsRefilled(), want)
+					}
+				}
+				checkAgainstScratch(t, p, "edit")
+			}
+		})
+	}
+}
+
+// TestPlannerRebase pins the warm-start diff: rebasing onto a chain
+// sharing a prefix refills only the suffix, an identical chain refills
+// nothing, and the result always matches from scratch.
+func TestPlannerRebase(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	for iter := 0; iter < 30; iter++ {
+		c := chaingen.Generate(chaingen.Default(10+rng.Intn(10), 0.5), rng)
+		r := core.Res(3, 3)
+		p, err := NewPlanner(c, r, Options{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Same tasks, fresh chain value: nothing to refill.
+		clone := core.MustChain(c.Tasks())
+		if err := p.Rebase(clone); err != nil {
+			t.Fatal(err)
+		}
+		if p.RowsRefilled() != 0 {
+			t.Fatalf("identical rebase refilled %d rows", p.RowsRefilled())
+		}
+		checkAgainstScratch(t, p, "identical rebase")
+		// Divergence at a random index: refill exactly the suffix.
+		tasks := c.Tasks()
+		i := rng.Intn(len(tasks))
+		tasks[i] = randTask(rng, 2)
+		edited := core.MustChain(tasks)
+		if err := p.Rebase(edited); err != nil {
+			t.Fatal(err)
+		}
+		if want := edited.Len() - i; p.RowsRefilled() != want {
+			t.Fatalf("rebase diverging at %d refilled %d rows, want %d", i, p.RowsRefilled(), want)
+		}
+		checkAgainstScratch(t, p, "diverging rebase")
+		// A longer chain sharing the full prefix: refill the added rows.
+		longer := core.MustChain(append(edited.Tasks(), randTask(rng, 2), randTask(rng, 2)))
+		if err := p.Rebase(longer); err != nil {
+			t.Fatal(err)
+		}
+		if p.RowsRefilled() != 2 {
+			t.Fatalf("extending rebase refilled %d rows, want 2", p.RowsRefilled())
+		}
+		checkAgainstScratch(t, p, "extending rebase")
+		// A shorter chain (pure truncation): valid and consistent.
+		shorter := core.MustChain(longer.Tasks()[:3])
+		if err := p.Rebase(shorter); err != nil {
+			t.Fatal(err)
+		}
+		checkAgainstScratch(t, p, "truncating rebase")
+	}
+}
+
+// TestPlannerRejectsBadInputs pins the error contract: constructor and
+// edits reject inputs that would leave the planner unschedulable, and a
+// rejected edit leaves the planner's state untouched.
+func TestPlannerRejectsBadInputs(t *testing.T) {
+	if _, err := NewPlanner(nil, core.Res(1, 1), Options{}); err == nil {
+		t.Error("nil chain accepted")
+	}
+	c := core.MustChain([]core.Task{task(10, 20, false), task(8, 16, true)})
+	if _, err := NewPlanner(c, core.Resources{}, Options{}); err == nil {
+		t.Error("empty resources accepted")
+	}
+	if _, err := NewPlanner(c, core.Res(-1, 2), Options{}); err == nil {
+		t.Error("negative resources accepted")
+	}
+	p, err := NewPlanner(c, core.Res(2, 2), Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := p.Solution()
+	if err := p.Remove(5); err == nil {
+		t.Error("out-of-range remove accepted")
+	}
+	if err := p.Reweigh(-1, task(1, 2, false)); err == nil {
+		t.Error("out-of-range reweigh accepted")
+	}
+	if err := p.Reweigh(0, core.Task{Weight: []float64{1, 2, 3}}); err == nil {
+		t.Error("type-table mismatch accepted")
+	}
+	if err := p.Rebase(nil); err == nil {
+		t.Error("nil rebase accepted")
+	}
+	if got := p.Solution(); !reflect.DeepEqual(got, before) {
+		t.Errorf("rejected edits mutated the planner: %v vs %v", got, before)
+	}
+	single, err := NewPlanner(core.MustChain([]core.Task{task(5, 9, true)}), core.Res(1, 1), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := single.Remove(0); err == nil {
+		t.Error("removing the only task accepted")
+	}
+}
+
+// TestPlannerPeriod pins the Period accessor against the solution.
+func TestPlannerPeriod(t *testing.T) {
+	c := chaingen.GenerateMany(chaingen.Default(12, 0.5), 5, 1)[0]
+	p, err := NewPlanner(c, core.Res(3, 2), Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := p.Period(), p.Solution().Period(c); got != want {
+		t.Errorf("Period() = %v, Solution().Period = %v", got, want)
+	}
+}

@@ -58,7 +58,7 @@ func (heradScheduler) Name() string { return "HeRAD" }
 func (h heradScheduler) Schedule(c *core.Chain, r core.Resources, o Options) core.Solution {
 	m := o.scope(h.Name())
 	sp := o.span(h.Name())
-	ho := herad.Options{Workers: o.Workers, Raw: o.Raw}
+	ho := heradOptions(o)
 	if m == nil && sp == nil {
 		return o.finish(c, herad.ScheduleOpts(c, r, ho))
 	}

@@ -14,14 +14,30 @@ import (
 // absent — schedules are bit-identical across worker counts — as are the
 // Metrics/Trace sinks, which observe a solve without influencing it.
 type cacheKey struct {
-	fp        uint64
-	r         core.Resources
-	strategy  string
-	colocate  bool
-	raw       bool
-	memoize   bool
+	fp       uint64
+	r        core.Resources
+	strategy string
+	colocate bool
+	raw      bool
+	memoize  bool
+	// epsilon is the normalized Options.Epsilon (normEpsilon): an ε-beam
+	// solution is only (1+ε)-optimal, so it must never be served to an
+	// exact request (or to a request with a different ε). The fuzz test
+	// FuzzCacheKey pins the no-aliasing property.
+	epsilon   float64
 	hasBounds bool
 	bounds    sched.Bounds
+}
+
+// normEpsilon normalizes an Options.Epsilon for keying and comparison:
+// zero, negative and NaN all select the exact solver, so they collapse to
+// 0 — crucially, a NaN (never equal to itself, even as a map key) must
+// not produce an unhittable cache entry.
+func normEpsilon(e float64) float64 {
+	if e > 0 {
+		return e
+	}
+	return 0
 }
 
 // requestKey derives req's cache key. ok is false when the request does
@@ -40,6 +56,7 @@ func requestKey(req Request) (cacheKey, bool) {
 		colocate: req.Options.Colocate,
 		raw:      req.Options.Raw,
 		memoize:  req.Options.Memoize,
+		epsilon:  normEpsilon(req.Options.Epsilon),
 	}
 	if req.Options.Bounds != nil {
 		k.hasBounds = true

@@ -1,0 +1,56 @@
+package strategy
+
+import (
+	"math"
+	"testing"
+
+	"ampsched/internal/core"
+)
+
+// FuzzCacheKey pins the ε-awareness of the solution-cache key: an ε-beam
+// solution is only (1+ε)-optimal, so two requests that agree on everything
+// but ε must never share a cache entry — while the degenerate ε values
+// (zero, negative, NaN) must all collapse onto the exact solver's key, NaN
+// in particular because a NaN inside a map key can never be looked up
+// again.
+func FuzzCacheKey(f *testing.F) {
+	f.Add(0.0, 0.0)
+	f.Add(0.0, 0.05)
+	f.Add(0.01, 0.05)
+	f.Add(0.05, 0.05)
+	f.Add(-1.0, 0.0)
+	f.Add(math.NaN(), 0.0)
+	f.Add(math.NaN(), math.NaN())
+	f.Add(math.Inf(1), 0.0)
+	f.Add(5e-324, 0.0)
+	f.Fuzz(func(t *testing.T, e1, e2 float64) {
+		cache := NewCache()
+		req := func(eps float64) Request {
+			return Request{
+				Chain:     testChain(t),
+				Resources: core.Res(2, 3),
+				Scheduler: MustParse("herad"),
+				Options:   Options{Cache: cache, Epsilon: eps},
+			}
+		}
+		k1, ok1 := requestKey(req(e1))
+		k2, ok2 := requestKey(req(e2))
+		if !ok1 || !ok2 {
+			t.Fatalf("well-formed requests did not key: %v %v", ok1, ok2)
+		}
+		n1, n2 := normEpsilon(e1), normEpsilon(e2)
+		if (k1 == k2) != (n1 == n2) {
+			t.Fatalf("eps %v vs %v: keys equal=%v, normalized %v vs %v", e1, e2, k1 == k2, n1, n2)
+		}
+		// The key must be self-equal even for hostile inputs — a key that
+		// cannot match itself makes its cache entry unreachable garbage.
+		if k1 != k1 {
+			t.Fatalf("eps %v: key not self-equal (NaN leaked into the key)", e1)
+		}
+		// And the map round-trip must agree with key equality.
+		cache.put(k1, core.Solution{Stages: []core.Stage{{Start: 0, End: 0, Cores: 1}}})
+		if _, hit := cache.get(k2); hit != (k1 == k2) {
+			t.Fatalf("eps %v vs %v: cache hit=%v, keys equal=%v", e1, e2, hit, k1 == k2)
+		}
+	})
+}

@@ -89,6 +89,14 @@ type Options struct {
 	// sched.DefaultBounds plus the robustness fallback; a non-nil value
 	// disables the fallback. HeRAD and Brute ignore it.
 	Bounds *sched.Bounds
+	// Epsilon > 0 selects a strategy's bounded-suboptimality mode when it
+	// has one — currently HeRAD's ε-optimal beam-pruned DP fill, whose
+	// emitted period P satisfies P ≤ (1+ε)·P* (herad.Options.Epsilon;
+	// DESIGN.md §4g). Zero, negative and NaN all mean the exact solver,
+	// bit-identical to the pre-ε behavior. Unlike Workers, ε changes the
+	// emitted schedule, so it is part of the solution cache key; strategies
+	// without an approximate mode ignore it.
+	Epsilon float64
 	// Workers bounds the intra-schedule worker pool of strategies with a
 	// parallel solver — currently HeRAD's wavefront DP fill. ≤ 0 uses
 	// GOMAXPROCS, 1 forces the serial fill; strategies without internal
@@ -102,7 +110,7 @@ type Options struct {
 	// requests — duplicates within a batch and repeats across batches
 	// sharing the cache — instead of re-solving them. The key is (chain
 	// fingerprint, resources, strategy name, Colocate, Raw, Memoize,
-	// Bounds); Workers and the observability sinks are excluded because
+	// Epsilon, Bounds); Workers and the observability sinks are excluded because
 	// they never change the emitted schedule. Every strategy is
 	// deterministic, so cached batches return byte-identical Results; only
 	// the strategy-internal metric and journal volume shrinks (a hit emits

@@ -82,12 +82,70 @@ func (a Attr) Key() string { return a.key }
 type Journal struct {
 	mu   sync.Mutex
 	root *Span
+
+	// Span/event/attribute arenas. Traced runs emit one Event per DP cell
+	// with a handful of attributes each, so allocating every Event and
+	// every attrs growth step individually dominated the traced profile
+	// (~20k allocs/op on registry/schedule_traced). Spans and events are
+	// instead carved out of fixed-size chunks, and each carries a
+	// zero-length attribute window pre-reserved inside attrChunk, so the
+	// common small-attribute case appends without ever touching the
+	// allocator. Chunks are never resliced beyond their capacity once
+	// handed out, so carved pointers stay valid when the journal swaps in
+	// a fresh chunk. The canonical export is unaffected: arenas change
+	// where records live, not what they say.
+	spanChunk  []Span
+	eventChunk []Event
+	attrChunk  []Attr
+}
+
+const (
+	spanChunkSize  = 64
+	eventChunkSize = 256
+	// attrPrealloc is each span's/event's pre-reserved attribute window.
+	// The widest built-in emitter (herad's dp_cell) sets 7 attributes;
+	// overflowing the window falls back to a plain heap append.
+	attrPrealloc  = 8
+	attrChunkSize = eventChunkSize * attrPrealloc
+)
+
+// attrWindow reserves an attrPrealloc-capacity window inside the attr
+// arena. The three-index slice pins the window's capacity to its own
+// region, so unlocked attribute appends by different goroutines can never
+// spill into a neighbor's window. Callers hold j.mu.
+func (j *Journal) attrWindow() []Attr {
+	if cap(j.attrChunk)-len(j.attrChunk) < attrPrealloc {
+		j.attrChunk = make([]Attr, 0, attrChunkSize)
+	}
+	off := len(j.attrChunk)
+	j.attrChunk = j.attrChunk[:off+attrPrealloc]
+	return j.attrChunk[off : off : off+attrPrealloc]
+}
+
+// newSpan carves a span (with attr window) from the arena. Callers hold
+// j.mu (except New, which has exclusive access by construction).
+func (j *Journal) newSpan(name string) *Span {
+	if len(j.spanChunk) == cap(j.spanChunk) {
+		j.spanChunk = make([]Span, 0, spanChunkSize)
+	}
+	j.spanChunk = append(j.spanChunk, Span{j: j, name: name, attrs: j.attrWindow()})
+	return &j.spanChunk[len(j.spanChunk)-1]
+}
+
+// newEvent carves an event (with attr window) from the arena. Callers
+// hold j.mu.
+func (j *Journal) newEvent(name string) *Event {
+	if len(j.eventChunk) == cap(j.eventChunk) {
+		j.eventChunk = make([]Event, 0, eventChunkSize)
+	}
+	j.eventChunk = append(j.eventChunk, Event{name: name, attrs: j.attrWindow()})
+	return &j.eventChunk[len(j.eventChunk)-1]
 }
 
 // New returns an empty journal whose root span is named "run".
 func New() *Journal {
 	j := &Journal{}
-	j.root = &Span{j: j, name: "run"}
+	j.root = j.newSpan("run")
 	return j
 }
 
@@ -144,8 +202,8 @@ func (s *Span) Begin(name string) *Span {
 	if s == nil {
 		return nil
 	}
-	c := &Span{j: s.j, name: name}
 	s.j.mu.Lock()
+	c := s.j.newSpan(name)
 	s.items = append(s.items, item{sp: c})
 	s.j.mu.Unlock()
 	return c
@@ -157,8 +215,8 @@ func (s *Span) Event(name string) *Event {
 	if s == nil {
 		return nil
 	}
-	e := &Event{name: name}
 	s.j.mu.Lock()
+	e := s.j.newEvent(name)
 	s.items = append(s.items, item{ev: e})
 	s.j.mu.Unlock()
 	return e
