@@ -71,6 +71,8 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"sync"
+	"time"
 
 	"ampsched/internal/core"
 	"ampsched/internal/desim"
@@ -122,16 +124,17 @@ type config struct {
 	json       bool
 	colocate   bool
 	power      bool
-	workers    int     // wavefront workers for HeRAD's DP fill (0 = GOMAXPROCS)
-	epsilon    float64 // ε-beam slack for HeRAD (0 = exact fill)
-	replan     int     // tail reweighs for the incremental re-plan demo (0 = off)
-	trace      string  // Chrome trace output path (requires run)
-	stats      bool    // report scheduler metrics after the schedules
-	explain    bool    // print the decision-trace narrative
-	traceSched string  // decision-journal JSONL output path
-	listen     string  // live exposition address (metrics + pprof)
-	cpuProfile string  // pprof CPU profile output path
-	memProfile string  // pprof heap profile output path
+	workers    int           // wavefront workers for HeRAD's DP fill (0 = GOMAXPROCS)
+	epsilon    float64       // ε-beam slack for HeRAD (0 = exact fill)
+	replan     int           // tail reweighs for the incremental re-plan demo (0 = off)
+	trace      string        // Chrome trace output path (requires run)
+	watch      time.Duration // live telemetry interval for -run (0 = off)
+	stats      bool          // report scheduler metrics after the schedules
+	explain    bool          // print the decision-trace narrative
+	traceSched string        // decision-journal JSONL output path
+	listen     string        // live exposition address (metrics + pprof)
+	cpuProfile string        // pprof CPU profile output path
+	memProfile string        // pprof heap profile output path
 
 	// out receives everything the command prints to stdout. Tests inject
 	// a buffer; nil means os.Stdout.
@@ -158,6 +161,7 @@ func main() {
 	flag.Float64Var(&cfg.epsilon, "epsilon", 0, "ε-beam slack for HeRAD: period within (1+ε)·optimal, faster fill (0 = exact)")
 	flag.IntVar(&cfg.replan, "replan", 0, "run N deterministic tail reweighs through the incremental re-planner and report the saved row work")
 	flag.StringVar(&cfg.trace, "trace", "", "with -run: write a Chrome trace (chrome://tracing) to this file")
+	flag.DurationVar(&cfg.watch, "watch", 0, `with -run: print live per-stage occupancy/latency every interval (e.g. "500ms") and watch for weight drift`)
 	flag.BoolVar(&cfg.stats, "stats", false, "report scheduler metrics (table, or obs report in -json mode)")
 	flag.BoolVar(&cfg.explain, "explain", false, "print the decision-trace narrative after the schedules")
 	flag.StringVar(&cfg.traceSched, "trace-sched", "", "write the decision journal (JSONL + .chrome.json view) to this file")
@@ -179,6 +183,12 @@ func mainErr(cfg config) error {
 	}
 	if cfg.trace != "" && !cfg.run {
 		return fmt.Errorf("-trace requires -run: the Chrome trace records the streampu pipeline execution (pass -run, or drop -trace)")
+	}
+	if cfg.watch != 0 && !cfg.run {
+		return fmt.Errorf("-watch requires -run: the live view samples the streampu pipeline while it executes (pass -run, or drop -watch)")
+	}
+	if cfg.watch < 0 {
+		return fmt.Errorf("-watch must be a positive interval, got %v", cfg.watch)
 	}
 	if cfg.epsilon < 0 || math.IsNaN(cfg.epsilon) {
 		return fmt.Errorf("-epsilon must be a non-negative period slack, got %v", cfg.epsilon)
@@ -328,16 +338,37 @@ func mainErr(cfg config) error {
 				tracer = &streampu.Tracer{}
 				popt.Tracer = tracer
 			}
+			var sampler *streampu.Sampler
+			var drift *obs.DriftDetector
+			if cfg.watch > 0 || cfg.stats {
+				// The live telemetry lands under the strategy's slug, next to
+				// its planning series; the drift detector watches the
+				// schedule's own per-stage weights.
+				sreg := strategy.MetricsScope(sc, reg)
+				planned := make([]float64, len(sol.Stages))
+				for i, st := range sol.Stages {
+					planned[i] = chain.SumW(st.Start, st.End, st.Type)
+				}
+				drift = obs.NewDriftDetector(planned, obs.DriftConfig{}, sreg, runSpan)
+				sampler = streampu.NewSampler(sreg)
+				sampler.Drift = drift
+				popt.Sampler = sampler
+			}
 			pipe, err := streampu.New(streampu.TimedChain(chain), sol, popt)
 			if err != nil {
 				return err
 			}
+			stopWatch := startWatch(out, name, cfg.watch, sampler, drift)
 			st, err := pipe.Run(cfg.frames, nil)
+			stopWatch()
 			if err != nil {
 				return err
 			}
 			fmt.Fprintf(out, "# %s runtime: measured period %.1f, FPS %.0f (%d frames, %.2fs wall)\n",
 				name, st.PeriodMicros, st.Throughput(interframe), st.Frames, st.Elapsed.Seconds())
+			if n := drift.Detected(); n > 0 {
+				fmt.Fprintf(out, "# %s drift: %d drift_detected event(s) — live stage weights departed the plan\n", name, n)
+			}
 			tracer.RecordMetrics(reg.Sub(obs.Slug(name)))
 			if cfg.trace != "" {
 				f, err := os.Create(cfg.trace)
@@ -375,6 +406,59 @@ func mainErr(cfg config) error {
 		}
 	}
 	return nil
+}
+
+// startWatch launches the -watch loop: every interval it closes a
+// sampling window and prints one live telemetry line. The returned stop
+// function halts the loop, prints the final window and blocks until the
+// goroutine exits; it is a no-op func when watching is disabled.
+func startWatch(out io.Writer, name string, every time.Duration, s *streampu.Sampler, d *obs.DriftDetector) func() {
+	if every <= 0 || s == nil {
+		return func() {}
+	}
+	start := time.Now()
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case now := <-tick.C:
+				printWatch(out, name, now.Sub(start), s.Sample(now), d)
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		wg.Wait()
+		now := time.Now()
+		printWatch(out, name, now.Sub(start), s.Sample(now), d)
+	}
+}
+
+// printWatch renders one live telemetry line: per-stage windowed
+// occupancy and weight estimate plus the cumulative p95 latency, all in
+// the modeled time base, with a trailing drift marker once any
+// drift_detected event fired.
+func printWatch(out io.Writer, name string, elapsed time.Duration, snap []streampu.StageSample, d *obs.DriftDetector) {
+	if len(snap) == 0 {
+		return
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s watch +%.1fs", name, elapsed.Seconds())
+	for _, ss := range snap {
+		fmt.Fprintf(&b, " | s%d×%d occ %3.0f%% w %.0fµs p95 %.0fµs",
+			ss.Stage, ss.Workers, 100*ss.Occupancy, ss.WeightEstimate, ss.P95)
+	}
+	if n := d.Detected(); n > 0 {
+		fmt.Fprintf(&b, " | drift ×%d", n)
+	}
+	fmt.Fprintln(out, b.String())
 }
 
 // replanDemo drives -replan: a deterministic stream of n tail reweighs
@@ -491,12 +575,18 @@ func emitStats(out io.Writer, reg *obs.Registry, asJSON bool) error {
 	for _, s := range reg.Snapshot() {
 		value := "-"
 		switch s.Kind {
-		case obs.KindGauge:
+		case obs.KindGauge, obs.KindEWMA, obs.KindRate:
 			value = fmt.Sprintf("%g", s.Value)
 		case obs.KindTimer:
 			value = fmt.Sprintf("%.3fms total", float64(s.TotalNs)/1e6)
 		case obs.KindHistogram:
 			value = fmt.Sprintf("%d above top bucket", s.Overflow)
+		case obs.KindLogHistogram:
+			if q := s.Quantiles; q != nil {
+				value = fmt.Sprintf("p50 %.1f p95 %.1f p99 %.1f", q.P50, q.P95, q.P99)
+			}
+		case obs.KindSeries:
+			value = fmt.Sprintf("%g (last of %d)", s.Value, s.Count)
 		}
 		t.AddRow(s.Name, string(s.Kind), s.Count, value)
 	}

@@ -1,11 +1,13 @@
 package main
 
 import (
+	"bytes"
 	"math"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"ampsched/internal/core"
 	"ampsched/internal/experiments"
@@ -121,6 +123,42 @@ func TestMainErrTraceRequiresRun(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "-trace requires -run") {
 		t.Errorf("error %q does not name the required flag combination", err)
+	}
+}
+
+func TestMainErrWatch(t *testing.T) {
+	// -watch without -run is rejected, like -trace.
+	err := mainErr(config{input: "testdata/chain.json", big: 2, little: 2,
+		strategy: "herad", frames: 10, scale: 1, interframe: 1,
+		watch: 50 * time.Millisecond})
+	if err == nil {
+		t.Fatal("-watch without -run accepted")
+	}
+	if !strings.Contains(err.Error(), "-watch requires -run") {
+		t.Errorf("error %q does not name the required flag combination", err)
+	}
+	// Live view during -run: at least the final window line must appear,
+	// with per-stage occupancy and weight estimates.
+	var buf bytes.Buffer
+	if err := mainErr(config{input: "testdata/chain.json", big: 2, little: 2,
+		strategy: "herad", run: true, frames: 60, scale: 1, interframe: 1,
+		watch: 20 * time.Millisecond, out: &buf}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "watch +") || !strings.Contains(out, "occ") || !strings.Contains(out, "p95") {
+		t.Errorf("no live telemetry line in output:\n%s", out)
+	}
+	// -watch composes with -stats: the sampler publishes series under the
+	// strategy slug and the stats table includes them.
+	buf.Reset()
+	if err := mainErr(config{input: "testdata/chain.json", big: 2, little: 2,
+		strategy: "herad", run: true, frames: 40, scale: 1, interframe: 1,
+		watch: 20 * time.Millisecond, stats: true, out: &buf}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "streampu.latency_us.stage0") {
+		t.Errorf("stats output missing sampled latency series:\n%s", buf.String())
 	}
 }
 

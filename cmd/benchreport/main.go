@@ -20,8 +20,9 @@
 //
 // Usage:
 //
-//	benchreport [-o BENCH_PR7.json] [-benchtime 100ms] [-match herad]
-//	            [-baseline BENCH_PR7.json] [-maxregress 25] [-list]
+//	benchreport [-o BENCH_PR8.json] [-benchtime 100ms] [-match herad]
+//	            [-baseline BENCH_PR8.json] [-maxregress 25] [-list]
+//	            [-statusz statusz.json]
 //	            [-cpuprofile cpu.prof] [-memprofile mem.prof]
 package main
 
@@ -38,9 +39,12 @@ import (
 
 	"ampsched/internal/chaingen"
 	"ampsched/internal/core"
+	"ampsched/internal/desim"
 	"ampsched/internal/herad"
 	"ampsched/internal/obs"
+	obshttp "ampsched/internal/obs/http"
 	"ampsched/internal/strategy"
+	"ampsched/internal/streampu"
 	"ampsched/internal/trace"
 )
 
@@ -88,17 +92,18 @@ type gateOptions struct {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_PR7.json", "report output path")
+	out := flag.String("o", "BENCH_PR8.json", "report output path")
 	benchtime := flag.Duration("benchtime", 100*time.Millisecond, "target measuring time per benchmark")
 	match := flag.String("match", "", "run only benchmarks whose name contains this substring")
 	baseline := flag.String("baseline", "", "committed report to gate guarded benchmarks against")
 	maxRegress := flag.Float64("maxregress", 25, "allowed calibrated slowdown vs -baseline, percent")
 	list := flag.Bool("list", false, "list benchmark names and exit")
+	statusz := flag.String("statusz", "", "write a /statusz JSON snapshot of a representative instrumented run to this file")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the benchmark run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	flag.Parse()
 	g := gateOptions{baseline: *baseline, maxRegress: *maxRegress}
-	if err := run(*out, *benchtime, *match, g, *list, *cpuProfile, *memProfile); err != nil {
+	if err := run(*out, *benchtime, *match, g, *list, *statusz, *cpuProfile, *memProfile); err != nil {
 		fmt.Fprintln(os.Stderr, "benchreport:", err)
 		os.Exit(1)
 	}
@@ -108,7 +113,7 @@ func main() {
 // the CPU profile covers the whole benchmark run, the heap profile is
 // taken at exit — so scaling-sweep hotspots can be profiled directly from
 // the bench harness the numbers come from).
-func run(out string, benchtime time.Duration, match string, g gateOptions, list bool, cpuProfile, memProfile string) (err error) {
+func run(out string, benchtime time.Duration, match string, g gateOptions, list bool, statusz, cpuProfile, memProfile string) (err error) {
 	if cpuProfile != "" {
 		f, cerr := os.Create(cpuProfile)
 		if cerr != nil {
@@ -135,10 +140,10 @@ func run(out string, benchtime time.Duration, match string, g gateOptions, list 
 			}
 		}()
 	}
-	return mainErr(out, benchtime, match, g, list, os.Stdout)
+	return mainErr(out, benchtime, match, g, list, statusz, os.Stdout)
 }
 
-func mainErr(out string, benchtime time.Duration, match string, g gateOptions, list bool, w io.Writer) error {
+func mainErr(out string, benchtime time.Duration, match string, g gateOptions, list bool, statusz string, w io.Writer) error {
 	benches := benchmarks()
 	if match != "" {
 		kept := benches[:0]
@@ -199,7 +204,51 @@ func mainErr(out string, benchtime time.Duration, match string, g gateOptions, l
 			return err
 		}
 	}
+	if statusz != "" {
+		if err := writeStatusz(statusz); err != nil {
+			return fmt.Errorf("statusz: %w", err)
+		}
+		fmt.Fprintf(w, "# statusz snapshot written to %s\n", statusz)
+	}
 	return nil
+}
+
+// writeStatusz produces the /statusz artifact CI publishes next to the
+// bench report: a deterministic instrumented run — one HeRAD schedule
+// with metrics, then a sampled desim execution feeding the drift
+// detector — snapshotted through the same WriteStatusz path the live
+// endpoint serves.
+func writeStatusz(path string) error {
+	reg := obs.NewRegistry()
+	c := chaingen.GenerateMany(chaingen.Default(20, 0.5), 7, 1)[0]
+	r := core.Res(4, 4)
+	sc := strategy.MustParse("herad")
+	sol := sc.Schedule(c, r, strategy.Options{Metrics: reg})
+	if sol.IsEmpty() {
+		return fmt.Errorf("no schedule for the statusz scenario")
+	}
+	sreg := strategy.MetricsScope(sc, reg)
+	planned := make([]float64, len(sol.Stages))
+	for i, st := range sol.Stages {
+		planned[i] = c.SumW(st.Start, st.End, st.Type)
+	}
+	d := obs.NewDriftDetector(planned, obs.DriftConfig{}, sreg, nil)
+	if _, err := desim.Simulate(c, sol, desim.Config{
+		Frames: 1000,
+		Steps:  []desim.WeightStep{{AfterFrame: 500, Stage: len(sol.Stages) - 1, Factor: 2}},
+		Sample: &desim.SampleConfig{Metrics: sreg, Drift: d},
+	}); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obshttp.WriteStatusz(f, "benchreport", reg); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // calibrateName is the normalization benchmark of the -baseline gate: a
@@ -382,6 +431,43 @@ func benchmarks() []bench {
 				reg.Counter("schedule.calls").Inc()
 				reg.Gauge("workers").Set(8)
 				reg.Timer("schedule.ns").Start()()
+			}
+		}},
+		{name: "obs/series/disabled", pinZero: true, fn: func(n int) {
+			var s *obs.Series
+			for i := 0; i < n; i++ {
+				s.Append(int64(i), 1.5)
+			}
+		}},
+		{name: "obs/series/enabled", fn: func(n int) {
+			s := obs.NewSeries(obs.DefaultSeriesCap)
+			for i := 0; i < n; i++ {
+				s.Append(int64(i), 1.5)
+			}
+		}},
+		{name: "obs/histogram/disabled", pinZero: true, fn: func(n int) {
+			var h *obs.LogHistogram
+			for i := 0; i < n; i++ {
+				h.Observe(float64(i%1000) + 0.5)
+			}
+		}},
+		{name: "obs/histogram/enabled", fn: func(n int) {
+			h := obs.NewLogHistogram()
+			for i := 0; i < n; i++ {
+				h.Observe(float64(i%1000) + 0.5)
+			}
+		}},
+		{name: "streampu/sampled/disabled", pinZero: true, fn: func(n int) {
+			var s *streampu.Sampler
+			for i := 0; i < n; i++ {
+				s.Record(0, time.Microsecond)
+			}
+		}},
+		{name: "streampu/sampled/enabled", fn: func(n int) {
+			s := streampu.NewSampler(nil)
+			s.BindStages([]int{1, 2}, 1, time.Now())
+			for i := 0; i < n; i++ {
+				s.Record(i%2, time.Microsecond)
 			}
 		}},
 		{name: "trace/journal_disabled", pinZero: true, fn: func(n int) {

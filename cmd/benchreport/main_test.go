@@ -8,6 +8,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	obshttp "ampsched/internal/obs/http"
 )
 
 func TestMainErrWritesReport(t *testing.T) {
@@ -15,7 +17,7 @@ func TestMainErrWritesReport(t *testing.T) {
 	var buf bytes.Buffer
 	// Tiny benchtime: the calibration loop still runs every benchmark at
 	// least twice (warm-up + measurement) so the report is complete.
-	if err := mainErr(out, time.Microsecond, "", gateOptions{}, false, &buf); err != nil {
+	if err := mainErr(out, time.Microsecond, "", gateOptions{}, false, "", &buf); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -60,7 +62,7 @@ func TestMainErrWritesReport(t *testing.T) {
 
 func TestMainErrList(t *testing.T) {
 	var buf bytes.Buffer
-	if err := mainErr("", 0, "", gateOptions{}, true, &buf); err != nil {
+	if err := mainErr("", 0, "", gateOptions{}, true, "", &buf); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Fields(buf.String())
@@ -77,7 +79,7 @@ func TestMainErrList(t *testing.T) {
 func TestMainErrBadOutputPath(t *testing.T) {
 	var buf bytes.Buffer
 	err := mainErr(filepath.Join(t.TempDir(), "missing-dir", "bench.json"),
-		time.Microsecond, "", gateOptions{}, false, &buf)
+		time.Microsecond, "", gateOptions{}, false, "", &buf)
 	if err == nil {
 		t.Fatal("unwritable output path accepted")
 	}
@@ -85,7 +87,7 @@ func TestMainErrBadOutputPath(t *testing.T) {
 
 func TestMainErrMatchFilters(t *testing.T) {
 	var buf bytes.Buffer
-	if err := mainErr("", 0, "herad/wavefront", gateOptions{}, true, &buf); err != nil {
+	if err := mainErr("", 0, "herad/wavefront", gateOptions{}, true, "", &buf); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Fields(buf.String())
@@ -171,16 +173,81 @@ func TestMainErrGateAgainstOwnReport(t *testing.T) {
 	// pass — zero regression by construction.
 	out := filepath.Join(t.TempDir(), "bench.json")
 	var buf bytes.Buffer
-	if err := mainErr(out, time.Microsecond, "herad", gateOptions{}, false, &buf); err != nil {
+	if err := mainErr(out, time.Microsecond, "herad", gateOptions{}, false, "", &buf); err != nil {
 		t.Fatal(err)
 	}
 	buf.Reset()
 	out2 := filepath.Join(t.TempDir(), "bench2.json")
-	err := mainErr(out2, time.Microsecond, "herad", gateOptions{baseline: out, maxRegress: 400}, false, &buf)
+	err := mainErr(out2, time.Microsecond, "herad", gateOptions{baseline: out, maxRegress: 400}, false, "", &buf)
 	if err != nil {
 		t.Fatalf("self-gate failed: %v\n%s", err, buf.String())
 	}
 	if !strings.Contains(buf.String(), "# gate:") {
 		t.Errorf("gate produced no comparison lines:\n%s", buf.String())
+	}
+}
+
+func TestMainErrStatuszArtifact(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "bench.json")
+	statusz := filepath.Join(dir, "statusz.json")
+	var buf bytes.Buffer
+	if err := mainErr(out, time.Microsecond, "obs/", gateOptions{}, false, statusz, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(statusz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc obshttp.Statusz
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("statusz is not valid JSON: %v", err)
+	}
+	if doc.Tool != "benchreport" || len(doc.Metrics) == 0 {
+		t.Fatalf("statusz doc = %+v", doc)
+	}
+	// The scenario's sampled series and drift counters are present under
+	// the strategy slug.
+	var names []string
+	for _, m := range doc.Metrics {
+		names = append(names, m.Name)
+	}
+	joined := strings.Join(names, " ")
+	for _, want := range []string{"herad.desim.latency_us", "herad.desim.weight.stage0", "herad.drift.detected"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("statusz missing %q in:\n%s", want, joined)
+		}
+	}
+	// The simulated telemetry is deterministic: re-running the scenario
+	// reproduces the sampled series and drift counters exactly. (Wall-clock
+	// timers from the scheduler are excluded — they are the one
+	// nondeterministic family in the snapshot.)
+	statusz2 := filepath.Join(dir, "statusz2.json")
+	if err := writeStatusz(statusz2); err != nil {
+		t.Fatal(err)
+	}
+	again, err := os.ReadFile(statusz2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc2 obshttp.Statusz
+	if err := json.Unmarshal(again, &doc2); err != nil {
+		t.Fatal(err)
+	}
+	sampled := func(doc obshttp.Statusz) []byte {
+		var keep []any
+		for _, m := range doc.Metrics {
+			if strings.Contains(m.Name, "desim.") || strings.Contains(m.Name, "drift.") {
+				keep = append(keep, m)
+			}
+		}
+		b, err := json.Marshal(keep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	if a, b := sampled(doc), sampled(doc2); !bytes.Equal(a, b) {
+		t.Errorf("sampled telemetry differs between identical scenarios:\n%s\n---\n%s", a, b)
 	}
 }

@@ -37,6 +37,14 @@ type Config struct {
 	Jitter float64
 	// Seed seeds the jitter generator (0 uses a fixed default).
 	Seed int64
+	// Steps optionally perturb stage service times mid-stream (see
+	// WeightStep) — the simulator's way to model drift the planner did not
+	// anticipate.
+	Steps []WeightStep
+	// Sample, when set, enables deterministic sim-clock sampling: windowed
+	// occupancy/weight series, an end-to-end latency histogram and drift
+	// detection driven purely by the simulated clock (see SampleConfig).
+	Sample *SampleConfig
 }
 
 // DefaultConfig simulates 2000 frames with a 500-frame warmup and
@@ -61,6 +69,9 @@ type Result struct {
 	StageUtilization []float64
 	// Frames is the number of simulated frames.
 	Frames int
+	// SamplesTaken is the number of sampling windows emitted (0 unless
+	// Config.Sample was set).
+	SamplesTaken int
 }
 
 // Throughput converts the simulated period into frames per second given
@@ -95,6 +106,14 @@ func Simulate(c *core.Chain, sol core.Solution, cfg Config) (Result, error) {
 			return Result{}, fmt.Errorf("desim: jitter %v outside [0,1)", cfg.Jitter)
 		}
 	}
+	for _, stp := range cfg.Steps {
+		if stp.Stage < 0 || stp.Stage >= len(sol.Stages) {
+			return Result{}, fmt.Errorf("desim: weight step targets stage %d of %d", stp.Stage, len(sol.Stages))
+		}
+		if stp.Factor <= 0 {
+			return Result{}, fmt.Errorf("desim: weight step factor %v, want > 0", stp.Factor)
+		}
+	}
 	var jitterRng *rand.Rand
 	if cfg.Jitter > 0 {
 		seed := cfg.Seed
@@ -118,9 +137,11 @@ func Simulate(c *core.Chain, sol core.Solution, cfg Config) (Result, error) {
 	// (blocking after service: a worker holds its frame until handoff).
 	start := make([][]float64, m)
 	depart := make([][]float64, m)
+	svcArr := make([][]float64, m) // actual per-frame service times
 	for i := range start {
 		start[i] = make([]float64, cfg.Frames)
 		depart[i] = make([]float64, cfg.Frames)
+		svcArr[i] = make([]float64, cfg.Frames)
 	}
 
 	for k := 0; k < cfg.Frames; k++ {
@@ -142,9 +163,15 @@ func Simulate(c *core.Chain, sol core.Solution, cfg Config) (Result, error) {
 			// nothing extra is needed here.
 			start[i][k] = arr
 			svc := service[i]
+			for _, stp := range cfg.Steps {
+				if stp.Stage == i && k >= stp.AfterFrame {
+					svc *= stp.Factor
+				}
+			}
 			if jitterRng != nil {
 				svc *= 1 + cfg.Jitter*(2*jitterRng.Float64()-1)
 			}
+			svcArr[i][k] = svc
 			fin := arr + svc
 			depart[i][k] = fin
 		}
@@ -168,7 +195,7 @@ func Simulate(c *core.Chain, sol core.Solution, cfg Config) (Result, error) {
 				}
 				if arr > start[i][k] {
 					start[i][k] = arr
-					if f := arr + service[i]; f > depart[i][k] {
+					if f := arr + svcArr[i][k]; f > depart[i][k] {
 						depart[i][k] = f
 					}
 				}
@@ -203,6 +230,9 @@ func Simulate(c *core.Chain, sol core.Solution, cfg Config) (Result, error) {
 			continue
 		}
 		res.StageUtilization[i] = math.Min(1, busy/(span*float64(replicas[i])))
+	}
+	if cfg.Sample != nil {
+		res.SamplesTaken = samplePass(cfg, replicas, svcArr, start, depart, res.Makespan)
 	}
 	return res, nil
 }

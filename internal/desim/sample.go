@@ -1,0 +1,118 @@
+package desim
+
+import (
+	"math"
+
+	"ampsched/internal/obs"
+)
+
+// Sim-clock sampling: the simulator's analogue of streampu's live
+// Sampler. Because the simulation is a deterministic frame-indexed DP,
+// sampling is a pure post-pass over the recorded start/depart/service
+// arrays — windows are cut on the *simulated* clock, never the wall
+// clock, so every run of the same config produces bit-identical series,
+// histograms and drift events. This is the testbed for the drift
+// detector: a WeightStep injects the mid-stream weight change, the
+// sample pass replays it into obs, and the golden journal pins the
+// resulting drift_detected emission byte for byte.
+
+// WeightStep perturbs one stage's service time mid-stream: from frame
+// AfterFrame on, stage Stage's per-frame service time is multiplied by
+// Factor. Use it to model a platform slowdown (Factor > 1) or speedup
+// (Factor < 1) that the planner did not anticipate.
+type WeightStep struct {
+	AfterFrame int
+	Stage      int
+	Factor     float64
+}
+
+// SampleConfig enables deterministic sim-clock sampling of a run.
+type SampleConfig struct {
+	// Every is the sampling window width in the weight unit (µs). 0 picks
+	// makespan/16.
+	Every float64
+	// Metrics receives "desim.occupancy.stageN" / "desim.weight.stageN"
+	// series (one point per window, tick = window index) and the
+	// "desim.latency_us" end-to-end latency histogram. May be nil.
+	Metrics *obs.Registry
+	// Drift receives one windowed weight estimate per (window, stage) with
+	// frames in that window, in deterministic window-major order. May be
+	// nil.
+	Drift *obs.DriftDetector
+	// SeriesCap is the ring capacity of the emitted series (0 = default).
+	SeriesCap int
+}
+
+// desimWeightNames / desimOccNames intern the per-stage series names so
+// repeated simulations don't rebuild them.
+var (
+	desimWeightNames = obs.NewNameTable("desim.weight.stage")
+	desimOccNames    = obs.NewNameTable("desim.occupancy.stage")
+)
+
+// samplePass cuts the simulated timeline into fixed windows and emits
+// per-window per-stage occupancy and weight estimates plus the
+// end-to-end latency histogram. A frame's service time is attributed to
+// the window its stage departure falls in. Returns the number of windows
+// emitted.
+func samplePass(cfg Config, replicas []int, svc, start, depart [][]float64, makespan float64) int {
+	s := cfg.Sample
+	every := s.Every
+	if every <= 0 {
+		every = makespan / 16
+	}
+	if every <= 0 || makespan <= 0 {
+		return 0
+	}
+	m := len(svc)
+	nWin := int(makespan/every) + 1
+
+	busy := make([][]float64, m)
+	count := make([][]int64, m)
+	for i := 0; i < m; i++ {
+		busy[i] = make([]float64, nWin)
+		count[i] = make([]int64, nWin)
+		for k := 0; k < cfg.Frames; k++ {
+			w := int(depart[i][k] / every)
+			if w >= nWin {
+				w = nWin - 1
+			}
+			busy[i][w] += svc[i][k]
+			count[i][w]++
+		}
+	}
+
+	if s.Metrics != nil {
+		lh := s.Metrics.LogHistogram("desim.latency_us")
+		for k := 0; k < cfg.Frames; k++ {
+			lh.Observe(depart[m-1][k] - start[0][k])
+		}
+	}
+
+	for w := 0; w < nWin; w++ {
+		width := every
+		if end := float64(w+1) * every; end > makespan {
+			width = makespan - float64(w)*every
+		}
+		for i := 0; i < m; i++ {
+			est := 0.0
+			if count[i][w] > 0 {
+				est = busy[i][w] / float64(count[i][w])
+			}
+			if s.Metrics != nil {
+				occ := 0.0
+				if width > 0 {
+					occ = math.Min(1, busy[i][w]/(width*float64(replicas[i])))
+				}
+				s.Metrics.Series(desimOccNames.Name(i), s.SeriesCap).Append(int64(w), occ)
+				if count[i][w] > 0 {
+					s.Metrics.Series(desimWeightNames.Name(i), s.SeriesCap).Append(int64(w), est)
+				}
+			}
+			if count[i][w] > 0 {
+				s.Drift.Observe(i, int64(w), est)
+			}
+		}
+	}
+	return nWin
+}

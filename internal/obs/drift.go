@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"strconv"
+	"sync"
+
+	"ampsched/internal/trace"
+)
+
+// Drift detection: the bridge between live telemetry and the online
+// re-planner. A DriftDetector watches a stream of windowed per-stage
+// weight (or occupancy) estimates — produced by the streampu Sampler in
+// wall time or by desim's sim-clock sampler — EWMA-smooths each stage's
+// stream, and fires when the smoothed estimate departs from the planned
+// value by more than a relative threshold. Firing is edge-triggered with
+// hysteresis: one "drift_detected" trace event plus one counter
+// increment per excursion, re-arming only after the estimate returns
+// within the threshold, so a persistent weight step produces exactly one
+// deterministic event per affected stage. All arithmetic is plain
+// float64 folds in call order: a deterministic sample stream yields a
+// byte-identical journal.
+
+// DriftEvent is the trace event name a DriftDetector emits; the online
+// re-planner (ROADMAP) subscribes to exactly this signal.
+const DriftEvent = "drift_detected"
+
+// DriftConfig parameterizes a DriftDetector. The zero value selects the
+// documented defaults.
+type DriftConfig struct {
+	// Threshold is the relative deviation |est−planned|/planned that
+	// trips the detector. Defaults to 0.25.
+	Threshold float64
+	// Alpha is the EWMA smoothing factor of the per-stage estimate.
+	// Defaults to DefaultEWMAAlpha.
+	Alpha float64
+	// MinSamples is the number of samples a stage must accumulate before
+	// it may fire — the warmup guard against cold-start transients.
+	// Defaults to 3.
+	MinSamples int
+}
+
+func (c DriftConfig) withDefaults() DriftConfig {
+	if c.Threshold <= 0 {
+		c.Threshold = 0.25
+	}
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		c.Alpha = DefaultEWMAAlpha
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 3
+	}
+	return c
+}
+
+// DriftDetector watches per-stage estimate streams against planned
+// values. Create with NewDriftDetector; a nil *DriftDetector is the
+// disabled sink — every method is a no-op. Observe calls are serialized
+// internally, but determinism additionally requires the caller to feed
+// samples in a deterministic order (one sampler goroutine, or the
+// sim-clock post-pass).
+type DriftDetector struct {
+	mu      sync.Mutex
+	cfg     DriftConfig
+	planned []float64
+	est     []float64
+	n       []int
+	drifted []bool
+	fired   int64
+
+	span     *trace.Span
+	detected *Counter
+	samples  *Counter
+	gauges   []*Gauge // per-stage smoothed estimate, names interned at build
+}
+
+// NewDriftDetector builds a detector for len(planned) stages. planned
+// holds each stage's expected per-frame weight (model µs) or occupancy —
+// whatever unit the caller's estimates use. reg (may be nil) receives
+// "drift.detected" / "drift.samples" counters and one interned
+// "drift.estimate.stage<N>" gauge per stage; callers scope it per
+// strategy slug (strategy.MetricsScope) so concurrent pipelines keep
+// separate counters. sp (may be nil) receives the drift_detected events.
+func NewDriftDetector(planned []float64, cfg DriftConfig, reg *Registry, sp *trace.Span) *DriftDetector {
+	d := &DriftDetector{
+		cfg:     cfg.withDefaults(),
+		planned: append([]float64(nil), planned...),
+		est:     make([]float64, len(planned)),
+		n:       make([]int, len(planned)),
+		drifted: make([]bool, len(planned)),
+		span:    sp,
+	}
+	if reg != nil {
+		d.detected = reg.Counter("drift.detected")
+		d.samples = reg.Counter("drift.samples")
+		d.gauges = make([]*Gauge, len(planned))
+		for i := range d.gauges {
+			d.gauges[i] = reg.Gauge("drift.estimate.stage" + strconv.Itoa(i))
+		}
+	}
+	return d
+}
+
+// Observe folds one windowed estimate for stage at the given tick and
+// reports whether a drift_detected event fired. Out-of-range stages and
+// nil receivers are no-ops.
+func (d *DriftDetector) Observe(stage int, tick int64, value float64) bool {
+	if d == nil || stage < 0 || stage >= len(d.planned) {
+		return false
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.samples.Inc()
+	if d.n[stage] == 0 {
+		d.est[stage] = value
+	} else {
+		d.est[stage] = d.cfg.Alpha*value + (1-d.cfg.Alpha)*d.est[stage]
+	}
+	d.n[stage]++
+	d.setGauge(stage)
+	if d.n[stage] < d.cfg.MinSamples {
+		return false
+	}
+	dev := relDeviation(d.est[stage], d.planned[stage])
+	if dev > d.cfg.Threshold {
+		if d.drifted[stage] {
+			return false // still in the same excursion
+		}
+		d.drifted[stage] = true
+		d.fired++
+		d.detected.Inc()
+		d.span.Event(DriftEvent).
+			Int("stage", stage).
+			Int("tick", int(tick)).
+			F64("planned", d.planned[stage]).
+			F64("estimate", d.est[stage]).
+			F64("deviation", dev)
+		return true
+	}
+	d.drifted[stage] = false // re-arm once back within threshold
+	return false
+}
+
+func (d *DriftDetector) setGauge(stage int) {
+	if d.gauges != nil {
+		d.gauges[stage].Set(d.est[stage])
+	}
+}
+
+// relDeviation returns |est−planned|/planned, treating a non-positive
+// planned value as drifted only when the estimate is positive.
+func relDeviation(est, planned float64) float64 {
+	if planned <= 0 {
+		if est > 0 {
+			return 1
+		}
+		return 0
+	}
+	dev := (est - planned) / planned
+	if dev < 0 {
+		dev = -dev
+	}
+	return dev
+}
+
+// Estimate returns stage's current smoothed estimate (0 when unknown or
+// on a nil receiver).
+func (d *DriftDetector) Estimate(stage int) float64 {
+	if d == nil || stage < 0 || stage >= len(d.planned) {
+		return 0
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.est[stage]
+}
+
+// Estimates returns a copy of all smoothed per-stage estimates (nil on a
+// nil receiver) — the warm inputs a re-planner would feed back into
+// strategy.ReplanBatch.
+func (d *DriftDetector) Estimates() []float64 {
+	if d == nil {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]float64(nil), d.est...)
+}
+
+// Detected returns the number of drift events fired so far (0 on a nil
+// receiver).
+func (d *DriftDetector) Detected() int64 {
+	if d == nil {
+		return 0
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.fired
+}

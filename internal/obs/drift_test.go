@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+
+	"ampsched/internal/trace"
+)
+
+func TestDriftFiresOncePerExcursion(t *testing.T) {
+	reg := NewRegistry().Sub("herad")
+	j := trace.New()
+	d := NewDriftDetector([]float64{100}, DriftConfig{Threshold: 0.25, Alpha: 0.5, MinSamples: 2}, reg, j.Root())
+
+	// On-plan samples: never fires.
+	for i := 0; i < 5; i++ {
+		if d.Observe(0, int64(i), 100) {
+			t.Fatalf("fired on on-plan sample %d", i)
+		}
+	}
+	// Step to 200: EWMA(0.5) reaches 150 after one sample (dev 0.5 > 0.25).
+	fired := 0
+	for i := 5; i < 10; i++ {
+		if d.Observe(0, int64(i), 200) {
+			fired++
+		}
+	}
+	if fired != 1 {
+		t.Fatalf("persistent step fired %d times, want exactly 1", fired)
+	}
+	if d.Detected() != 1 {
+		t.Fatalf("Detected = %d", d.Detected())
+	}
+	if got := reg.Counter("drift.detected").Value(); got != 1 {
+		t.Fatalf("drift.detected counter = %d", got)
+	}
+	if got := reg.Counter("drift.samples").Value(); got != 10 {
+		t.Fatalf("drift.samples counter = %d", got)
+	}
+	if est := d.Estimate(0); est < 150 || est > 200 {
+		t.Fatalf("estimate = %v", est)
+	}
+
+	// Recover to plan: re-arms silently, then a second excursion fires again.
+	for i := 10; i < 25; i++ {
+		if d.Observe(0, int64(i), 100) {
+			t.Fatalf("fired while recovering at sample %d", i)
+		}
+	}
+	fired = 0
+	for i := 25; i < 30; i++ {
+		if d.Observe(0, int64(i), 300) {
+			fired++
+		}
+	}
+	if fired != 1 || d.Detected() != 2 {
+		t.Fatalf("second excursion fired %d times (total %d), want 1 (2)", fired, d.Detected())
+	}
+
+	var buf bytes.Buffer
+	if err := j.WriteExplain(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if n := bytes.Count(buf.Bytes(), []byte(DriftEvent)); n != 2 {
+		t.Fatalf("journal holds %d %s events:\n%s", n, DriftEvent, buf.String())
+	}
+}
+
+func TestDriftMinSamplesGuards(t *testing.T) {
+	d := NewDriftDetector([]float64{10}, DriftConfig{MinSamples: 4}, nil, nil)
+	for i := 0; i < 3; i++ {
+		if d.Observe(0, int64(i), 100) {
+			t.Fatalf("fired during warmup sample %d", i)
+		}
+	}
+	if !d.Observe(0, 3, 100) {
+		t.Fatal("did not fire once MinSamples reached")
+	}
+}
+
+func TestDriftBelowEstimateFires(t *testing.T) {
+	d := NewDriftDetector([]float64{100}, DriftConfig{Threshold: 0.25, Alpha: 1, MinSamples: 1}, nil, nil)
+	if !d.Observe(0, 0, 50) {
+		t.Fatal("50 vs planned 100 (dev 0.5) did not fire")
+	}
+}
+
+func TestDriftZeroPlannedStage(t *testing.T) {
+	d := NewDriftDetector([]float64{0}, DriftConfig{Alpha: 1, MinSamples: 1}, nil, nil)
+	if d.Observe(0, 0, 0) {
+		t.Fatal("zero estimate vs zero plan fired")
+	}
+	if !d.Observe(0, 1, 5) {
+		t.Fatal("positive estimate vs zero plan did not fire")
+	}
+}
+
+func TestDriftNilAndOutOfRange(t *testing.T) {
+	var d *DriftDetector
+	if d.Observe(0, 0, 1) || d.Detected() != 0 || d.Estimate(0) != 0 || d.Estimates() != nil {
+		t.Error("nil detector not inert")
+	}
+	real := NewDriftDetector([]float64{1, 2}, DriftConfig{}, nil, nil)
+	if real.Observe(-1, 0, 1) || real.Observe(2, 0, 1) {
+		t.Error("out-of-range stage fired")
+	}
+	if got := real.Estimates(); len(got) != 2 {
+		t.Errorf("Estimates = %v", got)
+	}
+}
+
+func TestDriftEstimateGaugesExported(t *testing.T) {
+	reg := NewRegistry()
+	d := NewDriftDetector([]float64{10, 20}, DriftConfig{Alpha: 1, MinSamples: 1}, reg, nil)
+	d.Observe(0, 0, 11)
+	d.Observe(1, 0, 19)
+	if v := reg.Gauge("drift.estimate.stage0").Value(); v != 11 {
+		t.Errorf("stage0 gauge = %v", v)
+	}
+	if v := reg.Gauge("drift.estimate.stage1").Value(); v != 19 {
+		t.Errorf("stage1 gauge = %v", v)
+	}
+}

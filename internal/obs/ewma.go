@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Windowed EWMA gauges: exponentially weighted moving averages over a
+// stream of samples (EWMA) and over per-window event rates (Rate). Both
+// are lock-free — a CAS loop over the packed float — and allocation-free
+// on the update path, and both are deterministic for a deterministic
+// sample stream: the fold order is the caller's call order.
+
+// EWMA smooths a sample stream: after n updates its value is
+// α·vₙ + (1−α)·value_{n−1}, seeded by the first sample. Create via
+// Registry.EWMA or NewEWMA; a nil *EWMA is the disabled sink.
+type EWMA struct {
+	alpha float64
+	bits  atomic.Uint64
+	n     atomic.Int64
+}
+
+// DefaultEWMAAlpha is the smoothing factor used when a non-positive or
+// out-of-range one is requested: each new sample carries 20% weight, so
+// the estimate reaches ~90% of a level shift within ten samples.
+const DefaultEWMAAlpha = 0.2
+
+// NewEWMA returns a standalone EWMA with the given smoothing factor
+// (DefaultEWMAAlpha when alpha is outside (0, 1]).
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 || alpha > 1 || math.IsNaN(alpha) {
+		alpha = DefaultEWMAAlpha
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Update folds one sample into the average. The first sample seeds the
+// value directly. No-op on a nil receiver; never allocates. Concurrent
+// updates are safe but fold in scheduling order — producers that need a
+// deterministic estimate must serialize their updates (the repository's
+// samplers do).
+func (e *EWMA) Update(v float64) {
+	if e == nil {
+		return
+	}
+	if e.n.Add(1) == 1 {
+		e.bits.Store(math.Float64bits(v))
+		return
+	}
+	for {
+		old := e.bits.Load()
+		next := e.alpha*v + (1-e.alpha)*math.Float64frombits(old)
+		if e.bits.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// Value returns the current average (0 before any update or on a nil
+// receiver).
+func (e *EWMA) Value() float64 {
+	if e == nil {
+		return 0
+	}
+	return math.Float64frombits(e.bits.Load())
+}
+
+// Count returns the number of samples folded in (0 on a nil receiver).
+func (e *EWMA) Count() int64 {
+	if e == nil {
+		return 0
+	}
+	return e.n.Load()
+}
+
+// Rate is a windowed EWMA rate gauge: producers Mark events as they
+// happen, a sampler calls Tick at window boundaries with the window's
+// tick width, and Value reports the EWMA-smoothed events-per-tick rate.
+// The tick unit is the caller's clock (sim time, wall ns, sample index).
+// Create via Registry.Rate or NewRate; a nil *Rate is the disabled sink.
+type Rate struct {
+	marks atomic.Int64 // events since the last Tick
+	total atomic.Int64 // events ever marked
+	ewma  *EWMA
+}
+
+// NewRate returns a standalone rate gauge with the given EWMA smoothing
+// factor (DefaultEWMAAlpha when out of range).
+func NewRate(alpha float64) *Rate { return &Rate{ewma: NewEWMA(alpha)} }
+
+// Mark records n events. No-op on a nil receiver; never allocates.
+func (r *Rate) Mark(n int64) {
+	if r == nil {
+		return
+	}
+	r.marks.Add(n)
+	r.total.Add(n)
+}
+
+// Tick closes one window of the given width (in the caller's tick unit),
+// folds the window's events-per-tick into the EWMA and resets the window
+// counter. Non-positive widths are ignored. Returns the instantaneous
+// window rate (0 on a nil receiver).
+func (r *Rate) Tick(width float64) float64 {
+	if r == nil || width <= 0 {
+		return 0
+	}
+	inst := float64(r.marks.Swap(0)) / width
+	r.ewma.Update(inst)
+	return inst
+}
+
+// Value returns the smoothed events-per-tick rate (0 on a nil receiver).
+func (r *Rate) Value() float64 {
+	if r == nil {
+		return 0
+	}
+	return r.ewma.Value()
+}
+
+// Total returns the number of events ever marked (0 on a nil receiver).
+func (r *Rate) Total() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.total.Load()
+}

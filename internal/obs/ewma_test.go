@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEWMAFold(t *testing.T) {
+	e := NewEWMA(0.5)
+	e.Update(10)
+	if e.Value() != 10 {
+		t.Fatalf("seed = %v, want 10", e.Value())
+	}
+	e.Update(20) // 0.5·20 + 0.5·10 = 15
+	if e.Value() != 15 {
+		t.Fatalf("after second update = %v, want 15", e.Value())
+	}
+	if e.Count() != 2 {
+		t.Fatalf("count = %d", e.Count())
+	}
+}
+
+func TestEWMADefaultAlpha(t *testing.T) {
+	for _, bad := range []float64{0, -1, 2, math.NaN()} {
+		e := NewEWMA(bad)
+		if e.alpha != DefaultEWMAAlpha {
+			t.Errorf("alpha(%v) = %v, want default", bad, e.alpha)
+		}
+	}
+}
+
+func TestEWMAConvergesToStep(t *testing.T) {
+	e := NewEWMA(0.2)
+	for i := 0; i < 100; i++ {
+		e.Update(5)
+	}
+	if math.Abs(e.Value()-5) > 1e-9 {
+		t.Fatalf("steady state = %v, want 5", e.Value())
+	}
+	for i := 0; i < 50; i++ {
+		e.Update(8) // level shift
+	}
+	if math.Abs(e.Value()-8) > 1e-3 {
+		t.Fatalf("after shift = %v, want ≈8", e.Value())
+	}
+}
+
+func TestRateWindows(t *testing.T) {
+	r := NewRate(1) // alpha 1: Value tracks the last window exactly
+	r.Mark(10)
+	if inst := r.Tick(2); inst != 5 {
+		t.Fatalf("inst rate = %v, want 5", inst)
+	}
+	if r.Value() != 5 {
+		t.Fatalf("value = %v, want 5", r.Value())
+	}
+	r.Mark(3)
+	r.Tick(1)
+	if r.Value() != 3 || r.Total() != 13 {
+		t.Fatalf("value = %v total = %d", r.Value(), r.Total())
+	}
+	if r.Tick(0) != 0 || r.Tick(-1) != 0 {
+		t.Error("non-positive window width not ignored")
+	}
+}
+
+func TestEWMARateNilSafe(t *testing.T) {
+	var e *EWMA
+	e.Update(3)
+	if e.Value() != 0 || e.Count() != 0 {
+		t.Error("nil EWMA not inert")
+	}
+	var r *Rate
+	r.Mark(3)
+	if r.Tick(1) != 0 || r.Value() != 0 || r.Total() != 0 {
+		t.Error("nil Rate not inert")
+	}
+	var reg *Registry
+	if reg.EWMA("x", 0.5) != nil || reg.Rate("y", 0.5) != nil {
+		t.Error("nil registry handed out EWMA/Rate")
+	}
+}
+
+func TestEWMARateRegistryAndAllocs(t *testing.T) {
+	reg := NewRegistry()
+	e := reg.EWMA("occ", 0.5)
+	e.Update(0.75)
+	ra := reg.Rate("fps", 0.5)
+	ra.Mark(4)
+	ra.Tick(2)
+	snap := reg.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if snap[1].Kind != KindEWMA || snap[1].Value != 0.75 || snap[1].Count != 1 {
+		t.Errorf("ewma sample = %+v", snap[1])
+	}
+	if snap[0].Kind != KindRate || snap[0].Value != 2 || snap[0].Count != 4 {
+		t.Errorf("rate sample = %+v", snap[0])
+	}
+	var nilE *EWMA
+	if n := testing.AllocsPerRun(100, func() { nilE.Update(1) }); n != 0 {
+		t.Errorf("nil Update allocates %v/op", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { e.Update(1); ra.Mark(1) }); n != 0 {
+		t.Errorf("enabled Update/Mark allocates %v/op", n)
+	}
+}

@@ -13,6 +13,7 @@
 package obshttp
 
 import (
+	"encoding/json"
 	"expvar"
 	"fmt"
 	"net"
@@ -41,6 +42,12 @@ func NewHandler(tool string, r *obs.Registry) http.Handler {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := WriteStatusz(w, tool, r); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -58,42 +65,82 @@ func index(w http.ResponseWriter, req *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprint(w, `ampsched observability endpoints:
-  /metrics       registry snapshot, plain text
+  /metrics       registry snapshot, Prometheus text exposition
   /metrics.json  registry snapshot, metrics.json report
+  /statusz       registry snapshot with series tails and quantiles, JSON
   /debug/vars    expvar JSON
   /debug/pprof/  pprof profiles
 `)
 }
 
-// WriteText renders r's snapshot in a Prometheus-flavored plain-text form:
-// one "name value" line per counter/gauge, "name_count"/"name_total_ns"
-// for timers, and cumulative "name_bucket{le="..."}" lines plus
-// "name_count" for histograms. Output is sorted by series name and
-// deterministic for identical registry states. A nil registry writes
-// nothing.
+// WriteText renders r's snapshot in the Prometheus text exposition
+// format: every family gets a "# TYPE" line; counters and gauges render
+// as single samples, timers as a pair of counters, histograms as
+// cumulative "_bucket"/"_sum"/"_count" families, log-bucketed histograms
+// as summaries with p50/p95/p99 quantile samples, series as a gauge (last
+// point) plus a "_samples_total" counter, and EWMA/rate estimators as
+// gauges. Output is sorted by series name and deterministic for identical
+// registry states. A nil registry writes nothing.
 func WriteText(w interface{ Write([]byte) (int, error) }, r *obs.Registry) {
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 	for _, s := range r.Snapshot() {
 		name := textName(s.Name)
 		switch s.Kind {
 		case obs.KindCounter:
+			fmt.Fprintf(w, "# TYPE %s counter\n", name)
 			fmt.Fprintf(w, "%s %d\n", name, s.Count)
-		case obs.KindGauge:
-			fmt.Fprintf(w, "%s %s\n", name, strconv.FormatFloat(s.Value, 'g', -1, 64))
+		case obs.KindGauge, obs.KindEWMA, obs.KindRate:
+			fmt.Fprintf(w, "# TYPE %s gauge\n", name)
+			fmt.Fprintf(w, "%s %s\n", name, f(s.Value))
 		case obs.KindTimer:
+			fmt.Fprintf(w, "# TYPE %s_count counter\n", name)
 			fmt.Fprintf(w, "%s_count %d\n", name, s.Count)
+			fmt.Fprintf(w, "# TYPE %s_total_ns counter\n", name)
 			fmt.Fprintf(w, "%s_total_ns %d\n", name, s.TotalNs)
 		case obs.KindHistogram:
+			fmt.Fprintf(w, "# TYPE %s histogram\n", name)
 			cum := int64(0)
 			for _, b := range s.Buckets {
 				cum += b.Count
-				fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name,
-					strconv.FormatFloat(b.LE, 'g', -1, 64), cum)
+				fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, f(b.LE), cum)
 			}
 			cum += s.Overflow
 			fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+			fmt.Fprintf(w, "%s_sum %s\n", name, f(s.Sum))
 			fmt.Fprintf(w, "%s_count %d\n", name, s.Count)
+		case obs.KindLogHistogram:
+			fmt.Fprintf(w, "# TYPE %s summary\n", name)
+			if q := s.Quantiles; q != nil {
+				fmt.Fprintf(w, "%s{quantile=\"0.5\"} %s\n", name, f(q.P50))
+				fmt.Fprintf(w, "%s{quantile=\"0.95\"} %s\n", name, f(q.P95))
+				fmt.Fprintf(w, "%s{quantile=\"0.99\"} %s\n", name, f(q.P99))
+			}
+			fmt.Fprintf(w, "%s_sum %s\n", name, f(s.Sum))
+			fmt.Fprintf(w, "%s_count %d\n", name, s.Count)
+		case obs.KindSeries:
+			fmt.Fprintf(w, "# TYPE %s gauge\n", name)
+			fmt.Fprintf(w, "%s %s\n", name, f(s.Value))
+			fmt.Fprintf(w, "# TYPE %s_samples_total counter\n", name)
+			fmt.Fprintf(w, "%s_samples_total %d\n", name, s.Count)
 		}
 	}
+}
+
+// Statusz is the /statusz document: the full deterministic registry
+// snapshot — including series tails and histogram quantiles — plus the
+// producing tool's name. It deliberately carries no timestamp so two
+// scrapes of the same state are byte-identical.
+type Statusz struct {
+	Tool    string       `json:"tool"`
+	Metrics []obs.Sample `json:"metrics"`
+}
+
+// WriteStatusz writes the /statusz JSON document for r. A nil registry
+// yields an empty metric list.
+func WriteStatusz(w interface{ Write([]byte) (int, error) }, tool string, r *obs.Registry) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(Statusz{Tool: tool, Metrics: r.Snapshot()})
 }
 
 // textName maps a dotted series name to the exposition-format convention:

@@ -1,0 +1,118 @@
+package obshttp
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Promtool-style lint for the /metrics exposition: a pure-Go validator
+// enforcing the subset of the Prometheus text format this package emits,
+// so CI can gate exposition changes without the promtool binary. It
+// checks that every line parses, metric and label names follow the
+// Prometheus conventions, every sample value is a float, and every
+// sample family is preceded by its "# TYPE" declaration with a valid
+// type.
+
+var (
+	// metricNameRE is the Prometheus metric-name charset ([a-z0-9_:],
+	// not starting with a digit). This repo emits lowercase only, so the
+	// lint is stricter than Prometheus itself (which also allows A-Z).
+	metricNameRE = regexp.MustCompile(`^[a-z_:][a-z0-9_:]*$`)
+	labelNameRE  = regexp.MustCompile(`^[a-z_][a-z0-9_]*$`)
+	// sampleRE splits a sample line into name, optional label block and
+	// value.
+	sampleRE = regexp.MustCompile(`^([^{ ]+)(?:\{([^}]*)\})? (\S+)$`)
+	labelRE  = regexp.MustCompile(`^([^=]+)="((?:[^"\\]|\\.)*)"$`)
+)
+
+var promTypes = map[string]bool{
+	"counter": true, "gauge": true, "histogram": true,
+	"summary": true, "untyped": true,
+}
+
+// Lint validates text as Prometheus exposition output and returns one
+// error per violation (nil when clean).
+func Lint(text string) []error {
+	var errs []error
+	typed := map[string]string{} // family -> declared type
+	fail := func(line int, format string, args ...any) {
+		errs = append(errs, fmt.Errorf("line %d: %s", line, fmt.Sprintf(format, args...)))
+	}
+	for i, line := range strings.Split(text, "\n") {
+		n := i + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) < 2 || (fields[1] != "TYPE" && fields[1] != "HELP") {
+				fail(n, "comment is neither # TYPE nor # HELP: %q", line)
+				continue
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					fail(n, "malformed TYPE line: %q", line)
+					continue
+				}
+				name, typ := fields[2], fields[3]
+				if !metricNameRE.MatchString(name) {
+					fail(n, "invalid metric name %q", name)
+				}
+				if !promTypes[typ] {
+					fail(n, "invalid metric type %q", typ)
+				}
+				if _, dup := typed[name]; dup {
+					fail(n, "duplicate TYPE declaration for %q", name)
+				}
+				typed[name] = typ
+			}
+			continue
+		}
+		m := sampleRE.FindStringSubmatch(line)
+		if m == nil {
+			fail(n, "unparsable sample line: %q", line)
+			continue
+		}
+		name, labels, value := m[1], m[2], m[3]
+		if !metricNameRE.MatchString(name) {
+			fail(n, "invalid metric name %q", name)
+		}
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			fail(n, "sample value %q is not a float", value)
+		}
+		if labels != "" {
+			for _, lbl := range strings.Split(labels, ",") {
+				lm := labelRE.FindStringSubmatch(lbl)
+				if lm == nil {
+					fail(n, "unparsable label %q", lbl)
+					continue
+				}
+				if !labelNameRE.MatchString(lm[1]) {
+					fail(n, "invalid label name %q", lm[1])
+				}
+			}
+		}
+		if _, ok := typed[lintFamily(name, typed)]; !ok {
+			fail(n, "sample %q has no preceding # TYPE declaration", name)
+		}
+	}
+	return errs
+}
+
+// lintFamily maps a sample name back to its declared family: histogram
+// and summary samples use the base name for their _bucket/_sum/_count
+// children.
+func lintFamily(name string, typed map[string]string) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base, ok := strings.CutSuffix(name, suffix)
+		if !ok {
+			continue
+		}
+		if t := typed[base]; t == "histogram" || t == "summary" {
+			return base
+		}
+	}
+	return name
+}

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -45,6 +46,14 @@ const (
 	KindGauge     Kind = "gauge"
 	KindTimer     Kind = "timer"
 	KindHistogram Kind = "histogram"
+	// KindLogHistogram marks streaming log-bucketed histograms with
+	// mergeable quantile snapshots (loghist.go).
+	KindLogHistogram Kind = "loghistogram"
+	// KindSeries marks fixed-capacity ring-buffer time series (series.go).
+	KindSeries Kind = "series"
+	// KindEWMA and KindRate mark the windowed EWMA gauges (ewma.go).
+	KindEWMA Kind = "ewma"
+	KindRate Kind = "rate"
 )
 
 // Counter is a monotonically increasing event count.
@@ -136,6 +145,7 @@ var DurationBucketsUs = []float64{1, 10, 100, 1e3, 1e4, 1e5, 1e6, 1e7}
 type Histogram struct {
 	bounds []float64
 	counts []atomic.Int64 // len(bounds)+1; last is overflow
+	sum    atomic.Uint64  // float64 bits, for Prometheus _sum lines
 }
 
 func newHistogram(bounds []float64) *Histogram {
@@ -152,6 +162,15 @@ func (h *Histogram) Observe(v float64) {
 	}
 	i := sort.SearchFloat64s(h.bounds, v)
 	h.counts[i].Add(1)
+	addFloat(&h.sum, v)
+}
+
+// Sum returns the sum of all observed values (0 on a nil receiver).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
 }
 
 // Count returns the total number of observations (0 on a nil receiver).
@@ -173,6 +192,10 @@ type metric struct {
 	g    *Gauge
 	t    *Timer
 	h    *Histogram
+	lh   *LogHistogram
+	s    *Series
+	e    *EWMA
+	r    *Rate
 }
 
 // store is the shared state behind a Registry and all its Sub views.
@@ -266,6 +289,57 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	}).h
 }
 
+// LogHistogram returns the streaming log-bucketed histogram registered
+// under name, creating it on first use. Nil registry → nil histogram.
+// All LogHistograms share one geometric bucket grid, so any two are
+// mergeable.
+func (r *Registry) LogHistogram(name string) *LogHistogram {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, KindLogHistogram, func() *metric {
+		return &metric{kind: KindLogHistogram, lh: NewLogHistogram()}
+	}).lh
+}
+
+// Series returns the ring-buffer time series registered under name,
+// creating it with the given capacity on first use (later calls keep the
+// original capacity; ≤ 0 means DefaultSeriesCap). Nil registry → nil
+// series.
+func (r *Registry) Series(name string, capacity int) *Series {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, KindSeries, func() *metric {
+		return &metric{kind: KindSeries, s: NewSeries(capacity)}
+	}).s
+}
+
+// EWMA returns the exponentially weighted moving average registered
+// under name, creating it with the given smoothing factor on first use
+// (later calls keep the original factor; out-of-range means
+// DefaultEWMAAlpha). Nil registry → nil EWMA.
+func (r *Registry) EWMA(name string, alpha float64) *EWMA {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, KindEWMA, func() *metric {
+		return &metric{kind: KindEWMA, e: NewEWMA(alpha)}
+	}).e
+}
+
+// Rate returns the windowed EWMA rate gauge registered under name,
+// creating it with the given smoothing factor on first use. Nil registry
+// → nil rate.
+func (r *Registry) Rate(name string, alpha float64) *Rate {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, KindRate, func() *metric {
+		return &metric{kind: KindRate, r: NewRate(alpha)}
+	}).r
+}
+
 // Bucket is one histogram bucket of a Sample: the count of observations
 // at most LE (non-cumulative per bucket).
 type Bucket struct {
@@ -274,16 +348,22 @@ type Bucket struct {
 }
 
 // Sample is one named series in a snapshot. The populated fields depend
-// on Kind: counters use Count; gauges use Value; timers use Count and
-// TotalNs; histograms use Count, Buckets and Overflow.
+// on Kind: counters use Count; gauges/EWMAs/rates use Value; timers use
+// Count and TotalNs; histograms use Count, Sum, Buckets and Overflow;
+// log histograms use Count, Sum, Buckets and Quantiles; ring series use
+// Count (points ever appended), Value (last point) and Points (the live
+// window, oldest first).
 type Sample struct {
-	Name     string   `json:"name"`
-	Kind     Kind     `json:"kind"`
-	Count    int64    `json:"count,omitempty"`
-	Value    float64  `json:"value,omitempty"`
-	TotalNs  int64    `json:"total_ns,omitempty"`
-	Buckets  []Bucket `json:"buckets,omitempty"`
-	Overflow int64    `json:"overflow,omitempty"`
+	Name      string            `json:"name"`
+	Kind      Kind              `json:"kind"`
+	Count     int64             `json:"count,omitempty"`
+	Value     float64           `json:"value,omitempty"`
+	TotalNs   int64             `json:"total_ns,omitempty"`
+	Sum       float64           `json:"sum,omitempty"`
+	Buckets   []Bucket          `json:"buckets,omitempty"`
+	Overflow  int64             `json:"overflow,omitempty"`
+	Quantiles *QuantileSnapshot `json:"quantiles,omitempty"`
+	Points    []Point           `json:"points,omitempty"`
 }
 
 // Snapshot returns every registered series sorted by name — a
@@ -318,14 +398,69 @@ func (r *Registry) Snapshot() []Sample {
 			s.TotalNs = int64(m.t.Total())
 		case KindHistogram:
 			s.Count = m.h.Count()
+			s.Sum = m.h.Sum()
 			for j, b := range m.h.bounds {
 				s.Buckets = append(s.Buckets, Bucket{LE: b, Count: m.h.counts[j].Load()})
 			}
 			s.Overflow = m.h.counts[len(m.h.bounds)].Load()
+		case KindLogHistogram:
+			q := m.lh.Quantiles()
+			s.Count = q.Count
+			s.Sum = q.Sum
+			s.Quantiles = &q
+			s.Buckets = m.lh.buckets()
+		case KindSeries:
+			s.Count = m.s.Total()
+			if p, ok := m.s.Last(); ok {
+				s.Value = p.Value
+			}
+			s.Points = m.s.Tail(0)
+		case KindEWMA:
+			s.Count = m.e.Count()
+			s.Value = m.e.Value()
+		case KindRate:
+			s.Count = m.r.Total()
+			s.Value = m.r.Value()
 		}
 		out[i] = s
 	}
 	return out
+}
+
+// NameTable interns indexed metric names ("streampu.occupancy.stage3"):
+// Name(i) builds "prefix<i>" once and returns the cached string on every
+// later call, so hot sampling loops that address per-stage gauges or
+// series never allocate a name. Safe for concurrent use.
+type NameTable struct {
+	prefix string
+	mu     sync.RWMutex
+	names  []string
+}
+
+// NewNameTable returns an interner for names of the form prefix+index.
+func NewNameTable(prefix string) *NameTable {
+	return &NameTable{prefix: prefix}
+}
+
+// Name returns the interned "prefix<i>" string. Negative indices return
+// the bare prefix.
+func (t *NameTable) Name(i int) string {
+	if i < 0 {
+		return t.prefix
+	}
+	t.mu.RLock()
+	if i < len(t.names) {
+		s := t.names[i]
+		t.mu.RUnlock()
+		return s
+	}
+	t.mu.RUnlock()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for len(t.names) <= i {
+		t.names = append(t.names, t.prefix+strconv.Itoa(len(t.names)))
+	}
+	return t.names[i]
 }
 
 // Slug normalizes a display name ("OTAC (B)", "2CATAC (memo)") into a

@@ -134,6 +134,18 @@ type Options struct {
 	Trace *trace.Span
 }
 
+// MetricsScope returns the per-scheduler view of reg — the same slugged
+// scoping every strategy applies to its own planning series ("herad.",
+// "otac-b.", …) — so runtime telemetry recorded next to a strategy
+// (drift counters, live samplers) lands under the strategy's prefix.
+// Returns nil when reg or s is nil.
+func MetricsScope(s Scheduler, reg *obs.Registry) *obs.Registry {
+	if s == nil || reg == nil {
+		return nil
+	}
+	return reg.Sub(obs.Slug(s.Name()))
+}
+
 // scope returns the per-strategy registry view for the named strategy,
 // or nil when metrics are disabled.
 func (o Options) scope(name string) *obs.Registry {

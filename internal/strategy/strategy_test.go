@@ -7,6 +7,7 @@ import (
 
 	"ampsched/internal/chaingen"
 	"ampsched/internal/core"
+	"ampsched/internal/obs"
 	"ampsched/internal/sched"
 )
 
@@ -271,4 +272,23 @@ func FuzzParse(f *testing.F) {
 			}
 		}
 	})
+}
+
+func TestMetricsScope(t *testing.T) {
+	reg := obs.NewRegistry()
+	sc := MustParse("herad")
+	scoped := MetricsScope(sc, reg)
+	if scoped == nil {
+		t.Fatal("MetricsScope returned nil for a live registry")
+	}
+	scoped.Counter("drift.detected").Add(1)
+	if got := reg.Counter("herad.drift.detected").Value(); got != 1 {
+		t.Errorf("scoped counter did not land under the strategy slug: %d", got)
+	}
+	if MetricsScope(sc, nil) != nil {
+		t.Error("nil registry not propagated")
+	}
+	if MetricsScope(nil, reg) != nil {
+		t.Error("nil scheduler not propagated")
+	}
 }

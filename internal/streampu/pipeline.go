@@ -30,6 +30,10 @@ type Options struct {
 	// Tracer, when set, records one timeline event per (frame, stage)
 	// execution for offline analysis (see Tracer.WriteChromeTrace).
 	Tracer *Tracer
+	// Sampler, when set, receives per-frame (stage, latency) records for
+	// live windowed telemetry; snapshot it with Sampler.Sample while the
+	// run is in flight.
+	Sampler *Sampler
 }
 
 func (o Options) withDefaults() Options {
@@ -162,6 +166,8 @@ func (p *Pipeline) Run(frames int, src func(f *Frame)) (Stats, error) {
 		bounds[i] = newBoundary(p.stages[i].Cores, p.stages[i+1].Cores, p.opt.QueueCap)
 	}
 
+	p.opt.Sampler.bind(p.stages, p.opt.TimeScale, time.Now())
+
 	warmup := int(float64(frames) * p.opt.WarmupFraction)
 	if warmup >= frames {
 		warmup = frames - 1
@@ -255,9 +261,12 @@ func (p *Pipeline) Run(frames int, src func(f *Frame)) (Stats, error) {
 					// one absolute-deadline wait (no-op when profiling or
 					// for purely computational tasks).
 					wctx.Settle(pickup)
-					if p.opt.Tracer != nil {
-						p.opt.Tracer.record(f.Seq, si, w, st.Type.String(),
-							pickup, time.Since(pickup))
+					if p.opt.Tracer != nil || p.opt.Sampler != nil {
+						d := time.Since(pickup)
+						if p.opt.Tracer != nil {
+							p.opt.Tracer.record(f.Seq, si, w, st.Type.String(), pickup, d)
+						}
+						p.opt.Sampler.Record(si, d)
 					}
 					res.processed++
 					if f.Err != nil {

@@ -85,10 +85,21 @@ func (tr *Tracer) WriteChromeTrace(w io.Writer) error {
 	return trace.WriteChromeEvents(w, out)
 }
 
+// occupancyNames interns the per-stage occupancy gauge names shared by
+// RecordMetrics and the windowed Sampler: repeated sampling must not
+// rebuild "streampu.occupancy.stageN" strings on every call.
+var occupancyNames = obs.NewNameTable("streampu.occupancy.stage")
+
+// latencyNames interns the per-stage latency histogram names used by the
+// Sampler ("streampu.latency_us.stageN").
+var latencyNames = obs.NewNameTable("streampu.latency_us.stage")
+
 // RecordMetrics feeds the trace's aggregates into m so run-time
 // observability shares the scheduling stack's export format: one
 // "streampu.occupancy.stage<N>" gauge per stage (StageOccupancy) plus
-// the "streampu.trace.events" counter. No-op when m or tr is nil.
+// the "streampu.trace.events" counter. Gauge names are interned in a
+// package-level obs.NameTable, so repeated windowed sampling does not
+// allocate name strings per call. No-op when m or tr is nil.
 func (tr *Tracer) RecordMetrics(m *obs.Registry) {
 	if tr == nil || m == nil {
 		return
@@ -100,7 +111,7 @@ func (tr *Tracer) RecordMetrics(m *obs.Registry) {
 	}
 	sort.Ints(stages)
 	for _, stage := range stages {
-		m.Gauge(fmt.Sprintf("streampu.occupancy.stage%d", stage)).Set(occ[stage])
+		m.Gauge(occupancyNames.Name(stage)).Set(occ[stage])
 	}
 	m.Counter("streampu.trace.events").Add(int64(tr.Len()))
 }
