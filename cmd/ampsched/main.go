@@ -55,8 +55,17 @@
 //	              write the decision journal as canonical JSONL to FILE
 //	              plus a Chrome-trace view (chrome://tracing) to
 //	              FILE.chrome.json; written even when a later step fails
-//	-listen ADDR  serve /metrics, /metrics.json, /debug/vars and
-//	              /debug/pprof on ADDR for the duration of the run
+//	-listen ADDR  serve /metrics, /metrics.json, /healthz, /readyz,
+//	              /debug/flightz, /debug/vars and /debug/pprof on ADDR
+//	              for the duration of the run
+//	-slo SPECS    comma-separated SLOs ("[name=]metric:pQQ<=threshold",
+//	              e.g. "plan=strategy.plan_us:p95<=5000") evaluated on
+//	              /metrics and /readyz; requires -listen
+//	-log-json F   write the structured run log as JSONL to F; every
+//	              record is also folded into the flight recorder
+//	-flight-dump F
+//	              write the flight recorder's deterministic dump to F at
+//	              exit (plan/replan/drift/stall/drop/log events)
 //	-cpuprofile F write a pprof CPU profile of the whole invocation
 //	-memprofile F write a pprof heap profile taken at exit
 package main
@@ -66,6 +75,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"os"
 	"runtime"
@@ -77,6 +87,7 @@ import (
 	"ampsched/internal/core"
 	"ampsched/internal/desim"
 	"ampsched/internal/obs"
+	"ampsched/internal/obs/flight"
 	obshttp "ampsched/internal/obs/http"
 	"ampsched/internal/platform"
 	"ampsched/internal/report"
@@ -133,8 +144,15 @@ type config struct {
 	explain    bool          // print the decision-trace narrative
 	traceSched string        // decision-journal JSONL output path
 	listen     string        // live exposition address (metrics + pprof)
+	slo        string        // SLO specs for /metrics and /readyz (requires listen)
+	logJSON    string        // structured run-log JSONL output path
+	flightDump string        // flight-recorder dump output path
 	cpuProfile string        // pprof CPU profile output path
 	memProfile string        // pprof heap profile output path
+
+	// logNoTime drops the "time" attribute from -log-json lines so tests
+	// can assert byte-deterministic logs. Not exposed as a flag.
+	logNoTime bool
 
 	// out receives everything the command prints to stdout. Tests inject
 	// a buffer; nil means os.Stdout.
@@ -166,6 +184,9 @@ func main() {
 	flag.BoolVar(&cfg.explain, "explain", false, "print the decision-trace narrative after the schedules")
 	flag.StringVar(&cfg.traceSched, "trace-sched", "", "write the decision journal (JSONL + .chrome.json view) to this file")
 	flag.StringVar(&cfg.listen, "listen", "", `serve /metrics and /debug/pprof on this address (e.g. "127.0.0.1:8080")`)
+	flag.StringVar(&cfg.slo, "slo", "", `comma-separated SLOs ("[name=]metric:pQQ<=threshold") for /metrics and /readyz; requires -listen`)
+	flag.StringVar(&cfg.logJSON, "log-json", "", "write the structured run log as JSONL to this file")
+	flag.StringVar(&cfg.flightDump, "flight-dump", "", "write the flight recorder's dump to this file at exit")
 	flag.StringVar(&cfg.cpuProfile, "cpuprofile", "", "write a pprof CPU profile to this file")
 	flag.StringVar(&cfg.memProfile, "memprofile", "", "write a pprof heap profile to this file at exit")
 	flag.Parse()
@@ -196,9 +217,41 @@ func mainErr(cfg config) error {
 	if cfg.replan < 0 {
 		return fmt.Errorf("-replan must be a non-negative edit count, got %d", cfg.replan)
 	}
+	if cfg.slo != "" && cfg.listen == "" {
+		return fmt.Errorf("-slo requires -listen: SLOs are evaluated on the live /metrics and /readyz endpoints (pass -listen, or drop -slo)")
+	}
+	slos, err := obs.ParseSLOs(cfg.slo)
+	if err != nil {
+		return err
+	}
 	r, err := resolveResources(cfg)
 	if err != nil {
 		return err
+	}
+
+	// The flight recorder and the structured run log are pure sinks,
+	// created only when some observability surface asked for them so the
+	// default run keeps its exact fast paths (in particular streampu's
+	// plain channel handoff). A zero-value logger setup discards records.
+	var rec *flight.Recorder
+	if cfg.logJSON != "" || cfg.flightDump != "" || cfg.listen != "" {
+		rec = flight.New(0)
+	}
+	var logSink io.Writer
+	if cfg.logJSON != "" {
+		f, err := os.Create(cfg.logJSON)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		logSink = f
+	}
+	logger := slog.New(flight.NewHandler(rec, flight.HandlerOptions{Sink: logSink, DropTime: cfg.logNoTime}))
+	// warn reports a non-fatal artifact failure on stderr and, structured,
+	// through the run log — the one place the CLI writes ad-hoc errors.
+	warn := func(msg string, err error) {
+		logger.Error(msg, "err", err)
+		fmt.Fprintln(os.Stderr, "ampsched:", err)
 	}
 	// Exit artifacts — profiles and the decision journal — are registered
 	// as defers here, before any work that can fail, so a failing strategy
@@ -218,7 +271,14 @@ func mainErr(cfg config) error {
 	if cfg.memProfile != "" {
 		defer func() {
 			if err := writeHeapProfile(cfg.memProfile); err != nil {
-				fmt.Fprintln(os.Stderr, "ampsched:", err)
+				warn("heap profile", err)
+			}
+		}()
+	}
+	if cfg.flightDump != "" {
+		defer func() {
+			if err := writeFlightDump(rec, cfg.flightDump); err != nil {
+				warn("flight dump", err)
 			}
 		}()
 	}
@@ -237,7 +297,7 @@ func mainErr(cfg config) error {
 	if cfg.traceSched != "" {
 		defer func() {
 			if err := writeJournal(journal, cfg.traceSched); err != nil {
-				fmt.Fprintln(os.Stderr, "ampsched:", err)
+				warn("decision journal", err)
 			}
 		}()
 	}
@@ -263,12 +323,14 @@ func mainErr(cfg config) error {
 		reg = obs.NewRegistry()
 	}
 	if cfg.listen != "" {
-		srv, err := obshttp.Serve(cfg.listen, "ampsched", reg)
+		srv, err := obshttp.ServeOpts(cfg.listen, "ampsched", reg,
+			obshttp.HandlerOptions{Flight: rec, SLOs: slos})
 		if err != nil {
 			return err
 		}
 		defer srv.Close()
 		fmt.Fprintf(out, "# serving metrics and pprof on http://%s\n", srv.Addr())
+		logger.Info("serving", "addr", srv.Addr(), "slos", len(slos))
 	}
 	header := []string{"Strategy", "Period", "FPS", "Pipeline decomposition"}
 	for v := 0; v < r.NumTypes(); v++ {
@@ -279,7 +341,7 @@ func mainErr(cfg config) error {
 	}
 	t := report.NewTable(header...)
 	pm := core.DefaultPowerModel()
-	opts := strategy.Options{Colocate: cfg.colocate, Metrics: reg, Trace: runSpan, Workers: cfg.workers, Epsilon: cfg.epsilon}
+	opts := strategy.Options{Colocate: cfg.colocate, Metrics: reg, Trace: runSpan, Workers: cfg.workers, Epsilon: cfg.epsilon, Flight: rec}
 	for _, sc := range scheds {
 		name := sc.Name()
 		if err := strategy.CheckTypes(sc, chain, r); err != nil {
@@ -294,6 +356,7 @@ func mainErr(cfg config) error {
 		}
 		p := sol.Period(chain)
 		usage := sol.Usage(r.NumTypes())
+		logger.Info("schedule", "strategy", name, "period", p, "stages", len(sol.Stages))
 		if cfg.json {
 			js := jsonSolution{Strategy: name, Period: p, BigUsed: usage[0]}
 			if len(usage) > 1 {
@@ -324,15 +387,23 @@ func mainErr(cfg config) error {
 			t.AddRow(row...)
 		}
 		if cfg.simulate {
-			res, err := desim.Simulate(chain, sol, desim.Config{Frames: 2000, QueueCap: 2})
+			scfg := desim.Config{Frames: 2000, QueueCap: 2}
+			if rec != nil {
+				// The sim-clock sample pass feeds the flight recorder
+				// deterministic per-window occupancy events — the black box
+				// for a run that never touched the wall clock.
+				scfg.Sample = &desim.SampleConfig{Flight: rec}
+			}
+			res, err := desim.Simulate(chain, sol, scfg)
 			if err != nil {
 				return err
 			}
 			fmt.Fprintf(out, "# %s desim: period %.1f, FPS %.0f, latency %.1f\n",
 				name, res.Period, res.Throughput(interframe), res.Latency)
+			logger.Info("simulate", "strategy", name, "period", res.Period, "latency", res.Latency)
 		}
 		if cfg.run {
-			popt := streampu.Options{TimeScale: cfg.scale, QueueCap: 2}
+			popt := streampu.Options{TimeScale: cfg.scale, QueueCap: 2, Flight: rec}
 			var tracer *streampu.Tracer
 			if cfg.trace != "" || cfg.stats {
 				tracer = &streampu.Tracer{}
@@ -350,8 +421,10 @@ func mainErr(cfg config) error {
 					planned[i] = chain.SumW(st.Start, st.End, st.Type)
 				}
 				drift = obs.NewDriftDetector(planned, obs.DriftConfig{}, sreg, runSpan)
+				drift.Flight = rec
 				sampler = streampu.NewSampler(sreg)
 				sampler.Drift = drift
+				sampler.Flight = rec
 				popt.Sampler = sampler
 			}
 			pipe, err := streampu.New(streampu.TimedChain(chain), sol, popt)
@@ -366,6 +439,8 @@ func mainErr(cfg config) error {
 			}
 			fmt.Fprintf(out, "# %s runtime: measured period %.1f, FPS %.0f (%d frames, %.2fs wall)\n",
 				name, st.PeriodMicros, st.Throughput(interframe), st.Frames, st.Elapsed.Seconds())
+			logger.Info("run", "strategy", name, "period", st.PeriodMicros,
+				"frames", st.Frames, "errored", st.Errored)
 			if n := drift.Detected(); n > 0 {
 				fmt.Fprintf(out, "# %s drift: %d drift_detected event(s) — live stage weights departed the plan\n", name, n)
 			}
@@ -555,6 +630,21 @@ func writeJournal(j *trace.Journal, path string) error {
 		return fmt.Errorf("writing decision-journal Chrome view: %w", err)
 	}
 	return cf.Close()
+}
+
+// writeFlightDump writes the recorder's deterministic text dump to path.
+// Runs deferred, after every other artifact recorded its events, so the
+// dump is the complete black box of the invocation.
+func writeFlightDump(rec *flight.Recorder, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteDump(f); err != nil {
+		f.Close()
+		return fmt.Errorf("writing flight dump: %w", err)
+	}
+	return f.Close()
 }
 
 // chromeSiblingPath maps the JSONL journal path to its Chrome-view sibling:

@@ -22,8 +22,12 @@
 //
 //	benchreport [-o BENCH_PR8.json] [-benchtime 100ms] [-match herad]
 //	            [-baseline BENCH_PR8.json] [-maxregress 25] [-list]
-//	            [-statusz statusz.json]
+//	            [-statusz statusz.json] [-statusz-zero-timers]
 //	            [-cpuprofile cpu.prof] [-memprofile mem.prof]
+//
+// -statusz-zero-timers zeroes the wall-clock timer totals in the statusz
+// snapshot — the one nondeterministic family in the scenario — so the
+// artifact is fully byte-deterministic and can be diffed across runs.
 package main
 
 import (
@@ -42,6 +46,7 @@ import (
 	"ampsched/internal/desim"
 	"ampsched/internal/herad"
 	"ampsched/internal/obs"
+	"ampsched/internal/obs/flight"
 	obshttp "ampsched/internal/obs/http"
 	"ampsched/internal/strategy"
 	"ampsched/internal/streampu"
@@ -91,6 +96,12 @@ type gateOptions struct {
 	maxRegress float64 // allowed calibrated slowdown, percent
 }
 
+// statuszOptions configures the -statusz artifact.
+type statuszOptions struct {
+	path       string // output path; empty disables the snapshot
+	zeroTimers bool   // zero wall-clock timer totals for byte-determinism
+}
+
 func main() {
 	out := flag.String("o", "BENCH_PR8.json", "report output path")
 	benchtime := flag.Duration("benchtime", 100*time.Millisecond, "target measuring time per benchmark")
@@ -99,11 +110,13 @@ func main() {
 	maxRegress := flag.Float64("maxregress", 25, "allowed calibrated slowdown vs -baseline, percent")
 	list := flag.Bool("list", false, "list benchmark names and exit")
 	statusz := flag.String("statusz", "", "write a /statusz JSON snapshot of a representative instrumented run to this file")
+	statuszZeroTimers := flag.Bool("statusz-zero-timers", false, "zero wall-clock timer totals in the -statusz snapshot (byte-deterministic artifact)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the benchmark run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	flag.Parse()
 	g := gateOptions{baseline: *baseline, maxRegress: *maxRegress}
-	if err := run(*out, *benchtime, *match, g, *list, *statusz, *cpuProfile, *memProfile); err != nil {
+	sz := statuszOptions{path: *statusz, zeroTimers: *statuszZeroTimers}
+	if err := run(*out, *benchtime, *match, g, *list, sz, *cpuProfile, *memProfile); err != nil {
 		fmt.Fprintln(os.Stderr, "benchreport:", err)
 		os.Exit(1)
 	}
@@ -113,7 +126,7 @@ func main() {
 // the CPU profile covers the whole benchmark run, the heap profile is
 // taken at exit — so scaling-sweep hotspots can be profiled directly from
 // the bench harness the numbers come from).
-func run(out string, benchtime time.Duration, match string, g gateOptions, list bool, statusz, cpuProfile, memProfile string) (err error) {
+func run(out string, benchtime time.Duration, match string, g gateOptions, list bool, statusz statuszOptions, cpuProfile, memProfile string) (err error) {
 	if cpuProfile != "" {
 		f, cerr := os.Create(cpuProfile)
 		if cerr != nil {
@@ -143,7 +156,7 @@ func run(out string, benchtime time.Duration, match string, g gateOptions, list 
 	return mainErr(out, benchtime, match, g, list, statusz, os.Stdout)
 }
 
-func mainErr(out string, benchtime time.Duration, match string, g gateOptions, list bool, statusz string, w io.Writer) error {
+func mainErr(out string, benchtime time.Duration, match string, g gateOptions, list bool, statusz statuszOptions, w io.Writer) error {
 	benches := benchmarks()
 	if match != "" {
 		kept := benches[:0]
@@ -204,11 +217,11 @@ func mainErr(out string, benchtime time.Duration, match string, g gateOptions, l
 			return err
 		}
 	}
-	if statusz != "" {
+	if statusz.path != "" {
 		if err := writeStatusz(statusz); err != nil {
 			return fmt.Errorf("statusz: %w", err)
 		}
-		fmt.Fprintf(w, "# statusz snapshot written to %s\n", statusz)
+		fmt.Fprintf(w, "# statusz snapshot written to %s\n", statusz.path)
 	}
 	return nil
 }
@@ -218,7 +231,7 @@ func mainErr(out string, benchtime time.Duration, match string, g gateOptions, l
 // with metrics, then a sampled desim execution feeding the drift
 // detector — snapshotted through the same WriteStatusz path the live
 // endpoint serves.
-func writeStatusz(path string) error {
+func writeStatusz(opts statuszOptions) error {
 	reg := obs.NewRegistry()
 	c := chaingen.GenerateMany(chaingen.Default(20, 0.5), 7, 1)[0]
 	r := core.Res(4, 4)
@@ -240,11 +253,12 @@ func writeStatusz(path string) error {
 	}); err != nil {
 		return err
 	}
-	f, err := os.Create(path)
+	f, err := os.Create(opts.path)
 	if err != nil {
 		return err
 	}
-	if err := obshttp.WriteStatusz(f, "benchreport", reg); err != nil {
+	if err := obshttp.WriteStatuszOpts(f, "benchreport", reg,
+		obshttp.StatuszOptions{ZeroTimers: opts.zeroTimers}); err != nil {
 		f.Close()
 		return err
 	}
@@ -392,6 +406,10 @@ func benchmarks() []bench {
 	exportJournal := trace.New()
 	seedJournal(exportJournal, chains[0], r)
 
+	// The live ring for flight/record_enabled, allocated outside the
+	// measured loop: the pin asserts Record itself never allocates.
+	flightRec := flight.New(0)
+
 	benches := []bench{
 		{name: "registry/schedule_disabled", pinZero: false, fn: func(n int) {
 			for i := 0; i < n; i++ {
@@ -468,6 +486,21 @@ func benchmarks() []bench {
 			s.BindStages([]int{1, 2}, 1, time.Now())
 			for i := 0; i < n; i++ {
 				s.Record(i%2, time.Microsecond)
+			}
+		}},
+		// The flight recorder pins zero allocations on BOTH paths: the nil
+		// recorder (every subsystem's default) and the live ring, whose
+		// Record is a ticket fetch-add plus atomic field stores — the
+		// black box must never perturb the run it observes.
+		{name: "flight/record_disabled", pinZero: true, fn: func(n int) {
+			var rec *flight.Recorder
+			for i := 0; i < n; i++ {
+				rec.Record(flight.Event{Code: flight.CodeWindow, Tick: int64(i), A: 0.5, B: 120})
+			}
+		}},
+		{name: "flight/record_enabled", pinZero: true, fn: func(n int) {
+			for i := 0; i < n; i++ {
+				flightRec.Record(flight.Event{Code: flight.CodeWindow, Tick: int64(i), Stage: 1, A: 0.5, B: 120})
 			}
 		}},
 		{name: "trace/journal_disabled", pinZero: true, fn: func(n int) {

@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"ampsched/internal/obs"
 	obshttp "ampsched/internal/obs/http"
 )
 
@@ -17,7 +18,7 @@ func TestMainErrWritesReport(t *testing.T) {
 	var buf bytes.Buffer
 	// Tiny benchtime: the calibration loop still runs every benchmark at
 	// least twice (warm-up + measurement) so the report is complete.
-	if err := mainErr(out, time.Microsecond, "", gateOptions{}, false, "", &buf); err != nil {
+	if err := mainErr(out, time.Microsecond, "", gateOptions{}, false, statuszOptions{}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -62,7 +63,7 @@ func TestMainErrWritesReport(t *testing.T) {
 
 func TestMainErrList(t *testing.T) {
 	var buf bytes.Buffer
-	if err := mainErr("", 0, "", gateOptions{}, true, "", &buf); err != nil {
+	if err := mainErr("", 0, "", gateOptions{}, true, statuszOptions{}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Fields(buf.String())
@@ -79,7 +80,7 @@ func TestMainErrList(t *testing.T) {
 func TestMainErrBadOutputPath(t *testing.T) {
 	var buf bytes.Buffer
 	err := mainErr(filepath.Join(t.TempDir(), "missing-dir", "bench.json"),
-		time.Microsecond, "", gateOptions{}, false, "", &buf)
+		time.Microsecond, "", gateOptions{}, false, statuszOptions{}, &buf)
 	if err == nil {
 		t.Fatal("unwritable output path accepted")
 	}
@@ -87,7 +88,7 @@ func TestMainErrBadOutputPath(t *testing.T) {
 
 func TestMainErrMatchFilters(t *testing.T) {
 	var buf bytes.Buffer
-	if err := mainErr("", 0, "herad/wavefront", gateOptions{}, true, "", &buf); err != nil {
+	if err := mainErr("", 0, "herad/wavefront", gateOptions{}, true, statuszOptions{}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Fields(buf.String())
@@ -173,12 +174,12 @@ func TestMainErrGateAgainstOwnReport(t *testing.T) {
 	// pass — zero regression by construction.
 	out := filepath.Join(t.TempDir(), "bench.json")
 	var buf bytes.Buffer
-	if err := mainErr(out, time.Microsecond, "herad", gateOptions{}, false, "", &buf); err != nil {
+	if err := mainErr(out, time.Microsecond, "herad", gateOptions{}, false, statuszOptions{}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	buf.Reset()
 	out2 := filepath.Join(t.TempDir(), "bench2.json")
-	err := mainErr(out2, time.Microsecond, "herad", gateOptions{baseline: out, maxRegress: 400}, false, "", &buf)
+	err := mainErr(out2, time.Microsecond, "herad", gateOptions{baseline: out, maxRegress: 400}, false, statuszOptions{}, &buf)
 	if err != nil {
 		t.Fatalf("self-gate failed: %v\n%s", err, buf.String())
 	}
@@ -192,7 +193,8 @@ func TestMainErrStatuszArtifact(t *testing.T) {
 	out := filepath.Join(dir, "bench.json")
 	statusz := filepath.Join(dir, "statusz.json")
 	var buf bytes.Buffer
-	if err := mainErr(out, time.Microsecond, "obs/", gateOptions{}, false, statusz, &buf); err != nil {
+	if err := mainErr(out, time.Microsecond, "obs/", gateOptions{}, false,
+		statuszOptions{path: statusz, zeroTimers: true}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(statusz)
@@ -218,36 +220,26 @@ func TestMainErrStatuszArtifact(t *testing.T) {
 			t.Errorf("statusz missing %q in:\n%s", want, joined)
 		}
 	}
-	// The simulated telemetry is deterministic: re-running the scenario
-	// reproduces the sampled series and drift counters exactly. (Wall-clock
-	// timers from the scheduler are excluded — they are the one
-	// nondeterministic family in the snapshot.)
+	// With -statusz-zero-timers the snapshot is fully byte-deterministic:
+	// the scenario is a simulated run, and the wall-clock timer totals —
+	// the one nondeterministic family — are zeroed. Byte-equality, not a
+	// filtered subset, is the artifact's contract.
 	statusz2 := filepath.Join(dir, "statusz2.json")
-	if err := writeStatusz(statusz2); err != nil {
+	if err := writeStatusz(statuszOptions{path: statusz2, zeroTimers: true}); err != nil {
 		t.Fatal(err)
 	}
 	again, err := os.ReadFile(statusz2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	var doc2 obshttp.Statusz
-	if err := json.Unmarshal(again, &doc2); err != nil {
-		t.Fatal(err)
+	if !bytes.Equal(data, again) {
+		t.Errorf("zero-timer statusz snapshots differ between identical scenarios:\n%s\n---\n%s", data, again)
 	}
-	sampled := func(doc obshttp.Statusz) []byte {
-		var keep []any
-		for _, m := range doc.Metrics {
-			if strings.Contains(m.Name, "desim.") || strings.Contains(m.Name, "drift.") {
-				keep = append(keep, m)
-			}
+	// The timers are zeroed but still listed, so the snapshot keeps the
+	// full metric inventory.
+	for _, m := range doc.Metrics {
+		if m.Kind == obs.KindTimer && m.TotalNs != 0 {
+			t.Errorf("timer %s kept wall-clock total %d", m.Name, m.TotalNs)
 		}
-		b, err := json.Marshal(keep)
-		if err != nil {
-			t.Fatal(err)
-		}
-		return b
-	}
-	if a, b := sampled(doc), sampled(doc2); !bytes.Equal(a, b) {
-		t.Errorf("sampled telemetry differs between identical scenarios:\n%s\n---\n%s", a, b)
 	}
 }

@@ -1,0 +1,360 @@
+// Command obsdiff compares two observability snapshots and prints a
+// ranked regression/improvement report. It understands the three JSON
+// artifacts the repo's tools emit and auto-detects the format of each
+// input:
+//
+//   - benchreport output (BENCH_*.json): top-level "benchmarks" array;
+//     compared on ns/op, with allocs/op and bytes/op deltas noted
+//   - internal/obs reports (metrics.json): top-level "series" array of
+//     samples; counters compare on count, gauges on value
+//   - statusz snapshots (statusz.json): top-level "metrics" array with
+//     the same sample schema
+//
+// The two inputs must carry the same sample schema, so a statusz
+// snapshot diffs cleanly against a metrics.json report, but neither
+// diffs against a benchmark report.
+//
+// Usage:
+//
+//	obsdiff [-tol 2] [-max-regress 0] [-json] OLD NEW
+//
+// Flags:
+//
+//	-tol P          |delta| below P percent counts as stable and is
+//	                summarized, not listed (default 2)
+//	-max-regress P  exit non-zero when any regression exceeds P percent
+//	                (0 disables the gate; the report is still written)
+//	-json           emit the diff as JSON instead of text
+//
+// The report is deterministic: rows are ranked by |percent delta|
+// (regressions worst-first, improvements best-first) with name order
+// breaking ties, so identical inputs always produce identical bytes —
+// CI uploads the report as a build artifact next to the snapshots it
+// compared.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+
+	"ampsched/internal/obs"
+)
+
+// benchResult mirrors cmd/benchreport's per-benchmark row (the schema is
+// committed in BENCH_*.json; obsdiff only reads it).
+type benchResult struct {
+	Name          string  `json:"name"`
+	Iters         int     `json:"iters"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	AllocsPerOp   float64 `json:"allocs_per_op"`
+	BytesPerOp    float64 `json:"bytes_per_op"`
+	PinZeroAllocs bool    `json:"pin_zero_allocs,omitempty"`
+	Guard         bool    `json:"guard,omitempty"`
+}
+
+// snapshot is one parsed input file, normalized to either benchmark rows
+// or metric samples.
+type snapshot struct {
+	path  string
+	tool  string
+	bench map[string]benchResult
+	samps map[string]obs.Sample
+}
+
+func (s *snapshot) kind() string {
+	if s.bench != nil {
+		return "bench"
+	}
+	return "metrics"
+}
+
+func (s *snapshot) size() int {
+	if s.bench != nil {
+		return len(s.bench)
+	}
+	return len(s.samps)
+}
+
+// load parses path and detects its format from the top-level keys.
+func load(path string) (*snapshot, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var probe struct {
+		Tool       string        `json:"tool"`
+		Benchmarks []benchResult `json:"benchmarks"`
+		Series     []obs.Sample  `json:"series"`
+		Metrics    []obs.Sample  `json:"metrics"`
+	}
+	if err := json.Unmarshal(raw, &probe); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	s := &snapshot{path: path, tool: probe.Tool}
+	switch {
+	case probe.Benchmarks != nil:
+		s.bench = make(map[string]benchResult, len(probe.Benchmarks))
+		for _, b := range probe.Benchmarks {
+			s.bench[b.Name] = b
+		}
+	case probe.Series != nil:
+		s.samps = sampleMap(probe.Series)
+	case probe.Metrics != nil:
+		s.samps = sampleMap(probe.Metrics)
+	default:
+		return nil, fmt.Errorf("%s: no benchmarks, series or metrics array — not a benchreport, metrics.json or statusz snapshot", path)
+	}
+	return s, nil
+}
+
+func sampleMap(in []obs.Sample) map[string]obs.Sample {
+	out := make(map[string]obs.Sample, len(in))
+	for _, s := range in {
+		out[s.Name] = s
+	}
+	return out
+}
+
+// Row is one compared entry in the diff report.
+type Row struct {
+	Name string `json:"name"`
+	// Unit names the compared primary: "ns/op" for benchmarks, "count"
+	// or "value" for metric samples.
+	Unit string  `json:"unit"`
+	Old  float64 `json:"old"`
+	New  float64 `json:"new"`
+	// Pct is the percent delta new vs old; +Inf when old was zero.
+	Pct float64 `json:"pct"`
+	// Note carries secondary deltas (allocs/op, bytes/op, p95).
+	Note string `json:"note,omitempty"`
+}
+
+// Diff is the full comparison, ready for JSON export.
+type Diff struct {
+	Kind         string   `json:"kind"`
+	OldPath      string   `json:"old"`
+	NewPath      string   `json:"new"`
+	TolPct       float64  `json:"tol_pct"`
+	Regressions  []Row    `json:"regressions"`
+	Improvements []Row    `json:"improvements"`
+	Added        []string `json:"added,omitempty"`
+	Removed      []string `json:"removed,omitempty"`
+	Stable       int      `json:"stable"`
+}
+
+// pct returns the percent delta of new vs old, with a +Inf sentinel for
+// growth from zero (0 → 0 is no change).
+func pct(oldV, newV float64) float64 {
+	if oldV == 0 {
+		if newV == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return (newV - oldV) / math.Abs(oldV) * 100
+}
+
+// primary picks the compared scalar of a metric sample: point-in-time
+// kinds compare on value, cumulative kinds on count (timers on total
+// time, the scalar their count only normalizes).
+func primary(s obs.Sample) (string, float64) {
+	switch s.Kind {
+	case obs.KindGauge, obs.KindEWMA, obs.KindRate:
+		return "value", s.Value
+	case obs.KindTimer:
+		return "total_ns", float64(s.TotalNs)
+	default:
+		return "count", float64(s.Count)
+	}
+}
+
+func compare(oldS, newS *snapshot, tolPct float64) (*Diff, error) {
+	if oldS.kind() != newS.kind() {
+		return nil, fmt.Errorf("cannot diff %s snapshot %s against %s snapshot %s",
+			oldS.kind(), oldS.path, newS.kind(), newS.path)
+	}
+	d := &Diff{Kind: oldS.kind(), OldPath: oldS.path, NewPath: newS.path, TolPct: tolPct}
+	if oldS.bench != nil {
+		compareBench(d, oldS.bench, newS.bench, tolPct)
+	} else {
+		compareSamples(d, oldS.samps, newS.samps, tolPct)
+	}
+	rank(d.Regressions, false)
+	rank(d.Improvements, true)
+	sort.Strings(d.Added)
+	sort.Strings(d.Removed)
+	return d, nil
+}
+
+func compareBench(d *Diff, oldB, newB map[string]benchResult, tolPct float64) {
+	for name, o := range oldB {
+		n, ok := newB[name]
+		if !ok {
+			d.Removed = append(d.Removed, name)
+			continue
+		}
+		row := Row{Name: name, Unit: "ns/op", Old: o.NsPerOp, New: n.NsPerOp, Pct: pct(o.NsPerOp, n.NsPerOp)}
+		if o.AllocsPerOp != n.AllocsPerOp {
+			row.Note = fmt.Sprintf("allocs/op %s -> %s", num(o.AllocsPerOp), num(n.AllocsPerOp))
+		}
+		d.place(row, tolPct)
+	}
+	for name := range newB {
+		if _, ok := oldB[name]; !ok {
+			d.Added = append(d.Added, name)
+		}
+	}
+}
+
+func compareSamples(d *Diff, oldM, newM map[string]obs.Sample, tolPct float64) {
+	for name, o := range oldM {
+		n, ok := newM[name]
+		if !ok {
+			d.Removed = append(d.Removed, name)
+			continue
+		}
+		unit, oldV := primary(o)
+		_, newV := primary(n)
+		row := Row{Name: name, Unit: unit, Old: oldV, New: newV, Pct: pct(oldV, newV)}
+		if o.Quantiles != nil && n.Quantiles != nil && o.Quantiles.P95 != n.Quantiles.P95 {
+			row.Note = fmt.Sprintf("p95 %s -> %s", num(o.Quantiles.P95), num(n.Quantiles.P95))
+		}
+		d.place(row, tolPct)
+	}
+	for name := range newM {
+		if _, ok := oldM[name]; !ok {
+			d.Added = append(d.Added, name)
+		}
+	}
+}
+
+// place routes a compared row into regressions, improvements or the
+// stable tally. "Bigger is worse" holds for every primary obsdiff
+// compares (ns/op, counts, totals): metric counters here are work
+// counters (DP cells, probes, retries), where growth means regression.
+func (d *Diff) place(row Row, tolPct float64) {
+	switch {
+	case math.Abs(row.Pct) <= tolPct:
+		d.Stable++
+	case row.Pct > 0:
+		d.Regressions = append(d.Regressions, row)
+	default:
+		d.Improvements = append(d.Improvements, row)
+	}
+}
+
+// rank orders rows by |percent delta| descending — worst regression /
+// best improvement first — with name order breaking ties (and +Inf rows,
+// which all tie, resolved deterministically).
+func rank(rows []Row, _ bool) {
+	sort.Slice(rows, func(i, j int) bool {
+		ai, aj := math.Abs(rows[i].Pct), math.Abs(rows[j].Pct)
+		if ai != aj {
+			return ai > aj
+		}
+		return rows[i].Name < rows[j].Name
+	})
+}
+
+// num renders a float the way the repo's deterministic dumps do: the
+// shortest representation that round-trips.
+func num(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func pctStr(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+inf%"
+	}
+	return fmt.Sprintf("%+.1f%%", v)
+}
+
+// WriteText renders the ranked human-readable report.
+func (d *Diff) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "# obsdiff (%s): %s vs %s\n", d.Kind, d.OldPath, d.NewPath)
+	section := func(title string, rows []Row) {
+		fmt.Fprintf(w, "# %s: %d\n", title, len(rows))
+		for _, r := range rows {
+			fmt.Fprintf(w, "  %-8s %s %s %s -> %s", pctStr(r.Pct), r.Name, r.Unit, num(r.Old), num(r.New))
+			if r.Note != "" {
+				fmt.Fprintf(w, " (%s)", r.Note)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	section("regressions", d.Regressions)
+	section("improvements", d.Improvements)
+	fmt.Fprintf(w, "# added: %d\n", len(d.Added))
+	for _, n := range d.Added {
+		fmt.Fprintf(w, "  %s\n", n)
+	}
+	fmt.Fprintf(w, "# removed: %d\n", len(d.Removed))
+	for _, n := range d.Removed {
+		fmt.Fprintf(w, "  %s\n", n)
+	}
+	fmt.Fprintf(w, "# stable: %d within ±%s%%\n", d.Stable, num(d.TolPct))
+}
+
+// MaxRegression returns the largest finite-or-infinite regression
+// percentage (0 when there are none).
+func (d *Diff) MaxRegression() float64 {
+	if len(d.Regressions) == 0 {
+		return 0
+	}
+	return d.Regressions[0].Pct // ranked worst-first
+}
+
+func main() {
+	tol := flag.Float64("tol", 2, "percent delta below which a row counts as stable")
+	maxRegress := flag.Float64("max-regress", 0, "fail when any regression exceeds this percent (0 = report only)")
+	asJSON := flag.Bool("json", false, "emit the diff as JSON")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: obsdiff [-tol P] [-max-regress P] [-json] OLD NEW")
+		os.Exit(2)
+	}
+	if err := mainErr(os.Stdout, flag.Arg(0), flag.Arg(1), *tol, *maxRegress, *asJSON); err != nil {
+		fmt.Fprintln(os.Stderr, "obsdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func mainErr(out io.Writer, oldPath, newPath string, tol, maxRegress float64, asJSON bool) error {
+	if tol < 0 || math.IsNaN(tol) {
+		return fmt.Errorf("-tol must be a non-negative percentage, got %v", tol)
+	}
+	oldS, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	newS, err := load(newPath)
+	if err != nil {
+		return err
+	}
+	d, err := compare(oldS, newS, tol)
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(d); err != nil {
+			return err
+		}
+	} else {
+		d.WriteText(out)
+	}
+	if maxRegress > 0 {
+		if worst := d.MaxRegression(); worst > maxRegress {
+			return fmt.Errorf("regression gate: worst regression %s exceeds %s%%",
+				pctStr(worst), num(maxRegress))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,166 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestDiffCommittedBenchReports pins the tool against the repo's own
+// committed trajectory: BENCH_PR7.json vs BENCH_PR8.json.
+func TestDiffCommittedBenchReports(t *testing.T) {
+	run := func() string {
+		t.Helper()
+		var out bytes.Buffer
+		if err := mainErr(&out, "../../BENCH_PR7.json", "../../BENCH_PR8.json", 2, 0, false); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	report := run()
+
+	if !strings.Contains(report, "# obsdiff (bench): ../../BENCH_PR7.json vs ../../BENCH_PR8.json") {
+		t.Fatalf("missing header:\n%s", report)
+	}
+	// PR8 added the per-primitive obs benchmarks; the diff must surface
+	// them as added rows, sorted.
+	for _, name := range []string{"obs/series/disabled", "obs/series/enabled", "obs/histogram/disabled"} {
+		if !strings.Contains(report, "  "+name+"\n") {
+			t.Fatalf("added benchmark %s not reported:\n%s", name, report)
+		}
+	}
+	// Every benchmark present in PR7 is still present in PR8.
+	if !strings.Contains(report, "# removed: 0\n") {
+		t.Fatalf("unexpected removals:\n%s", report)
+	}
+	if report != run() {
+		t.Fatal("report not deterministic across runs")
+	}
+}
+
+func TestDiffJSONOutputRoundTrips(t *testing.T) {
+	var out bytes.Buffer
+	if err := mainErr(&out, "../../BENCH_PR7.json", "../../BENCH_PR8.json", 2, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	var d Diff
+	if err := json.Unmarshal(out.Bytes(), &d); err != nil {
+		t.Fatalf("JSON output does not parse: %v", err)
+	}
+	if d.Kind != "bench" || len(d.Added) < 6 {
+		t.Fatalf("diff = kind %q, %d added", d.Kind, len(d.Added))
+	}
+	// Ranked: regressions worst-first, improvements best-first.
+	for i := 1; i < len(d.Regressions); i++ {
+		if math.Abs(d.Regressions[i].Pct) > math.Abs(d.Regressions[i-1].Pct) {
+			t.Fatalf("regressions not ranked: %v", d.Regressions)
+		}
+	}
+	for i := 1; i < len(d.Improvements); i++ {
+		if math.Abs(d.Improvements[i].Pct) > math.Abs(d.Improvements[i-1].Pct) {
+			t.Fatalf("improvements not ranked: %v", d.Improvements)
+		}
+	}
+}
+
+// writeFile drops JSON content into dir and returns its path.
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestDiffMetricsAcrossStatuszAndReport(t *testing.T) {
+	dir := t.TempDir()
+	// A statusz snapshot ("metrics" key) against a metrics.json report
+	// ("series" key): same sample schema, so they diff cleanly.
+	oldP := writeFile(t, dir, "statusz.json", `{"tool":"ampsched","metrics":[
+		{"name":"dp.cells","kind":"counter","count":1000},
+		{"name":"occ","kind":"gauge","value":0.8},
+		{"name":"lat","kind":"loghist","count":50,"quantiles":{"p50":1,"p95":10,"p99":20}},
+		{"name":"gone","kind":"counter","count":7}]}`)
+	newP := writeFile(t, dir, "metrics.json", `{"tool":"experiments","series":[
+		{"name":"dp.cells","kind":"counter","count":1500},
+		{"name":"occ","kind":"gauge","value":0.4},
+		{"name":"lat","kind":"loghist","count":50,"quantiles":{"p50":1,"p95":12,"p99":20}},
+		{"name":"fresh","kind":"counter","count":3}]}`)
+	var out bytes.Buffer
+	if err := mainErr(&out, oldP, newP, 2, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	report := out.String()
+	for _, want := range []string{
+		"+50.0%   dp.cells count 1000 -> 1500",
+		"-50.0%   occ value 0.8 -> 0.4",
+		"# added: 1\n  fresh",
+		"# removed: 1\n  gone",
+		"# stable: 1", // lat: count unchanged, p95 drift is a note not a delta
+	} {
+		if !strings.Contains(report, want) {
+			t.Fatalf("report missing %q:\n%s", want, report)
+		}
+	}
+}
+
+func TestDiffRejectsMixedKinds(t *testing.T) {
+	dir := t.TempDir()
+	m := writeFile(t, dir, "m.json", `{"series":[{"name":"x","kind":"counter","count":1}]}`)
+	err := mainErr(&bytes.Buffer{}, m, "../../BENCH_PR8.json", 2, 0, false)
+	if err == nil || !strings.Contains(err.Error(), "cannot diff") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDiffRejectsUnknownFormat(t *testing.T) {
+	dir := t.TempDir()
+	bad := writeFile(t, dir, "bad.json", `{"hello":"world"}`)
+	err := mainErr(&bytes.Buffer{}, bad, bad, 2, 0, false)
+	if err == nil || !strings.Contains(err.Error(), "not a benchreport") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDiffRegressionGate(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeFile(t, dir, "old.json", `{"benchmarks":[{"name":"b","iters":1,"ns_per_op":100}]}`)
+	newP := writeFile(t, dir, "new.json", `{"benchmarks":[{"name":"b","iters":1,"ns_per_op":200}]}`)
+	var out bytes.Buffer
+	err := mainErr(&out, oldP, newP, 2, 40, false)
+	if err == nil || !strings.Contains(err.Error(), "regression gate") {
+		t.Fatalf("err = %v", err)
+	}
+	// The report is still written before the gate fires.
+	if !strings.Contains(out.String(), "+100.0%") {
+		t.Fatalf("report not written before gate:\n%s", out.String())
+	}
+	// Within the allowance the same diff passes.
+	if err := mainErr(&bytes.Buffer{}, oldP, newP, 2, 150, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiffGrowthFromZeroRanksFirst(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeFile(t, dir, "old.json", `{"series":[
+		{"name":"a","kind":"counter"},
+		{"name":"b","kind":"counter","count":100}]}`)
+	newP := writeFile(t, dir, "new.json", `{"series":[
+		{"name":"a","kind":"counter","count":5},
+		{"name":"b","kind":"counter","count":150}]}`)
+	var out bytes.Buffer
+	if err := mainErr(&out, oldP, newP, 2, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	report := out.String()
+	ia, ib := strings.Index(report, "+inf%"), strings.Index(report, "+50.0%")
+	if ia < 0 || ib < 0 || ia > ib {
+		t.Fatalf("growth-from-zero not ranked first:\n%s", report)
+	}
+}

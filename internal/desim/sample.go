@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"ampsched/internal/obs"
+	"ampsched/internal/obs/flight"
 )
 
 // Sim-clock sampling: the simulator's analogue of streampu's live
@@ -41,6 +42,16 @@ type SampleConfig struct {
 	Drift *obs.DriftDetector
 	// SeriesCap is the ring capacity of the emitted series (0 = default).
 	SeriesCap int
+	// Flight, when non-nil, receives the run's flight events on the sim
+	// clock: one CodeFault per configured WeightStep (tick = AfterFrame,
+	// stage = the perturbed stage, A = factor), then one CodeWindow per
+	// (window, stage) with frames in the window (tick = window index,
+	// A = occupancy, B = windowed weight estimate) in window-major order.
+	// Set Drift.Flight to the same recorder to interleave each CodeDrift
+	// firing directly after the window that tripped it. Everything is
+	// driven by the simulated clock, so dumps of identical configs are
+	// bit-identical — the golden-test contract.
+	Flight *flight.Recorder
 }
 
 // desimWeightNames / desimOccNames intern the per-stage series names so
@@ -89,6 +100,17 @@ func samplePass(cfg Config, replicas []int, svc, start, depart [][]float64, make
 		}
 	}
 
+	// Faults first: the injected weight steps are the run's ground truth,
+	// so a flight dump reads cause (fault) before effect (window, drift).
+	for _, stp := range cfg.Steps {
+		s.Flight.Record(flight.Event{
+			Code:  flight.CodeFault,
+			Tick:  int64(stp.AfterFrame),
+			Stage: int32(stp.Stage),
+			A:     stp.Factor,
+		})
+	}
+
 	for w := 0; w < nWin; w++ {
 		width := every
 		if end := float64(w+1) * every; end > makespan {
@@ -99,17 +121,24 @@ func samplePass(cfg Config, replicas []int, svc, start, depart [][]float64, make
 			if count[i][w] > 0 {
 				est = busy[i][w] / float64(count[i][w])
 			}
+			occ := 0.0
+			if width > 0 {
+				occ = math.Min(1, busy[i][w]/(width*float64(replicas[i])))
+			}
 			if s.Metrics != nil {
-				occ := 0.0
-				if width > 0 {
-					occ = math.Min(1, busy[i][w]/(width*float64(replicas[i])))
-				}
 				s.Metrics.Series(desimOccNames.Name(i), s.SeriesCap).Append(int64(w), occ)
 				if count[i][w] > 0 {
 					s.Metrics.Series(desimWeightNames.Name(i), s.SeriesCap).Append(int64(w), est)
 				}
 			}
 			if count[i][w] > 0 {
+				s.Flight.Record(flight.Event{
+					Code:  flight.CodeWindow,
+					Tick:  int64(w),
+					Stage: int32(i),
+					A:     occ,
+					B:     est,
+				})
 				s.Drift.Observe(i, int64(w), est)
 			}
 		}

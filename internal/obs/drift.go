@@ -4,6 +4,7 @@ import (
 	"strconv"
 	"sync"
 
+	"ampsched/internal/obs/flight"
 	"ampsched/internal/trace"
 )
 
@@ -59,6 +60,12 @@ func (c DriftConfig) withDefaults() DriftConfig {
 // samples in a deterministic order (one sampler goroutine, or the
 // sim-clock post-pass).
 type DriftDetector struct {
+	// Flight, when set before the first Observe, additionally records one
+	// CodeDrift flight event per firing (A = smoothed estimate, B =
+	// planned value). Firings are deterministic for a deterministic
+	// sample stream, so the events are part of desim's golden dumps.
+	Flight *flight.Recorder
+
 	mu      sync.Mutex
 	cfg     DriftConfig
 	planned []float64
@@ -128,6 +135,13 @@ func (d *DriftDetector) Observe(stage int, tick int64, value float64) bool {
 		d.drifted[stage] = true
 		d.fired++
 		d.detected.Inc()
+		d.Flight.Record(flight.Event{
+			Code:  flight.CodeDrift,
+			Tick:  tick,
+			Stage: int32(stage),
+			A:     d.est[stage],
+			B:     d.planned[stage],
+		})
 		d.span.Event(DriftEvent).
 			Int("stage", stage).
 			Int("tick", int(tick)).

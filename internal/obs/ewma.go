@@ -99,10 +99,15 @@ func (r *Rate) Mark(n int64) {
 
 // Tick closes one window of the given width (in the caller's tick unit),
 // folds the window's events-per-tick into the EWMA and resets the window
-// counter. Non-positive widths are ignored. Returns the instantaneous
-// window rate (0 on a nil receiver).
+// counter. Degenerate widths — zero, negative, NaN, or infinite — return
+// 0 and leave both the window counter and the EWMA untouched, so a
+// zero-duration window (two samples on the same tick) can never poison
+// the smoothed rate with NaN or Inf. Returns the instantaneous window
+// rate (0 on a nil receiver).
 func (r *Rate) Tick(width float64) float64 {
-	if r == nil || width <= 0 {
+	// "!(width > 0)" rather than "width <= 0": NaN fails both orderings,
+	// so the negated form rejects NaN widths too.
+	if r == nil || !(width > 0) || math.IsInf(width, 1) {
 		return 0
 	}
 	inst := float64(r.marks.Swap(0)) / width

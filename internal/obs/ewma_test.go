@@ -106,3 +106,33 @@ func TestEWMARateRegistryAndAllocs(t *testing.T) {
 		t.Errorf("enabled Update/Mark allocates %v/op", n)
 	}
 }
+
+func TestRateTickDegenerateWidthsNeverPoisonTheEWMA(t *testing.T) {
+	// Regression: a zero-duration window (two samples on the same tick)
+	// used to be rejected by "width <= 0", but a NaN width slipped past
+	// that ordering and folded NaN into the EWMA permanently. Every
+	// degenerate width must return 0 and leave the estimate untouched.
+	r := NewRate(0.5)
+	r.Mark(10)
+	if got := r.Tick(2); got != 5 {
+		t.Fatalf("sane window rate = %v, want 5", got)
+	}
+	for _, width := range []float64{0, -1, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		r.Mark(3)
+		if got := r.Tick(width); got != 0 {
+			t.Errorf("Tick(%v) = %v, want 0", width, got)
+		}
+		if v := r.Value(); math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("Tick(%v) poisoned the EWMA: %v", width, v)
+		}
+	}
+	if v := r.Value(); v != 5 {
+		t.Errorf("EWMA moved on degenerate windows: %v, want 5", v)
+	}
+	// The marks from the rejected windows are still pending and fold into
+	// the next valid window rather than being lost.
+	r.Mark(0)
+	if got := r.Tick(5); got != 3 {
+		t.Errorf("pending marks after degenerate windows: rate = %v, want 3 (15 marks / 5 ticks)", got)
+	}
+}

@@ -1,0 +1,109 @@
+package flight
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"sync"
+)
+
+// Structured run logging: a log/slog-compatible handler that routes
+// every subsystem log record into the flight recorder (as a CodeLog
+// event with the message interned and the level in A) and, optionally,
+// to a JSONL sink — one JSON object per line, the machine-readable run
+// log cmd/ampsched writes behind -log-json. The recorder leg means the
+// last N log lines are always part of a flight dump, even when no sink
+// was configured; the sink leg is the durable file.
+
+// HandlerOptions configures NewHandler.
+type HandlerOptions struct {
+	// Level is the minimum record level (defaults to slog.LevelInfo).
+	Level slog.Leveler
+	// Sink, when non-nil, additionally receives every record as one JSON
+	// line (slog's JSON schema). The handler serializes writes, so one
+	// file may back handlers shared across goroutines.
+	Sink io.Writer
+	// DropTime omits the "time" attribute from sink lines, making the
+	// JSONL byte-deterministic for deterministic workloads — the mode
+	// tests use. Post-mortem production logs keep timestamps.
+	DropTime bool
+}
+
+// Handler is the slog.Handler. Create with NewHandler.
+type Handler struct {
+	rec   *Recorder
+	level slog.Leveler
+	sink  slog.Handler
+	mu    *sync.Mutex // serializes sink writes across WithAttrs clones
+}
+
+// NewHandler returns a slog handler recording into rec (which may be
+// nil: only the sink leg remains) under opts.
+func NewHandler(rec *Recorder, opts HandlerOptions) *Handler {
+	h := &Handler{rec: rec, level: opts.Level, mu: &sync.Mutex{}}
+	if h.level == nil {
+		h.level = slog.LevelInfo
+	}
+	if opts.Sink != nil {
+		var replace func(groups []string, a slog.Attr) slog.Attr
+		if opts.DropTime {
+			replace = func(groups []string, a slog.Attr) slog.Attr {
+				if len(groups) == 0 && a.Key == slog.TimeKey {
+					return slog.Attr{}
+				}
+				return a
+			}
+		}
+		h.sink = slog.NewJSONHandler(opts.Sink, &slog.HandlerOptions{
+			Level:       h.level,
+			ReplaceAttr: replace,
+		})
+	}
+	return h
+}
+
+// Enabled implements slog.Handler.
+func (h *Handler) Enabled(_ context.Context, level slog.Level) bool {
+	return level >= h.level.Level()
+}
+
+// Handle implements slog.Handler: the record's message is interned into
+// the recorder (first sight allocates, repeats don't) and the event's A
+// carries the level; the full attribute set goes to the sink only — the
+// ring keeps fixed-size events.
+func (h *Handler) Handle(ctx context.Context, rec slog.Record) error {
+	if h.rec != nil {
+		h.rec.Record(Event{
+			Code:  CodeLog,
+			Tick:  rec.Time.UnixNano(),
+			Stage: -1,
+			Aux:   h.rec.Intern(rec.Message),
+			A:     float64(rec.Level),
+		})
+	}
+	if h.sink != nil {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		return h.sink.Handle(ctx, rec)
+	}
+	return nil
+}
+
+// WithAttrs implements slog.Handler. The recorder leg ignores attrs
+// (events are fixed-size); the sink leg threads them through.
+func (h *Handler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	out := *h
+	if h.sink != nil {
+		out.sink = h.sink.WithAttrs(attrs)
+	}
+	return &out
+}
+
+// WithGroup implements slog.Handler.
+func (h *Handler) WithGroup(name string) slog.Handler {
+	out := *h
+	if h.sink != nil {
+		out.sink = h.sink.WithGroup(name)
+	}
+	return &out
+}

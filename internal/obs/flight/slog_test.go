@@ -1,0 +1,93 @@
+package flight
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestHandlerRoutesIntoRecorderAndSink(t *testing.T) {
+	rec := New(16)
+	var sink bytes.Buffer
+	lg := slog.New(NewHandler(rec, HandlerOptions{Sink: &sink, DropTime: true}))
+	lg.Info("plan resolved", "strategy", "herad", "period", 412.5)
+	lg.Warn("drift detected", "stage", 1)
+	lg.Debug("invisible at the default level")
+
+	evs := rec.Snapshot()
+	if len(evs) != 2 {
+		t.Fatalf("recorder holds %d events, want 2: %+v", len(evs), evs)
+	}
+	if evs[0].Code != CodeLog || rec.Lookup(evs[0].Aux) != "plan resolved" {
+		t.Fatalf("first event = %+v (aux %q)", evs[0], rec.Lookup(evs[0].Aux))
+	}
+	if lvl := slog.Level(evs[1].A); lvl != slog.LevelWarn {
+		t.Fatalf("second event level = %v", lvl)
+	}
+
+	lines := strings.Split(strings.TrimSpace(sink.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("sink holds %d lines, want 2:\n%s", len(lines), sink.String())
+	}
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &doc); err != nil {
+		t.Fatalf("sink line is not JSON: %v", err)
+	}
+	if doc["msg"] != "plan resolved" || doc["strategy"] != "herad" {
+		t.Fatalf("sink line = %v", doc)
+	}
+	if _, hasTime := doc["time"]; hasTime {
+		t.Fatal("DropTime left a time attribute in the sink line")
+	}
+}
+
+func TestHandlerDropTimeIsByteDeterministic(t *testing.T) {
+	run := func() string {
+		var sink bytes.Buffer
+		lg := slog.New(NewHandler(nil, HandlerOptions{Sink: &sink, DropTime: true}))
+		lg.Info("frame drop", "seq", 42)
+		lg.Error("replica stall", "stage", 3, "replica", 1)
+		return sink.String()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("sink output differs between identical runs:\n%s\n---\n%s", a, b)
+	}
+}
+
+func TestHandlerLevelFilterAndNilRecorder(t *testing.T) {
+	var sink bytes.Buffer
+	h := NewHandler(nil, HandlerOptions{Level: slog.LevelError, Sink: &sink, DropTime: true})
+	lg := slog.New(h)
+	lg.Info("filtered")
+	lg.Error("kept")
+	if got := sink.String(); strings.Contains(got, "filtered") || !strings.Contains(got, "kept") {
+		t.Fatalf("level filter: %q", got)
+	}
+	// No recorder, no sink: Handle is still a safe no-op.
+	lg2 := slog.New(NewHandler(nil, HandlerOptions{}))
+	lg2.Info("nowhere")
+}
+
+func TestHandlerWithAttrsAndGroupThreadToSink(t *testing.T) {
+	rec := New(16)
+	var sink bytes.Buffer
+	lg := slog.New(NewHandler(rec, HandlerOptions{Sink: &sink, DropTime: true}))
+	lg.With("run", 7).WithGroup("pipeline").Info("started", "stages", 3)
+	var doc map[string]any
+	if err := json.Unmarshal(bytes.TrimSpace(sink.Bytes()), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc["run"] != float64(7) {
+		t.Fatalf("WithAttrs lost: %v", doc)
+	}
+	grp, ok := doc["pipeline"].(map[string]any)
+	if !ok || grp["stages"] != float64(3) {
+		t.Fatalf("WithGroup lost: %v", doc)
+	}
+	// The recorder leg still captured the message through the clones.
+	if evs := rec.Snapshot(); len(evs) != 1 || rec.Lookup(evs[0].Aux) != "started" {
+		t.Fatalf("recorder events = %+v", rec.Snapshot())
+	}
+}

@@ -1,9 +1,12 @@
 // Package obshttp exposes a process's observability surface over HTTP:
 // the obs metric registry as plain text (/metrics) and as the canonical
-// metrics.json report (/metrics.json), the Go runtime's expvar variables
-// (/debug/vars), and the standard pprof profiling endpoints
-// (/debug/pprof/...). cmd/ampsched mounts it with -listen so long sweeps
-// can be inspected live instead of only through the end-of-run -stats dump.
+// metrics.json report (/metrics.json), SLO burn-rate families appended
+// to /metrics, liveness and readiness probes (/healthz, /readyz), the
+// black-box flight recorder dump (/debug/flightz), the Go runtime's
+// expvar variables (/debug/vars), and the standard pprof profiling
+// endpoints (/debug/pprof/...). cmd/ampsched mounts it with -listen so
+// long sweeps can be inspected live instead of only through the
+// end-of-run -stats dump.
 //
 // The package follows the repository's observability discipline: a nil
 // registry serves empty (never panics), handlers snapshot on every request
@@ -23,17 +26,39 @@ import (
 	"strings"
 
 	"ampsched/internal/obs"
+	"ampsched/internal/obs/flight"
 )
+
+// HandlerOptions extends the exposition mux beyond the metric registry.
+// The zero value serves the classic surface.
+type HandlerOptions struct {
+	// Flight, when non-nil, mounts /debug/flightz serving the recorder's
+	// deterministic dump with a per-code summary header.
+	Flight *flight.Recorder
+	// SLOs are evaluated on every /metrics scrape and appended as
+	// slo_<name>_* families; /readyz reports 503 while any objective
+	// burns above 1.
+	SLOs []obs.SLO
+	// Ready, when non-nil, gates /readyz in addition to the SLO check —
+	// the hook a daemon uses to signal "still warming up".
+	Ready func() bool
+}
 
 // NewHandler returns the exposition mux for r. tool names the producing
 // binary in /metrics.json reports. A nil r serves empty metric sets; the
 // debug endpoints work regardless.
 func NewHandler(tool string, r *obs.Registry) http.Handler {
+	return NewHandlerOpts(tool, r, HandlerOptions{})
+}
+
+// NewHandlerOpts is NewHandler with the extended surface of opts.
+func NewHandlerOpts(tool string, r *obs.Registry, opts HandlerOptions) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", index)
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		WriteText(w, r)
+		WriteSLOText(w, r, opts.SLOs)
 	})
 	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -44,9 +69,35 @@ func NewHandler(tool string, r *obs.Registry) http.Handler {
 	})
 	mux.HandleFunc("/statusz", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		if err := WriteStatusz(w, tool, r); err != nil {
+		if err := WriteStatuszOpts(w, tool, r, StatuszOptions{SLOs: opts.SLOs}); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		// Liveness: answering at all is the signal.
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if opts.Ready != nil && !opts.Ready() {
+			http.Error(w, "not ready", http.StatusServiceUnavailable)
+			return
+		}
+		for _, st := range obs.EvaluateSLOs(r, opts.SLOs) {
+			if !st.Met {
+				http.Error(w, fmt.Sprintf("slo %s burning at %.3g (>1)", st.Name, st.BurnRate),
+					http.StatusServiceUnavailable)
+				return
+			}
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/flightz", func(w http.ResponseWriter, req *http.Request) {
+		// A nil recorder serves the empty dump — the endpoint is always
+		// mounted so probes need not know whether recording is on.
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		writeFlightz(w, opts.Flight)
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -57,6 +108,18 @@ func NewHandler(tool string, r *obs.Registry) http.Handler {
 	return mux
 }
 
+// writeFlightz renders the /debug/flightz body: a per-code summary
+// followed by the recorder's deterministic dump.
+func writeFlightz(w interface{ Write([]byte) (int, error) }, rec *flight.Recorder) {
+	counts := rec.CountByCode()
+	for c := 0; c < flight.NumCodes; c++ {
+		if counts[c] > 0 {
+			fmt.Fprintf(w, "# %s: %d\n", flight.Code(c), counts[c])
+		}
+	}
+	rec.WriteDump(w) //nolint:errcheck // ResponseWriter errors mean a gone client
+}
+
 // index is the human-facing front page listing the mounted endpoints.
 func index(w http.ResponseWriter, req *http.Request) {
 	if req.URL.Path != "/" {
@@ -65,11 +128,14 @@ func index(w http.ResponseWriter, req *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprint(w, `ampsched observability endpoints:
-  /metrics       registry snapshot, Prometheus text exposition
-  /metrics.json  registry snapshot, metrics.json report
-  /statusz       registry snapshot with series tails and quantiles, JSON
-  /debug/vars    expvar JSON
-  /debug/pprof/  pprof profiles
+  /metrics        registry snapshot, Prometheus text exposition (+ SLO families)
+  /metrics.json   registry snapshot, metrics.json report
+  /statusz        registry snapshot with series tails, quantiles and SLOs, JSON
+  /healthz        liveness probe
+  /readyz         readiness probe (503 while an SLO burns above 1)
+  /debug/flightz  flight-recorder dump
+  /debug/vars     expvar JSON
+  /debug/pprof/   pprof profiles
 `)
 }
 
@@ -126,21 +192,78 @@ func WriteText(w interface{ Write([]byte) (int, error) }, r *obs.Registry) {
 	}
 }
 
+// WriteSLOText appends the SLO burn-rate families to a /metrics scrape,
+// one five-family block per objective in configuration order:
+//
+//	slo_<name>_observations_total  counter  histogram observation count
+//	slo_<name>_breaches_total      counter  observations over the threshold
+//	slo_<name>_burn_rate           gauge    (breaches/total)/(1−quantile)
+//	slo_<name>_threshold           gauge    the configured bound
+//	slo_<name>_met                 gauge    1 when burn ≤ 1
+//
+// Output is deterministic for identical registry states and promlint-
+// clean; no SLOs writes nothing.
+func WriteSLOText(w interface{ Write([]byte) (int, error) }, r *obs.Registry, slos []obs.SLO) {
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, st := range obs.EvaluateSLOs(r, slos) {
+		base := "slo_" + textName(st.Name)
+		fmt.Fprintf(w, "# TYPE %s_observations_total counter\n", base)
+		fmt.Fprintf(w, "%s_observations_total %d\n", base, st.Total)
+		fmt.Fprintf(w, "# TYPE %s_breaches_total counter\n", base)
+		fmt.Fprintf(w, "%s_breaches_total %d\n", base, st.Breaches)
+		fmt.Fprintf(w, "# TYPE %s_burn_rate gauge\n", base)
+		fmt.Fprintf(w, "%s_burn_rate %s\n", base, f(st.BurnRate))
+		fmt.Fprintf(w, "# TYPE %s_threshold gauge\n", base)
+		fmt.Fprintf(w, "%s_threshold %s\n", base, f(st.Threshold))
+		met := 0
+		if st.Met {
+			met = 1
+		}
+		fmt.Fprintf(w, "# TYPE %s_met gauge\n", base)
+		fmt.Fprintf(w, "%s_met %d\n", base, met)
+	}
+}
+
 // Statusz is the /statusz document: the full deterministic registry
 // snapshot — including series tails and histogram quantiles — plus the
-// producing tool's name. It deliberately carries no timestamp so two
-// scrapes of the same state are byte-identical.
+// producing tool's name and any evaluated SLOs. It deliberately carries
+// no timestamp so two scrapes of the same state are byte-identical.
 type Statusz struct {
-	Tool    string       `json:"tool"`
-	Metrics []obs.Sample `json:"metrics"`
+	Tool    string          `json:"tool"`
+	Metrics []obs.Sample    `json:"metrics"`
+	SLOs    []obs.SLOStatus `json:"slos,omitempty"`
+}
+
+// StatuszOptions shapes a /statusz document.
+type StatuszOptions struct {
+	// ZeroTimers blanks the wall-clock TotalNs field of timer samples —
+	// the one nondeterministic family — making the document byte-
+	// deterministic for deterministic workloads (benchreport's
+	// -statusz-zero-timers snapshot mode).
+	ZeroTimers bool
+	// SLOs are evaluated against the registry and embedded.
+	SLOs []obs.SLO
 }
 
 // WriteStatusz writes the /statusz JSON document for r. A nil registry
 // yields an empty metric list.
 func WriteStatusz(w interface{ Write([]byte) (int, error) }, tool string, r *obs.Registry) error {
+	return WriteStatuszOpts(w, tool, r, StatuszOptions{})
+}
+
+// WriteStatuszOpts is WriteStatusz shaped by opts.
+func WriteStatuszOpts(w interface{ Write([]byte) (int, error) }, tool string, r *obs.Registry, opts StatuszOptions) error {
+	doc := Statusz{Tool: tool, Metrics: r.Snapshot(), SLOs: obs.EvaluateSLOs(r, opts.SLOs)}
+	if opts.ZeroTimers {
+		for i := range doc.Metrics {
+			if doc.Metrics[i].Kind == obs.KindTimer {
+				doc.Metrics[i].TotalNs = 0
+			}
+		}
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(Statusz{Tool: tool, Metrics: r.Snapshot()})
+	return enc.Encode(doc)
 }
 
 // textName maps a dotted series name to the exposition-format convention:
@@ -160,11 +283,16 @@ type Server struct {
 // ":8080") in a background goroutine and returns the running server. The
 // caller owns the returned server and must Close it.
 func Serve(addr, tool string, r *obs.Registry) (*Server, error) {
+	return ServeOpts(addr, tool, r, HandlerOptions{})
+}
+
+// ServeOpts is Serve with the extended surface of opts.
+func ServeOpts(addr, tool string, r *obs.Registry, opts HandlerOptions) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{ln: ln, srv: &http.Server{Handler: NewHandler(tool, r)}}
+	s := &Server{ln: ln, srv: &http.Server{Handler: NewHandlerOpts(tool, r, opts)}}
 	go s.srv.Serve(ln) //nolint:errcheck // ErrServerClosed after Close
 	return s, nil
 }

@@ -166,6 +166,27 @@ func (h *LogHistogram) Quantile(q float64) float64 {
 	return logBucketMid(logBuckets - 1)
 }
 
+// CountAbove returns the number of observations recorded in buckets
+// strictly above the bucket containing v — the SLO layer's "breach
+// count" for a threshold of v. Like the quantiles, the answer is exact
+// at bucket granularity: observations inside v's own bucket (within one
+// bucket width, ≤ 4.4% of v) count as within threshold. Non-positive
+// thresholds count every positive observation; 0 on a nil receiver.
+func (h *LogHistogram) CountAbove(v float64) int64 {
+	if h == nil {
+		return 0
+	}
+	from := 0
+	if v > 0 {
+		from = logBucketIndex(v) + 1
+	}
+	var n int64
+	for i := from; i < logBuckets; i++ {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
 // QuantileSnapshot is a deterministic percentile summary of a
 // LogHistogram at one instant.
 type QuantileSnapshot struct {

@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Service-level objectives over streaming latency histograms. An SLO
+// binds a registered LogHistogram to a latency objective — "the
+// Quantile-quantile of Metric stays at or below Threshold" — and
+// evaluation derives SRE-style error-budget accounting from the
+// histogram's bucket counts:
+//
+//	budget    = 1 − Quantile          (allowed breach fraction)
+//	breaches  = CountAbove(Threshold) (observations over the bound)
+//	burn rate = (breaches/total) / budget
+//
+// A burn rate of 1 consumes the budget exactly as fast as it accrues;
+// above 1 the objective is being violated. Burn rate is preferable to a
+// raw quantile check because it is proportional: a p95 objective
+// breached by 20% of requests reports burn 4, not just "missed".
+//
+// SLOs are pure read-side objects — they never create metrics and never
+// mutate the histogram — so /metrics handlers can evaluate them on every
+// scrape against a live registry.
+
+// SLO is one latency objective over a registered LogHistogram.
+type SLO struct {
+	// Name is the objective's metric-safe slug; exposition families are
+	// named slo_<Name>_*.
+	Name string `json:"name"`
+	// Metric is the registry name of the LogHistogram the objective
+	// tracks (e.g. "streampu.frame_latency_us").
+	Metric string `json:"metric"`
+	// Quantile is the objective quantile in (0, 1), e.g. 0.95 for p95.
+	Quantile float64 `json:"quantile"`
+	// Threshold is the latency bound in the metric's own unit.
+	Threshold float64 `json:"threshold"`
+}
+
+// ParseSLO parses the cmd-line SLO syntax:
+//
+//	[name=]metric:pQQ<=threshold
+//
+// e.g. "streampu.frame_latency_us:p95<=5000" or, naming the objective
+// explicitly, "frame_p95=streampu.frame_latency_us:p95<=5000". The
+// quantile token is p50, p95, p99, p99.9, ... — "p" followed by a
+// percentage. When no name is given one is derived from the metric slug
+// and the quantile ("streampu_frame_latency_us_p95").
+func ParseSLO(spec string) (SLO, error) {
+	var s SLO
+	rest := spec
+	// A name prefix is an '=' before the metric:condition colon — the
+	// '=' inside the condition's "<=" always follows the colon.
+	if eq := strings.IndexByte(rest, '='); eq >= 0 && eq < strings.IndexByte(rest, ':') {
+		s.Name = strings.TrimSpace(rest[:eq])
+		rest = rest[eq+1:]
+	}
+	colon := strings.LastIndexByte(rest, ':')
+	if colon < 0 {
+		return SLO{}, fmt.Errorf("obs: SLO %q: want [name=]metric:pQQ<=threshold", spec)
+	}
+	s.Metric = strings.TrimSpace(rest[:colon])
+	cond := strings.TrimSpace(rest[colon+1:])
+	le := strings.Index(cond, "<=")
+	if s.Metric == "" || le < 0 || !strings.HasPrefix(cond, "p") {
+		return SLO{}, fmt.Errorf("obs: SLO %q: want [name=]metric:pQQ<=threshold", spec)
+	}
+	pct, err := strconv.ParseFloat(cond[1:le], 64)
+	if err != nil || !(pct > 0) || !(pct < 100) {
+		return SLO{}, fmt.Errorf("obs: SLO %q: quantile %q outside (p0, p100)", spec, cond[:le])
+	}
+	s.Quantile = pct / 100
+	s.Threshold, err = strconv.ParseFloat(strings.TrimSpace(cond[le+2:]), 64)
+	if err != nil || s.Threshold <= 0 {
+		return SLO{}, fmt.Errorf("obs: SLO %q: bad threshold %q", spec, cond[le+2:])
+	}
+	if s.Name == "" {
+		s.Name = Slug(s.Metric) + "_p" + strings.ReplaceAll(cond[1:le], ".", "_")
+	} else {
+		s.Name = Slug(s.Name)
+	}
+	return s, nil
+}
+
+// ParseSLOs parses a comma-separated list of SLO specs (the -slo flag
+// value). Empty input yields nil.
+func ParseSLOs(specs string) ([]SLO, error) {
+	if strings.TrimSpace(specs) == "" {
+		return nil, nil
+	}
+	var out []SLO
+	for _, spec := range strings.Split(specs, ",") {
+		s, err := ParseSLO(strings.TrimSpace(spec))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// SLOStatus is one evaluated objective: the SLO plus its error-budget
+// accounting at the evaluation instant.
+type SLOStatus struct {
+	SLO
+	// Total is the histogram's observation count (0 when the metric is
+	// absent — an absent metric is vacuously met, not an error, so SLOs
+	// can be configured before the workload registers its histograms).
+	Total int64 `json:"total"`
+	// Breaches counts observations above Threshold (bucket-granular; see
+	// LogHistogram.CountAbove).
+	Breaches int64 `json:"breaches"`
+	// Budget is the allowed breach fraction, 1 − Quantile.
+	Budget float64 `json:"budget"`
+	// BurnRate is (Breaches/Total)/Budget; 0 when Total is 0.
+	BurnRate float64 `json:"burn_rate"`
+	// Met reports whether the objective holds: BurnRate ≤ 1.
+	Met bool `json:"met"`
+}
+
+// findLogHistogram looks up an already-registered LogHistogram without
+// creating it (and without the kind-mismatch panic of the creating
+// lookup): nil when absent, differently-kinded, or on a nil registry.
+func (r *Registry) findLogHistogram(name string) *LogHistogram {
+	if r == nil {
+		return nil
+	}
+	r.store.mu.Lock()
+	defer r.store.mu.Unlock()
+	m, ok := r.store.byName[r.prefix+name]
+	if !ok || m.kind != KindLogHistogram {
+		return nil
+	}
+	return m.lh
+}
+
+// Evaluate computes the objective's current status against r. A nil
+// registry, an unregistered metric, or a metric registered under a
+// different kind all evaluate as an empty, met objective.
+func (s SLO) Evaluate(r *Registry) SLOStatus {
+	st := SLOStatus{SLO: s, Budget: 1 - s.Quantile, Met: true}
+	h := r.findLogHistogram(s.Metric)
+	if h == nil {
+		return st
+	}
+	st.Total = h.Count()
+	st.Breaches = h.CountAbove(s.Threshold)
+	if st.Total > 0 && st.Budget > 0 {
+		st.BurnRate = (float64(st.Breaches) / float64(st.Total)) / st.Budget
+		st.Met = st.BurnRate <= 1
+	}
+	return st
+}
+
+// EvaluateSLOs evaluates each objective in order against r — the order
+// is the configuration order, so exposition output is deterministic.
+func EvaluateSLOs(r *Registry, slos []SLO) []SLOStatus {
+	if len(slos) == 0 {
+		return nil
+	}
+	out := make([]SLOStatus, len(slos))
+	for i, s := range slos {
+		out[i] = s.Evaluate(r)
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLogHistogramCountAbove(t *testing.T) {
+	h := NewLogHistogram()
+	for _, v := range []float64{1, 10, 100, 1000, 10000} {
+		h.Observe(v)
+	}
+	h.Observe(0)  // zero bucket: never "above" any threshold
+	h.Observe(-5) // ditto
+	cases := []struct {
+		threshold float64
+		want      int64
+	}{
+		{0, 5},     // non-positive threshold counts every positive observation
+		{-1, 5},    // ditto
+		{1, 4},     // 10, 100, 1000, 10000
+		{50, 3},    // bucket-granular: 100 and above
+		{1000, 1},  // only 10000
+		{20000, 0}, // nothing above
+	}
+	for _, tc := range cases {
+		if got := h.CountAbove(tc.threshold); got != tc.want {
+			t.Errorf("CountAbove(%v) = %d, want %d", tc.threshold, got, tc.want)
+		}
+	}
+	var nilH *LogHistogram
+	if nilH.CountAbove(1) != 0 {
+		t.Error("nil CountAbove != 0")
+	}
+}
+
+func TestParseSLO(t *testing.T) {
+	s, err := ParseSLO("streampu.frame_latency_us:p95<=5000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := SLO{Name: "streampu_frame_latency_us_p95", Metric: "streampu.frame_latency_us", Quantile: 0.95, Threshold: 5000}
+	if s != want {
+		t.Errorf("parsed = %+v, want %+v", s, want)
+	}
+
+	s, err = ParseSLO("frame lat=streampu.frame_latency_us:p99.9<=1e4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "frame_lat" || math.Abs(s.Quantile-0.999) > 1e-12 || s.Threshold != 1e4 {
+		t.Errorf("named spec parsed = %+v", s)
+	}
+
+	for _, bad := range []string{
+		"", "nometric", "m:p95", "m:95<=10", "m:p0<=10", "m:p100<=10",
+		"m:p95<=-1", "m:p95<=zero", ":p95<=10", "m:pNaN<=10",
+	} {
+		if _, err := ParseSLO(bad); err == nil {
+			t.Errorf("ParseSLO(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseSLOs(t *testing.T) {
+	slos, err := ParseSLOs("a.lat:p95<=100, b.lat:p99<=200")
+	if err != nil || len(slos) != 2 || slos[1].Metric != "b.lat" {
+		t.Fatalf("slos = %+v, err = %v", slos, err)
+	}
+	if slos, err := ParseSLOs("  "); err != nil || slos != nil {
+		t.Fatalf("empty spec: %+v, %v", slos, err)
+	}
+	if _, err := ParseSLOs("a.lat:p95<=100,broken"); err == nil {
+		t.Fatal("bad list accepted")
+	}
+}
+
+func TestSLOEvaluateBurnRate(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.LogHistogram("plan.latency_us")
+	// 100 observations, 20 of them far above a p95<=100 objective:
+	// burn = (20/100)/0.05 = 4.
+	for i := 0; i < 80; i++ {
+		h.Observe(10)
+	}
+	for i := 0; i < 20; i++ {
+		h.Observe(10000)
+	}
+	slo := SLO{Name: "plan_p95", Metric: "plan.latency_us", Quantile: 0.95, Threshold: 100}
+	st := slo.Evaluate(reg)
+	if st.Total != 100 || st.Breaches != 20 {
+		t.Fatalf("status = %+v", st)
+	}
+	if math.Abs(st.BurnRate-4) > 1e-9 || st.Met {
+		t.Errorf("burn = %v met = %v, want 4 / false", st.BurnRate, st.Met)
+	}
+	if math.Abs(st.Budget-0.05) > 1e-12 {
+		t.Errorf("budget = %v", st.Budget)
+	}
+
+	// A compliant histogram burns below 1.
+	ok := reg.LogHistogram("ok.latency_us")
+	for i := 0; i < 99; i++ {
+		ok.Observe(10)
+	}
+	ok.Observe(10000)
+	st = SLO{Name: "ok", Metric: "ok.latency_us", Quantile: 0.95, Threshold: 100}.Evaluate(reg)
+	if !st.Met || math.Abs(st.BurnRate-0.2) > 1e-9 {
+		t.Errorf("compliant status = %+v", st)
+	}
+}
+
+func TestSLOEvaluateAbsentMetricIsVacuouslyMet(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("not.a.histogram").Inc()
+	for _, metric := range []string{"missing", "not.a.histogram"} {
+		st := SLO{Name: "x", Metric: metric, Quantile: 0.95, Threshold: 1}.Evaluate(reg)
+		if !st.Met || st.Total != 0 || st.BurnRate != 0 {
+			t.Errorf("metric %q status = %+v", metric, st)
+		}
+	}
+	st := SLO{Name: "x", Metric: "any", Quantile: 0.95, Threshold: 1}.Evaluate(nil)
+	if !st.Met || st.Budget == 0 {
+		t.Errorf("nil-registry status = %+v", st)
+	}
+	if EvaluateSLOs(reg, nil) != nil {
+		t.Error("EvaluateSLOs(nil slos) != nil")
+	}
+	if got := EvaluateSLOs(reg, []SLO{{Metric: "missing", Quantile: 0.9, Threshold: 1}}); len(got) != 1 {
+		t.Errorf("EvaluateSLOs = %+v", got)
+	}
+}

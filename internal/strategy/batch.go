@@ -9,6 +9,7 @@ import (
 
 	"ampsched/internal/core"
 	"ampsched/internal/obs"
+	"ampsched/internal/obs/flight"
 	"ampsched/internal/trace"
 )
 
@@ -272,7 +273,29 @@ func plan(req Request, sp *trace.Span, batchParallel bool) Result {
 		m.Histogram("request_us", obs.DurationBucketsUs).
 			Observe(float64(res.Elapsed.Nanoseconds()) / 1e3)
 	}
+	recordPlanFlight(req, res)
 	return res
+}
+
+// recordPlanFlight appends one CodePlan flight event for a resolved
+// request: A is the emitted period (+Inf on failure), B the stage count,
+// Aux the strategy name. No-op without a recorder.
+func recordPlanFlight(req Request, res Result) {
+	fr := req.Options.Flight
+	if fr == nil {
+		return
+	}
+	var aux uint32
+	if req.Scheduler != nil {
+		aux = fr.Intern(req.Scheduler.Name())
+	}
+	fr.Record(flight.Event{
+		Code:  flight.CodePlan,
+		Stage: -1,
+		Aux:   aux,
+		A:     res.Period,
+		B:     float64(len(res.Solution.Stages)),
+	})
 }
 
 // resolveCached builds the Result of a cache-served request from the
@@ -312,5 +335,6 @@ func resolveCached(req Request, sp *trace.Span, sol core.Solution, leader int) R
 		m.Histogram("request_us", obs.DurationBucketsUs).
 			Observe(float64(res.Elapsed.Nanoseconds()) / 1e3)
 	}
+	recordPlanFlight(req, res)
 	return res
 }

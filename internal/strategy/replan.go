@@ -6,6 +6,7 @@ import (
 
 	"ampsched/internal/core"
 	"ampsched/internal/herad"
+	"ampsched/internal/obs/flight"
 	"ampsched/internal/trace"
 )
 
@@ -162,6 +163,15 @@ func replanResult(p *herad.Planner, req Request, sp *trace.Span) Result {
 		m.Counter("warm_starts").Inc()
 		m.Counter("rows_refilled").Add(int64(p.RowsRefilled()))
 		m.Counter("rows_total").Add(int64(req.Chain.Len()))
+	}
+	if fr := req.Options.Flight; fr != nil {
+		fr.Record(flight.Event{
+			Code:  flight.CodeReplan,
+			Stage: -1,
+			Aux:   fr.Intern(req.Scheduler.Name()),
+			A:     res.Period,
+			B:     float64(p.RowsRefilled()),
+		})
 	}
 	return res
 }

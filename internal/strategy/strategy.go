@@ -23,6 +23,7 @@ import (
 
 	"ampsched/internal/core"
 	"ampsched/internal/obs"
+	"ampsched/internal/obs/flight"
 	"ampsched/internal/sched"
 	"ampsched/internal/trace"
 )
@@ -132,6 +133,13 @@ type Options struct {
 	// "request" span per batch item. When nil (the default) journaling is
 	// disabled and adds zero allocations per schedule.
 	Trace *trace.Span
+	// Flight is the black-box flight recorder. When non-nil, PlanBatch
+	// records one CodePlan event per resolved request and ReplanBatch one
+	// CodeReplan event per warm start. Like Metrics and Trace it is a pure
+	// observability sink — it never changes the emitted schedule — and is
+	// therefore excluded from the solution cache key. Nil (the default)
+	// records nothing at zero cost.
+	Flight *flight.Recorder
 }
 
 // MetricsScope returns the per-scheduler view of reg — the same slugged

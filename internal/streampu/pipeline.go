@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"ampsched/internal/core"
+	"ampsched/internal/obs/flight"
 )
 
 // Options configures a pipeline run.
@@ -34,6 +35,14 @@ type Options struct {
 	// live windowed telemetry; snapshot it with Sampler.Sample while the
 	// run is in flight.
 	Sampler *Sampler
+	// Flight, when set, receives black-box events from the run: one
+	// CodeFrameDrop per frame that finishes a stage with a non-nil Err
+	// (tick and A = frame sequence), and one CodeStall per handoff that
+	// found the downstream buffer full (tick and A = frame sequence,
+	// B = blocked replica index) — the backpressure signal. Stall probing
+	// only happens when a recorder is attached, so the nil default keeps
+	// the handoff a plain channel send.
+	Flight *flight.Recorder
 }
 
 func (o Options) withDefaults() Options {
@@ -241,6 +250,7 @@ func (p *Pipeline) Run(frames int, src func(f *Frame)) (Stats, error) {
 						f = ff
 					}
 					pickup := time.Now()
+					erredBefore := f.Err != nil
 					for ti, t := range insts {
 						var t0 time.Time
 						if p.opt.Profile {
@@ -271,6 +281,14 @@ func (p *Pipeline) Run(frames int, src func(f *Frame)) (Stats, error) {
 					res.processed++
 					if f.Err != nil {
 						res.errored++
+						if !erredBefore {
+							// Record the drop once, at the stage that broke the
+							// frame — downstream stages just carry the error.
+							p.opt.Flight.Record(flight.Event{
+								Code: flight.CodeFrameDrop, Tick: int64(f.Seq),
+								Stage: int32(si), A: float64(f.Seq),
+							})
+						}
 					}
 					if si == m-1 {
 						now := time.Now()
@@ -282,7 +300,23 @@ func (p *Pipeline) Run(frames int, src func(f *Frame)) (Stats, error) {
 							res.lastAt = now
 						}
 					} else {
-						out.ch[w][int(f.Seq)%p.stages[si+1].Cores] <- f
+						dst := out.ch[w][int(f.Seq)%p.stages[si+1].Cores]
+						if p.opt.Flight == nil {
+							dst <- f
+						} else {
+							// Probe first: a full buffer means this replica is
+							// about to block on backpressure — the replica-
+							// stall signal the flight recorder captures.
+							select {
+							case dst <- f:
+							default:
+								p.opt.Flight.Record(flight.Event{
+									Code: flight.CodeStall, Tick: int64(f.Seq),
+									Stage: int32(si), A: float64(f.Seq), B: float64(w),
+								})
+								dst <- f
+							}
+						}
 					}
 				}
 				// Signal downstream that this replica is done.

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"ampsched/internal/obs"
+	"ampsched/internal/obs/flight"
 )
 
 // Live windowed sampling: where Tracer records the full timeline for
@@ -73,6 +74,13 @@ type Sampler struct {
 	// per-stage weight estimate per Sample call (only for stages that
 	// processed frames in the window).
 	Drift *obs.DriftDetector
+
+	// Flight, when set before the run starts, receives one CodeWindow
+	// flight event per (Sample call, stage with frames): tick = window
+	// index, A = windowed occupancy, B = weight estimate in modeled µs.
+	// Wall-clock driven, so not golden-testable — the desim sampler is
+	// the deterministic counterpart.
+	Flight *flight.Recorder
 
 	state atomic.Pointer[samplerState]
 
@@ -212,6 +220,13 @@ func (s *Sampler) Sample(now time.Time) []StageSample {
 		s.occSeries[i].Append(tick, occ)
 		s.occEwma[i].Update(occ)
 		if dFrames > 0 {
+			s.Flight.Record(flight.Event{
+				Code:  flight.CodeWindow,
+				Tick:  tick,
+				Stage: int32(i),
+				A:     occ,
+				B:     ss.WeightEstimate,
+			})
 			s.Drift.Observe(i, tick, ss.WeightEstimate)
 		}
 		s.prevBusy[i] = busy
