@@ -20,8 +20,8 @@
 //
 // Usage:
 //
-//	benchreport [-o BENCH_PR8.json] [-benchtime 100ms] [-match herad]
-//	            [-baseline BENCH_PR8.json] [-maxregress 25] [-list]
+//	benchreport [-o BENCH_PR10.json] [-benchtime 100ms] [-match herad]
+//	            [-baseline BENCH_PR10.json] [-maxregress 25] [-list]
 //	            [-statusz statusz.json] [-statusz-zero-timers]
 //	            [-cpuprofile cpu.prof] [-memprofile mem.prof]
 //
@@ -50,6 +50,7 @@ import (
 	obshttp "ampsched/internal/obs/http"
 	"ampsched/internal/strategy"
 	"ampsched/internal/streampu"
+	"ampsched/internal/streampu/ring"
 	"ampsched/internal/trace"
 )
 
@@ -103,7 +104,7 @@ type statuszOptions struct {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_PR8.json", "report output path")
+	out := flag.String("o", "BENCH_PR10.json", "report output path")
 	benchtime := flag.Duration("benchtime", 100*time.Millisecond, "target measuring time per benchmark")
 	match := flag.String("match", "", "run only benchmarks whose name contains this substring")
 	baseline := flag.String("baseline", "", "committed report to gate guarded benchmarks against")
@@ -410,6 +411,14 @@ func benchmarks() []bench {
 	// measured loop: the pin asserts Record itself never allocates.
 	flightRec := flight.New(0)
 
+	// Shared state for the streampu/ring and frames_steady rows,
+	// likewise allocated outside the measured loops.
+	benchSPSC := ring.NewSPSC[*streampu.Frame](8)
+	benchMPMC := ring.NewMPMC[*streampu.Frame](8)
+	benchPool := streampu.NewFramePool(8)
+	benchFrame := &streampu.Frame{}
+	benchFrameCh := make(chan *streampu.Frame, 8)
+
 	benches := []bench{
 		{name: "registry/schedule_disabled", pinZero: false, fn: func(n int) {
 			for i := 0; i < n; i++ {
@@ -486,6 +495,45 @@ func benchmarks() []bench {
 			s.BindStages([]int{1, 2}, 1, time.Now())
 			for i := 0; i < n; i++ {
 				s.Record(i%2, time.Microsecond)
+			}
+		}},
+		// The ring boundary primitives behind the pipeline's inter-stage
+		// hand-off, pinned at 0 allocs/op: a push+pop round trip through
+		// the SPSC matrix queue and the MPMC frame free list.
+		{name: "streampu/ring/spsc", pinZero: true, fn: func(n int) {
+			f := benchFrame
+			for i := 0; i < n; i++ {
+				benchSPSC.TryPush(f)
+				benchSPSC.TryPop()
+			}
+		}},
+		{name: "streampu/ring/mpmc", pinZero: true, fn: func(n int) {
+			f := benchFrame
+			for i := 0; i < n; i++ {
+				benchMPMC.TryPush(f)
+				benchMPMC.TryPop()
+			}
+		}},
+		// The full steady-state frame hop — acquire from the pool, stamp,
+		// hand through a boundary queue, release — in the ring shape
+		// (pinned 0 allocs/op; the warm-up lap fills the free list) and
+		// the pre-rework channel shape (per-frame &Frame{} plus a channel
+		// round trip), kept as the comparison row the ring must beat.
+		{name: "streampu/frames_steady/ring", pinZero: true, fn: func(n int) {
+			for i := 0; i < n; i++ {
+				f := benchPool.Get()
+				f.Seq = uint64(i)
+				benchSPSC.TryPush(f)
+				if g, ok := benchSPSC.TryPop(); ok {
+					benchPool.Put(g)
+				}
+			}
+		}},
+		{name: "streampu/frames_steady/channel", fn: func(n int) {
+			for i := 0; i < n; i++ {
+				f := &streampu.Frame{Seq: uint64(i)}
+				benchFrameCh <- f
+				<-benchFrameCh
 			}
 		}},
 		// The flight recorder pins zero allocations on BOTH paths: the nil

@@ -149,7 +149,10 @@ func (r *Receiver) Tasks() []streampu.Task {
 	H := p.HeaderSymbols()
 	tasks := []streampu.Task{
 		seqTask("Radio – receive", func(pl *FramePayload) error { // τ1
-			pl.Samples = make([]complex128, p.FrameSamples())
+			// Recycled payloads keep their buffer; Read overwrites it all.
+			if len(pl.Samples) != p.FrameSamples() {
+				pl.Samples = make([]complex128, p.FrameSamples())
+			}
 			r.mu.Lock()
 			r.stream.Read(pl.Samples)
 			r.mu.Unlock()
@@ -206,9 +209,10 @@ func (r *Receiver) Tasks() []streampu.Task {
 		}),
 		seqTask("Sync. Frame – synchronize (part 2)", func(pl *FramePayload) error { // τ10
 			pl.Aligned = r.fextract.Extract(pl.Symbols, pl.SyncOffset, pl.Locked)
-			if pl.Aligned == nil {
-				pl.Skipped = true
-			}
+			// Assigned, not accumulated: frames recycle their payloads
+			// (see streampu.FramePool), so a sticky flag would mark every
+			// frame that reuses this allocation as skipped.
+			pl.Skipped = pl.Aligned == nil
 			return nil
 		}),
 		repTask("Scrambler Symbol – descramble", func(pl *FramePayload) error { // τ11

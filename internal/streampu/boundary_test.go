@@ -1,0 +1,273 @@
+package streampu
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"testing"
+
+	"ampsched/internal/core"
+	"ampsched/internal/desim"
+	"ampsched/internal/obs/flight"
+)
+
+// TestOptionsValidation covers the up-front rejection of option values
+// that previously slipped into the run (negative capacities used to make
+// unbuffered channels; a NaN warmup fraction corrupted the period math).
+func TestOptionsValidation(t *testing.T) {
+	tasks := []Task{timedTask("a", 1, 1, true)}
+	sol := core.Solution{Stages: []core.Stage{{Start: 0, End: 0, Cores: 1, Type: core.Big}}}
+	bad := []Options{
+		{QueueCap: -1},
+		{TimeScale: -2},
+		{TimeScale: math.NaN()},
+		{TimeScale: math.Inf(1)},
+		{WarmupFraction: -0.1},
+		{WarmupFraction: 1},
+		{WarmupFraction: 1.5},
+		{WarmupFraction: math.NaN()},
+		{Boundary: BoundaryKind(99)},
+	}
+	for i, opt := range bad {
+		if _, err := New(tasks, sol, opt); err == nil {
+			t.Errorf("bad options %d accepted: %+v", i, opt)
+		}
+	}
+	// Zero values select the documented defaults; explicit valid values pass.
+	good := []Options{
+		{},
+		{QueueCap: 1, TimeScale: 2, WarmupFraction: 0.5},
+		{Boundary: BoundaryChannel},
+	}
+	for i, opt := range good {
+		if _, err := New(tasks, sol, opt); err != nil {
+			t.Errorf("good options %d rejected: %v", i, err)
+		}
+	}
+}
+
+// runShape executes a 3-stage pipeline (r1 → r2 → 1 sink) over frames
+// frames with the given boundary kind, a deterministic failure pattern,
+// and returns the stats plus the sink's observed delivery order.
+func runShape(t *testing.T, kind BoundaryKind, r1, r2, queueCap, frames int) (Stats, []uint64) {
+	t.Helper()
+	oc := &orderCheck{}
+	failing := &FuncTask{TaskName: "maybe", Rep: true, Fn: func(w *Worker, f *Frame) error {
+		if f.Seq%11 == 5 {
+			return errors.New("boom")
+		}
+		return nil
+	}}
+	tasks := []Task{
+		failing,
+		timedTask("mid", 3, 3, true),
+		oc.task(),
+	}
+	sol := core.Solution{Stages: []core.Stage{
+		{Start: 0, End: 0, Cores: r1, Type: core.Big},
+		{Start: 1, End: 1, Cores: r2, Type: core.Big},
+		{Start: 2, End: 2, Cores: 1, Type: core.Big},
+	}}
+	p, err := New(tasks, sol, Options{Boundary: kind, QueueCap: queueCap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := p.Run(frames, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oc.verify(t, frames)
+	return st, append([]uint64(nil), oc.seen...)
+}
+
+// TestBoundaryDifferential drives the ring boundary and the reference
+// channel boundary through the same deterministic workloads — every
+// replica shape (1→N, N→1, N→M) across several queue capacities — and
+// requires identical frame counts, error counts, and sink delivery order.
+func TestBoundaryDifferential(t *testing.T) {
+	shapes := []struct{ r1, r2 int }{{1, 1}, {1, 4}, {4, 1}, {3, 2}, {2, 3}}
+	for _, sh := range shapes {
+		for _, cap := range []int{1, 2, 8} {
+			t.Run(fmt.Sprintf("%dto%d_cap%d", sh.r1, sh.r2, cap), func(t *testing.T) {
+				const frames = 200
+				ringSt, ringOrder := runShape(t, BoundaryRing, sh.r1, sh.r2, cap, frames)
+				chanSt, chanOrder := runShape(t, BoundaryChannel, sh.r1, sh.r2, cap, frames)
+				if ringSt.Frames != chanSt.Frames || ringSt.Errored != chanSt.Errored {
+					t.Fatalf("stats diverge: ring (%d frames, %d errored) vs channel (%d, %d)",
+						ringSt.Frames, ringSt.Errored, chanSt.Frames, chanSt.Errored)
+				}
+				for i := range ringOrder {
+					if ringOrder[i] != chanOrder[i] {
+						t.Fatalf("delivery order diverges at %d: ring %d vs channel %d",
+							i, ringOrder[i], chanOrder[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestRingBoundaryStressSoak is the -race workhorse for the ring hot
+// path: a fan-out/fan-in pipeline (3→2→4→1) with single-slot queues (so
+// stalls and the blocking slow path fire constantly), a slow sink (so
+// backpressure propagates the whole chain), and thousands of frames. No
+// frame may be lost or reordered, and the error accounting must be exact.
+func TestRingBoundaryStressSoak(t *testing.T) {
+	const frames = 3000
+	oc := &orderCheck{}
+	rec := flight.New(1 << 14)
+	jitter := &FuncTask{TaskName: "jitter", Rep: true, Fn: func(w *Worker, f *Frame) error {
+		if f.Seq%13 == 0 {
+			runtime.Gosched() // perturb replica interleaving
+		}
+		if f.Seq%97 == 17 {
+			return errors.New("boom")
+		}
+		return nil
+	}}
+	slowSink := &FuncTask{TaskName: "sink", Rep: false, Fn: func(w *Worker, f *Frame) error {
+		if f.Seq%29 == 0 {
+			runtime.Gosched() // intermittent sink hiccups induce stalls upstream
+		}
+		return nil
+	}}
+	tasks := []Task{
+		jitter,
+		timedTask("a", 0, 0, true),
+		timedTask("b", 0, 0, true),
+		&chainedTask{Task: oc.task(), also: slowSink},
+	}
+	sol := core.Solution{Stages: []core.Stage{
+		{Start: 0, End: 0, Cores: 3, Type: core.Big},
+		{Start: 1, End: 1, Cores: 2, Type: core.Big},
+		{Start: 2, End: 2, Cores: 4, Type: core.Big},
+		{Start: 3, End: 3, Cores: 1, Type: core.Big},
+	}}
+	p, err := New(tasks, sol, Options{QueueCap: 1, Flight: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := p.Run(frames, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Frames != frames {
+		t.Fatalf("lost frames: got %d, want %d", st.Frames, frames)
+	}
+	wantErr := 0
+	for s := 0; s < frames; s++ {
+		if s%97 == 17 {
+			wantErr++
+		}
+	}
+	if st.Errored != wantErr {
+		t.Fatalf("errored = %d, want %d", st.Errored, wantErr)
+	}
+	oc.verify(t, frames)
+	// Stall events must carry well-formed payloads when they fire (they
+	// are timing-dependent, so only the shape is asserted, not the count).
+	for _, e := range rec.Snapshot() {
+		if e.Code == flight.CodeStall && (e.Stage < 0 || e.Stage >= 3 || e.A != float64(e.Tick)) {
+			t.Fatalf("malformed stall event: %+v", e)
+		}
+	}
+}
+
+// chainedTask runs two tasks as one (the order checker plus the slow
+// sink) so a single sequential stage can both verify order and throttle.
+type chainedTask struct {
+	Task
+	also Task
+}
+
+func (c *chainedTask) Process(w *Worker, f *Frame) error {
+	if err := c.Task.Process(w, f); err != nil {
+		return err
+	}
+	return c.also.Process(w, f)
+}
+
+// TestSteadyStateFrameLoopAllocs pins the tentpole: once the pool's
+// first lap is over, pushing a frame through the pipeline must not touch
+// the allocator. Setup (rings, workers, results) is a per-run constant,
+// so amortized over enough frames the budget is a small fraction of an
+// allocation per frame; the old channel+&Frame{} path sat at ≥ 1.
+func TestSteadyStateFrameLoopAllocs(t *testing.T) {
+	tasks := []Task{
+		timedTask("a", 0, 0, true),
+		timedTask("b", 0, 0, true),
+	}
+	sol := core.Solution{Stages: []core.Stage{
+		{Start: 0, End: 0, Cores: 2, Type: core.Big},
+		{Start: 1, End: 1, Cores: 1, Type: core.Big},
+	}}
+	p, err := New(tasks, sol, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const frames = 5000
+	if _, err := p.Run(64, nil); err != nil { // warm sleep/timer internals
+		t.Fatal(err)
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	st, err := p.Run(frames, nil)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Frames != frames {
+		t.Fatalf("frames = %d, want %d", st.Frames, frames)
+	}
+	perFrame := float64(after.Mallocs-before.Mallocs) / frames
+	if perFrame > 0.5 {
+		t.Fatalf("frame loop allocates %.3f objects/frame, want < 0.5 (steady state must be allocation-free)", perFrame)
+	}
+}
+
+// TestRingPeriodMatchesDesim cross-checks the ring pipeline's measured
+// steady-state period against the discrete-event simulator on the same
+// chain and schedule. Wall-clock execution on a loaded CI box is noisy,
+// so the tolerance is generous — this guards against structural errors
+// (a serialized boundary, a lost pipeline overlap), not timer precision.
+func TestRingPeriodMatchesDesim(t *testing.T) {
+	ctasks := []core.Task{
+		{Name: "t0", Weight: core.Weights(300, 300), Replicable: true},
+		{Name: "t1", Weight: core.Weights(200, 200), Replicable: false},
+	}
+	chain, err := core.NewChain(ctasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol := core.Solution{Stages: []core.Stage{
+		{Start: 0, End: 0, Cores: 2, Type: core.Big},
+		{Start: 1, End: 1, Cores: 1, Type: core.Big},
+	}}
+	sim, err := desim.Simulate(chain, sol, desim.Config{Frames: 1000, QueueCap: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks := []Task{
+		timedTask("t0", 300, 300, true),
+		timedTask("t1", 200, 200, false),
+	}
+	// TimeScale stretches the realized sleeps well past the box's timer
+	// granularity; Stats de-scales the measured period back to modeled µs.
+	p, err := New(tasks, sol, Options{QueueCap: 2, TimeScale: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := p.Run(400, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PeriodMicros <= 0 {
+		t.Fatalf("no period measured: %+v", st)
+	}
+	if ratio := st.PeriodMicros / sim.Period; ratio < 0.5 || ratio > 2 {
+		t.Fatalf("measured period %.1fµs vs simulated %.1fµs (ratio %.2f), want within 2x",
+			st.PeriodMicros, sim.Period, ratio)
+	}
+}

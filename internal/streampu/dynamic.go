@@ -3,8 +3,10 @@ package streampu
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ampsched/internal/core"
@@ -61,13 +63,22 @@ func Dynamic(tasks []Task, frames int, opt DynamicOptions, src func(*Frame)) (St
 	if len(opt.Workers) == 0 {
 		return Stats{}, errors.New("streampu: no workers")
 	}
-	if opt.TimeScale <= 0 {
+	if opt.QueueCap < 0 {
+		return Stats{}, fmt.Errorf("streampu: QueueCap = %d, want >= 0 (0 selects 4x workers)", opt.QueueCap)
+	}
+	if opt.TimeScale < 0 || math.IsNaN(opt.TimeScale) || math.IsInf(opt.TimeScale, 0) {
+		return Stats{}, fmt.Errorf("streampu: TimeScale = %v, want a finite value >= 0 (0 selects 1)", opt.TimeScale)
+	}
+	if opt.WarmupFraction != 0 && (opt.WarmupFraction < 0 || opt.WarmupFraction >= 1 || math.IsNaN(opt.WarmupFraction)) {
+		return Stats{}, fmt.Errorf("streampu: WarmupFraction = %v, want 0 <= f < 1 (0 selects 0.25)", opt.WarmupFraction)
+	}
+	if opt.TimeScale == 0 {
 		opt.TimeScale = 1
 	}
-	if opt.QueueCap <= 0 {
+	if opt.QueueCap == 0 {
 		opt.QueueCap = 4 * len(opt.Workers)
 	}
-	if opt.WarmupFraction <= 0 || opt.WarmupFraction >= 1 {
+	if opt.WarmupFraction == 0 {
 		opt.WarmupFraction = 0.25
 	}
 
@@ -80,28 +91,30 @@ func Dynamic(tasks []Task, frames int, opt DynamicOptions, src func(*Frame)) (St
 
 	ready := make(chan workItem, opt.QueueCap)
 	var wg sync.WaitGroup
-	var mu sync.Mutex
-	var doneTimes []time.Time
-	errored := 0
+
+	// Completion bookkeeping is per-frame on the hot path, so it must not
+	// funnel every worker through one mutex: each finishing frame claims a
+	// unique slot in a preallocated doneTimes with one atomic increment
+	// and writes it contention-free. doneTimes is read only after wg.Wait,
+	// which orders it after every slot write.
+	doneTimes := make([]time.Time, frames)
+	var done, errored atomic.Int64
+	finish := make(chan struct{})
+	finishFrame := func(f *Frame) {
+		if f.Err != nil {
+			errored.Add(1)
+		}
+		idx := done.Add(1) - 1
+		doneTimes[idx] = time.Now()
+		if idx+1 == int64(frames) {
+			close(finish)
+		}
+	}
 
 	// offer hands a frame to task ti, honoring stateful ordering: out-of-
-	// order frames park in the gate until their turn.
-	var offer func(f *Frame, ti int)
-	finish := make(chan struct{})
-	offer = func(f *Frame, ti int) {
-		if ti == len(tasks) {
-			mu.Lock()
-			doneTimes = append(doneTimes, time.Now())
-			if f.Err != nil {
-				errored++
-			}
-			n := len(doneTimes)
-			mu.Unlock()
-			if n == frames {
-				close(finish)
-			}
-			return
-		}
+	// order frames park in the gate until their turn. ti is always a real
+	// task index — workers complete final-stage frames inline.
+	offer := func(f *Frame, ti int) {
 		g := gates[ti]
 		if g == nil {
 			ready <- workItem{frame: f, task: ti}
@@ -148,7 +161,16 @@ func Dynamic(tasks []Task, frames int, opt DynamicOptions, src func(*Frame)) (St
 				}
 				wctx.Settle(t0)
 				release(item.task)
-				go offer(item.frame, item.task+1)
+				if next := item.task + 1; next == len(tasks) {
+					// Completing a frame never blocks, so do it inline
+					// instead of paying a goroutine spawn per item.
+					finishFrame(item.frame)
+				} else {
+					// Handing to the next task may block on the bounded
+					// ready queue; a fresh goroutine keeps this worker
+					// free to drain it (the classic re-enqueue deadlock).
+					go offer(item.frame, next)
+				}
 			}
 		}(w, ct)
 	}
@@ -168,7 +190,7 @@ func Dynamic(tasks []Task, frames int, opt DynamicOptions, src func(*Frame)) (St
 	close(ready)
 	wg.Wait()
 
-	stats := Stats{Frames: len(doneTimes), Errored: errored, Elapsed: elapsed}
+	stats := Stats{Frames: int(done.Load()), Errored: int(errored.Load()), Elapsed: elapsed}
 	sort.Slice(doneTimes, func(i, j int) bool { return doneTimes[i].Before(doneTimes[j]) })
 	warm := int(float64(frames) * opt.WarmupFraction)
 	if warm >= len(doneTimes)-1 {

@@ -1,6 +1,8 @@
 package streampu
 
 import (
+	"errors"
+	"math"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -18,6 +20,63 @@ func TestDynamicValidation(t *testing.T) {
 	}
 	if _, err := Dynamic(tasks, 10, DynamicOptions{}, nil); err == nil {
 		t.Error("no workers accepted")
+	}
+	w := PlatformWorkers(1, 0)
+	bad := []DynamicOptions{
+		{Workers: w, QueueCap: -1},
+		{Workers: w, TimeScale: -1},
+		{Workers: w, TimeScale: math.NaN()},
+		{Workers: w, TimeScale: math.Inf(1)},
+		{Workers: w, WarmupFraction: -0.1},
+		{Workers: w, WarmupFraction: 1},
+		{Workers: w, WarmupFraction: math.NaN()},
+	}
+	for i, opt := range bad {
+		if _, err := Dynamic(tasks, 10, opt, nil); err == nil {
+			t.Errorf("bad options %d accepted: %+v", i, opt)
+		}
+	}
+}
+
+// TestDynamicConcurrentBookkeeping hammers the completion accounting —
+// now a preallocated slot array claimed by one atomic per frame instead
+// of a shared mutex — with many workers, mixed stateful/stateless tasks,
+// and deterministic failures. Exact frame and error counts prove no
+// completion is lost or double-counted; the -race run checks the rest.
+func TestDynamicConcurrentBookkeeping(t *testing.T) {
+	const frames = 2000
+	var processed atomic.Int64
+	tasks := []Task{
+		&FuncTask{TaskName: "gen", Rep: true, Fn: func(w *Worker, f *Frame) error {
+			if f.Seq%31 == 7 {
+				return errors.New("boom")
+			}
+			return nil
+		}},
+		timedTask("stateful", 0, 0, false),
+		&FuncTask{TaskName: "count", Rep: true, Fn: func(w *Worker, f *Frame) error {
+			processed.Add(1)
+			return nil
+		}},
+	}
+	st, err := Dynamic(tasks, frames, DynamicOptions{Workers: PlatformWorkers(4, 4)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Frames != frames {
+		t.Fatalf("frames = %d, want %d", st.Frames, frames)
+	}
+	if got := processed.Load(); got != frames {
+		t.Fatalf("final task ran %d times, want %d", got, frames)
+	}
+	wantErr := 0
+	for s := 0; s < frames; s++ {
+		if s%31 == 7 {
+			wantErr++
+		}
+	}
+	if st.Errored != wantErr {
+		t.Fatalf("errored = %d, want %d", st.Errored, wantErr)
 	}
 }
 

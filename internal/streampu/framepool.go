@@ -1,0 +1,70 @@
+package streampu
+
+import (
+	"sync"
+
+	"ampsched/internal/streampu/ring"
+)
+
+// FramePool recycles Frame objects through a lock-free MPMC free list
+// with a sync.Pool behind it, so the pipeline's steady-state frame loop
+// performs zero heap allocations.
+//
+// The free list is MPMC because recycling is the pipeline's one true
+// fan-in/fan-out point: every last-stage replica releases frames and
+// every source replica acquires them, concurrently. Sized to the
+// pipeline's in-flight bound (workers plus aggregate boundary
+// capacity), the ring can never overflow in steady state, and after the
+// first lap it never underflows either — Get pops a recycled frame and
+// Put pushes it back, no allocator in sight. The sync.Pool is the
+// graceful fallback for both edges (a cold ring during warmup, an
+// oversized release burst), not the steady-state path: unlike the ring
+// it may allocate on Get and is drained by GC cycles.
+//
+// Ownership contract: a frame obtained from Get is owned exclusively by
+// the caller until handed downstream; the last owner returns it with
+// Put, after which any retained pointer to the frame (not to its
+// payload) is invalid. Put resets Err; Seq is overwritten by the next
+// Get site. Data is deliberately preserved across recycling so payload
+// buffers are reused too — tasks that lazily allocate with
+// "if f.Data == nil { f.Data = &Payload{} }" (the dvbs2 chains do)
+// become allocation-free after the pool's first lap. Sources that need
+// a pristine frame must reset Data themselves.
+type FramePool struct {
+	free *ring.MPMC[*Frame]
+	pool sync.Pool
+}
+
+// NewFramePool returns a pool whose lock-free free list holds up to
+// capacity frames (rounded up to a power of two; sized by callers to
+// the maximum number of frames simultaneously in flight).
+func NewFramePool(capacity int) *FramePool {
+	p := &FramePool{free: ring.NewMPMC[*Frame](capacity)}
+	p.pool.New = func() any { return new(Frame) }
+	return p
+}
+
+// Get returns a frame with Err == nil and undefined Seq/Data (see the
+// recycling contract on FramePool). Allocation-free whenever the free
+// list is non-empty. A nil pool allocates a fresh frame.
+func (p *FramePool) Get() *Frame {
+	if p == nil {
+		return new(Frame)
+	}
+	if f, ok := p.free.TryPop(); ok {
+		return f
+	}
+	return p.pool.Get().(*Frame)
+}
+
+// Put recycles f. Safe from any goroutine; a nil pool or nil frame is a
+// no-op.
+func (p *FramePool) Put(f *Frame) {
+	if p == nil || f == nil {
+		return
+	}
+	f.Err = nil
+	if !p.free.TryPush(f) {
+		p.pool.Put(f)
+	}
+}

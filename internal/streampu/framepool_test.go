@@ -1,0 +1,68 @@
+package streampu
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestFramePoolRecyclesAndResets(t *testing.T) {
+	p := NewFramePool(4)
+	f := p.Get()
+	payload := &struct{ n int }{n: 42}
+	f.Seq = 7
+	f.Data = payload
+	f.Err = errors.New("boom")
+	p.Put(f)
+
+	g := p.Get()
+	if g != f {
+		t.Fatal("pool did not recycle the returned frame")
+	}
+	if g.Err != nil {
+		t.Fatalf("recycled frame carries Err %v, want nil", g.Err)
+	}
+	if g.Data != any(payload) {
+		t.Fatal("recycled frame lost its Data payload (contract: Data is preserved)")
+	}
+}
+
+func TestFramePoolNilSafe(t *testing.T) {
+	var p *FramePool
+	f := p.Get()
+	if f == nil {
+		t.Fatal("nil pool Get returned nil frame")
+	}
+	p.Put(f) // no-op, must not panic
+	p = NewFramePool(2)
+	p.Put(nil) // nil frame is a no-op
+	if p.Get() == nil {
+		t.Fatal("Get returned nil after Put(nil)")
+	}
+}
+
+func TestFramePoolOverflowFallsBackToSyncPool(t *testing.T) {
+	p := NewFramePool(2)
+	frames := make([]*Frame, 16)
+	for i := range frames {
+		frames[i] = p.Get()
+	}
+	for _, f := range frames {
+		p.Put(f) // more than the free list holds: overflow goes to sync.Pool
+	}
+	for i := 0; i < 16; i++ {
+		if p.Get() == nil {
+			t.Fatalf("Get %d returned nil after overflow", i)
+		}
+	}
+}
+
+func TestFramePoolSteadyStateAllocs(t *testing.T) {
+	p := NewFramePool(8)
+	f := p.Get()
+	p.Put(f) // warm the free list
+	if n := testing.AllocsPerRun(1000, func() {
+		p.Put(p.Get())
+	}); n != 0 {
+		t.Fatalf("steady-state Get/Put allocates %.2f per op, want 0", n)
+	}
+}

@@ -3,18 +3,37 @@ package streampu
 import (
 	"errors"
 	"fmt"
+	"math"
+	"runtime"
 	"sync"
 	"time"
 
 	"ampsched/internal/core"
 	"ampsched/internal/obs/flight"
+	"ampsched/internal/streampu/ring"
+)
+
+// BoundaryKind selects the inter-stage adaptor implementation.
+type BoundaryKind int
+
+const (
+	// BoundaryRing (the default) hands frames between stages through
+	// lock-free bounded SPSC rings — the allocation-free hot path.
+	BoundaryRing BoundaryKind = iota
+	// BoundaryChannel is the original buffered-Go-channel matrix, kept as
+	// the reference implementation the differential tests compare the
+	// ring boundary against (and as an escape hatch for debugging).
+	BoundaryChannel
 )
 
 // Options configures a pipeline run.
 type Options struct {
-	// QueueCap is the buffered capacity of each adaptor channel (frames).
-	// Defaults to 2.
+	// QueueCap is the buffered capacity of each adaptor queue (frames).
+	// Defaults to 2; negative values are rejected by New.
 	QueueCap int
+	// Boundary selects the inter-stage adaptor implementation; the
+	// zero value is the lock-free ring boundary.
+	Boundary BoundaryKind
 	// TimeScale multiplies modeled latencies before realization; use > 1
 	// on machines with coarse sleep granularity or fewer physical cores
 	// than modeled. Reported periods and FPS are de-scaled back to the
@@ -39,10 +58,32 @@ type Options struct {
 	// CodeFrameDrop per frame that finishes a stage with a non-nil Err
 	// (tick and A = frame sequence), and one CodeStall per handoff that
 	// found the downstream buffer full (tick and A = frame sequence,
-	// B = blocked replica index) — the backpressure signal. Stall probing
-	// only happens when a recorder is attached, so the nil default keeps
-	// the handoff a plain channel send.
+	// B = blocked replica index) — the backpressure signal. The full-
+	// buffer probe is the ring boundary's natural fast path, so stall
+	// detection is always on; recording it is a no-op without a recorder.
 	Flight *flight.Recorder
+}
+
+// validate rejects option values that would previously have been
+// silently coerced (or worse, panicked deep inside the run): negative
+// queue capacities, negative or NaN scales and warmup fractions. Zero
+// values still select the documented defaults.
+func (o Options) validate() error {
+	if o.QueueCap < 0 {
+		return fmt.Errorf("streampu: QueueCap = %d, want >= 0 (0 selects the default of 2)", o.QueueCap)
+	}
+	if o.TimeScale < 0 || math.IsNaN(o.TimeScale) || math.IsInf(o.TimeScale, 0) {
+		return fmt.Errorf("streampu: TimeScale = %v, want a finite value >= 0 (0 selects 1)", o.TimeScale)
+	}
+	if o.WarmupFraction < 0 || o.WarmupFraction >= 1 || math.IsNaN(o.WarmupFraction) {
+		if o.WarmupFraction != 0 {
+			return fmt.Errorf("streampu: WarmupFraction = %v, want 0 <= f < 1 (0 selects 0.25)", o.WarmupFraction)
+		}
+	}
+	if o.Boundary != BoundaryRing && o.Boundary != BoundaryChannel {
+		return fmt.Errorf("streampu: unknown boundary kind %d", o.Boundary)
+	}
+	return nil
 }
 
 func (o Options) withDefaults() Options {
@@ -108,6 +149,9 @@ func New(tasks []Task, sol core.Solution, opt Options) (*Pipeline, error) {
 	if sol.IsEmpty() {
 		return nil, errors.New("streampu: empty solution")
 	}
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
 	opt = opt.withDefaults()
 	p := &Pipeline{tasks: tasks, sol: sol, opt: opt}
 	next := 0
@@ -138,21 +182,120 @@ func New(tasks []Task, sol core.Solution, opt Options) (*Pipeline, error) {
 }
 
 // boundary is the adaptor network between two consecutive stages: a
-// channel matrix ch[u][w] from upstream replica u to downstream replica w.
+// queue matrix [u][w] from upstream replica u to downstream replica w.
 // Frame seq flows from upstream replica seq%r1 to downstream replica
-// seq%r2; each downstream replica drains its input channels in the
+// seq%r2; each downstream replica drains its input queues in the
 // deterministic round-robin order of the sequence numbers it owns, which
 // preserves global frame order without a dedicated adaptor goroutine.
 // This matrix is exactly the "connect two consecutive replicated stages"
 // adaptor introduced for this paper in StreamPU v1.6.0 (r1 > 1 and
 // r2 > 1); with r1 = 1 or r2 = 1 it degenerates to StreamPU's classic
 // fork/join adaptors.
-type boundary struct {
+//
+// Because the matrix routes every (u, w) pair through its own queue,
+// each queue has exactly one producer and one consumer no matter how the
+// stages fan in or out — which is what lets the default implementation
+// use SPSC rings with no locking anywhere on the frame path.
+type boundary interface {
+	// trySend hands f from upstream replica u to downstream replica w
+	// without blocking; false means the queue was full (a stall).
+	trySend(u, w int, f *Frame) bool
+	// sendBlocking completes a hand-off that trySend refused.
+	sendBlocking(u, w int, f *Frame)
+	// recv blocks until a frame from upstream replica u arrives for
+	// downstream replica w; ok == false means u closed its side and every
+	// queued frame has been drained.
+	recv(u, w int) (f *Frame, ok bool)
+	// closeUp marks upstream replica u as finished.
+	closeUp(u int)
+}
+
+func newBoundary(kind BoundaryKind, r1, r2, cap int) boundary {
+	if kind == BoundaryChannel {
+		return newChanBoundary(r1, r2, cap)
+	}
+	return newRingBoundary(r1, r2, cap)
+}
+
+// ringBoundary is the lock-free default: one bounded SPSC ring per
+// (upstream, downstream) replica pair, flattened row-major. Blocking is
+// the caller's spin→yield→sleep backoff over the non-blocking ring ops.
+type ringBoundary struct {
+	r2 int
+	q  []*ring.SPSC[*Frame] // [u*r2 + w]
+}
+
+func newRingBoundary(r1, r2, cap int) *ringBoundary {
+	b := &ringBoundary{r2: r2, q: make([]*ring.SPSC[*Frame], r1*r2)}
+	for i := range b.q {
+		b.q[i] = ring.NewSPSC[*Frame](cap)
+	}
+	return b
+}
+
+func (b *ringBoundary) trySend(u, w int, f *Frame) bool {
+	return b.q[u*b.r2+w].TryPush(f)
+}
+
+func (b *ringBoundary) sendBlocking(u, w int, f *Frame) {
+	q := b.q[u*b.r2+w]
+	for i := 0; !q.TryPush(f); i++ {
+		backoff(i)
+	}
+}
+
+func (b *ringBoundary) recv(u, w int) (*Frame, bool) {
+	q := b.q[u*b.r2+w]
+	for i := 0; ; i++ {
+		if f, ok := q.TryPop(); ok {
+			return f, true
+		}
+		if q.Closed() {
+			// The closing store is ordered after the producer's final
+			// push: one more pop observes any element the pre-close probe
+			// raced with.
+			return q.TryPop()
+		}
+		backoff(i)
+	}
+}
+
+func (b *ringBoundary) closeUp(u int) {
+	for w := 0; w < b.r2; w++ {
+		b.q[u*b.r2+w].Close()
+	}
+}
+
+// backoff is the boundary waiting policy: spin briefly (the peer is
+// usually mid-frame on another core), then yield the processor (the
+// pipeline is documented oversubscription-safe, so the peer may need
+// this core), then sleep with escalating, capped pauses (a stalled peer
+// may legitimately be tens of milliseconds away — modeled latencies —
+// and a sleeping waiter must not burn the core it vacated). None of the
+// three branches allocates, so waiting preserves the 0 allocs/op pin.
+func backoff(i int) {
+	switch {
+	case i < 64:
+		// hot spin
+	case i < 192:
+		runtime.Gosched()
+	default:
+		step := (i - 192) / 32
+		if step > 6 {
+			step = 6
+		}
+		time.Sleep(time.Duration(20<<uint(step)) * time.Microsecond) // 20µs … 1.28ms
+	}
+}
+
+// chanBoundary is the reference implementation: the buffered-channel
+// matrix the ring boundary replaced, preserved for differential testing.
+type chanBoundary struct {
 	ch [][]chan *Frame // [upstream replica][downstream replica]
 }
 
-func newBoundary(r1, r2, cap int) *boundary {
-	b := &boundary{ch: make([][]chan *Frame, r1)}
+func newChanBoundary(r1, r2, cap int) *chanBoundary {
+	b := &chanBoundary{ch: make([][]chan *Frame, r1)}
 	for u := range b.ch {
 		b.ch[u] = make([]chan *Frame, r2)
 		for w := range b.ch[u] {
@@ -160,6 +303,30 @@ func newBoundary(r1, r2, cap int) *boundary {
 		}
 	}
 	return b
+}
+
+func (b *chanBoundary) trySend(u, w int, f *Frame) bool {
+	select {
+	case b.ch[u][w] <- f:
+		return true
+	default:
+		return false
+	}
+}
+
+func (b *chanBoundary) sendBlocking(u, w int, f *Frame) {
+	b.ch[u][w] <- f
+}
+
+func (b *chanBoundary) recv(u, w int) (*Frame, bool) {
+	f, ok := <-b.ch[u][w]
+	return f, ok
+}
+
+func (b *chanBoundary) closeUp(u int) {
+	for _, ch := range b.ch[u] {
+		close(ch)
+	}
 }
 
 // Run pushes frames frames through the pipeline and blocks until they all
@@ -170,10 +337,20 @@ func (p *Pipeline) Run(frames int, src func(f *Frame)) (Stats, error) {
 		return Stats{}, fmt.Errorf("streampu: frames = %d, want > 0", frames)
 	}
 	m := len(p.stages)
-	bounds := make([]*boundary, m-1)
-	for i := 0; i < m-1; i++ {
-		bounds[i] = newBoundary(p.stages[i].Cores, p.stages[i+1].Cores, p.opt.QueueCap)
+	bounds := make([]boundary, m-1)
+	inflight := 0 // frames that can exist simultaneously: one per worker...
+	for _, st := range p.stages {
+		inflight += st.Cores
 	}
+	for i := 0; i < m-1; i++ {
+		r1, r2 := p.stages[i].Cores, p.stages[i+1].Cores
+		bounds[i] = newBoundary(p.opt.Boundary, r1, r2, p.opt.QueueCap)
+		inflight += r1 * r2 * p.opt.QueueCap // ...plus every boundary slot
+	}
+	// Recycle frames through a free list sized to the in-flight bound: the
+	// source's pool.Get can only miss during the first lap, so the steady-
+	// state frame loop never touches the allocator.
+	pool := NewFramePool(inflight)
 
 	p.opt.Sampler.bind(p.stages, p.opt.TimeScale, time.Now())
 
@@ -220,11 +397,11 @@ func (p *Pipeline) Run(frames int, src func(f *Frame)) (Stats, error) {
 				defer wg.Done()
 				wctx := &Worker{Core: st.Type, Scale: p.opt.TimeScale, Spin: p.opt.Spin, ID: w}
 				r := st.Cores
-				var out *boundary
+				var out boundary
 				if si < m-1 {
 					out = bounds[si]
 				}
-				var in *boundary
+				var in boundary
 				if si > 0 {
 					in = bounds[si-1]
 				}
@@ -238,12 +415,15 @@ func (p *Pipeline) Run(frames int, src func(f *Frame)) (Stats, error) {
 						if seq >= uint64(frames) {
 							break
 						}
-						f = &Frame{Seq: seq}
+						// Recycled frame: Err is clean, Data is whatever the
+						// frame carried last lap (see FramePool's contract).
+						f = pool.Get()
+						f.Seq = seq
 						if src != nil {
 							src(f)
 						}
 					} else {
-						ff, ok := <-in.ch[int(seq)%upR][w]
+						ff, ok := in.recv(int(seq)%upR, w)
 						if !ok {
 							break
 						}
@@ -299,31 +479,30 @@ func (p *Pipeline) Run(frames int, src func(f *Frame)) (Stats, error) {
 						if now.After(res.lastAt) {
 							res.lastAt = now
 						}
+						// The frame is done: hand it back for the source to
+						// reuse. Every field the next lap cares about is reset
+						// by Put (Err) or overwritten at Get (Seq).
+						pool.Put(f)
 					} else {
-						dst := out.ch[w][int(f.Seq)%p.stages[si+1].Cores]
-						if p.opt.Flight == nil {
-							dst <- f
-						} else {
-							// Probe first: a full buffer means this replica is
-							// about to block on backpressure — the replica-
-							// stall signal the flight recorder captures.
-							select {
-							case dst <- f:
-							default:
-								p.opt.Flight.Record(flight.Event{
-									Code: flight.CodeStall, Tick: int64(f.Seq),
-									Stage: int32(si), A: float64(f.Seq), B: float64(w),
-								})
-								dst <- f
-							}
+						// Probe first: a full buffer means this replica is
+						// about to block on backpressure — the replica-stall
+						// signal the flight recorder and sampler capture. The
+						// probe is the ring's natural fast path, so detection
+						// costs nothing when the recorder is off.
+						dw := int(f.Seq) % p.stages[si+1].Cores
+						if !out.trySend(w, dw, f) {
+							p.opt.Flight.Record(flight.Event{
+								Code: flight.CodeStall, Tick: int64(f.Seq),
+								Stage: int32(si), A: float64(f.Seq), B: float64(w),
+							})
+							p.opt.Sampler.RecordStall(si)
+							out.sendBlocking(w, dw, f)
 						}
 					}
 				}
 				// Signal downstream that this replica is done.
 				if out != nil {
-					for _, ch := range out.ch[w] {
-						close(ch)
-					}
+					out.closeUp(w)
 				}
 			}(si, w, st, insts, res)
 		}

@@ -1,0 +1,32 @@
+package ring
+
+// resetAt restarts an empty SPSC queue with both cursors at base — the
+// test hook behind the uint64-wraparound property tests. Call only while
+// no goroutine is using the queue.
+func (q *SPSC[T]) resetAt(base uint64) {
+	for i := range q.buf {
+		var zero T
+		q.buf[i] = zero
+	}
+	q.head.Store(base)
+	q.tail.Store(base)
+	q.hcache = base
+	q.tcache = base
+}
+
+// resetAt restarts an empty MPMC queue with both cursors at base and
+// every cell re-stamped accordingly.
+func (q *MPMC[T]) resetAt(base uint64) {
+	for i := range q.buf {
+		var zero T
+		q.buf[i].val = zero
+	}
+	// A free cell must satisfy buf[t&mask].seq == t for its next push
+	// ticket t — stamp by ticket, not by array index, so bases that are
+	// not a multiple of the capacity keep the invariant.
+	for t := base; t != base+uint64(len(q.buf)); t++ {
+		q.buf[t&q.mask].seq.Store(t)
+	}
+	q.enq.Store(base)
+	q.deq.Store(base)
+}

@@ -47,6 +47,12 @@ type StageSample struct {
 	// Frames is the cumulative frame count; FrameDelta the window's share.
 	Frames     int64
 	FrameDelta int64
+	// Stalls is the cumulative count of hand-offs this stage's replicas
+	// made that found the downstream buffer full (backpressure events);
+	// StallDelta the window's share. A consistently stalling stage means
+	// the *next* stage is the bottleneck.
+	Stalls     int64
+	StallDelta int64
 	// P50/P95/P99 are the stage's per-frame latency percentiles in modeled
 	// µs, over the whole run so far (streaming log-bucketed histogram).
 	P50, P95, P99 float64
@@ -60,6 +66,7 @@ type samplerState struct {
 	t0      time.Time
 	busyNs  []atomic.Int64
 	frames  []atomic.Int64
+	stalls  []atomic.Int64
 	lat     []*obs.LogHistogram
 }
 
@@ -89,6 +96,7 @@ type Sampler struct {
 	lastNs     int64
 	prevBusy   []int64
 	prevFrames []int64
+	prevStalls []int64
 	occSeries  []*obs.Series
 	occEwma    []*obs.EWMA
 	fps        *obs.Rate
@@ -114,6 +122,7 @@ func (s *Sampler) bind(stages []pipeStage, scale float64, t0 time.Time) {
 		t0:      t0,
 		busyNs:  make([]atomic.Int64, len(stages)),
 		frames:  make([]atomic.Int64, len(stages)),
+		stalls:  make([]atomic.Int64, len(stages)),
 		lat:     make([]*obs.LogHistogram, len(stages)),
 	}
 	s.mu.Lock()
@@ -138,6 +147,7 @@ func (s *Sampler) bind(stages []pipeStage, scale float64, t0 time.Time) {
 	s.lastNs = 0
 	s.prevBusy = make([]int64, len(stages))
 	s.prevFrames = make([]int64, len(stages))
+	s.prevStalls = make([]int64, len(stages))
 	s.state.Store(st)
 	s.mu.Unlock()
 }
@@ -176,6 +186,20 @@ func (s *Sampler) Record(stage int, d time.Duration) {
 	st.lat[stage].Observe(float64(d) / float64(time.Microsecond) / st.scale)
 }
 
+// RecordStall counts one backpressure event for stage: a hand-off that
+// found the downstream buffer full and had to block. Lock-free,
+// allocation-free; no-op on a nil receiver or before binding.
+func (s *Sampler) RecordStall(stage int) {
+	if s == nil {
+		return
+	}
+	st := s.state.Load()
+	if st == nil || stage < 0 || stage >= len(st.stalls) {
+		return
+	}
+	st.stalls[stage].Add(1)
+}
+
 // Sample closes the current window at now: it computes each stage's
 // windowed occupancy and weight estimate, publishes occupancy series /
 // EWMA gauges and the sink frame rate into the registry, feeds the Drift
@@ -202,6 +226,7 @@ func (s *Sampler) Sample(now time.Time) []StageSample {
 	for i := range st.workers {
 		busy := st.busyNs[i].Load()
 		frames := st.frames[i].Load()
+		stalls := st.stalls[i].Load()
 		dBusy := busy - s.prevBusy[i]
 		dFrames := frames - s.prevFrames[i]
 		occ := float64(dBusy) / (float64(windowNs) * float64(st.workers[i]))
@@ -210,6 +235,7 @@ func (s *Sampler) Sample(now time.Time) []StageSample {
 			Stage: i, Workers: st.workers[i],
 			Occupancy: occ,
 			Frames:    frames, FrameDelta: dFrames,
+			Stalls: stalls, StallDelta: stalls - s.prevStalls[i],
 			P50: q.P50, P95: q.P95, P99: q.P99,
 		}
 		if dFrames > 0 {
@@ -231,6 +257,7 @@ func (s *Sampler) Sample(now time.Time) []StageSample {
 		}
 		s.prevBusy[i] = busy
 		s.prevFrames[i] = frames
+		s.prevStalls[i] = stalls
 	}
 	if last := len(st.workers) - 1; last >= 0 && s.fps != nil {
 		s.fps.Mark(out[last].FrameDelta)

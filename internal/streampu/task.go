@@ -21,11 +21,21 @@ import (
 )
 
 // Frame is one unit of streaming data flowing through the pipeline.
+//
+// Frames are recycled: when a frame leaves the last stage the runtime
+// returns it to a FramePool, and the source reuses it for a later
+// sequence number. Tasks therefore must not retain a *Frame past their
+// Process call. Recycling resets Err and reassigns Seq but deliberately
+// keeps Data, so chains that lazily allocate their payload
+// ("if f.Data == nil { ... }") touch the allocator only on the pool's
+// first lap — see FramePool for the full ownership contract.
 type Frame struct {
 	// Seq is the frame's sequence number, assigned by the pipeline source
 	// starting at 0. Replication adaptors preserve sequence order.
 	Seq uint64
-	// Data carries the task-chain-specific payload.
+	// Data carries the task-chain-specific payload. Preserved across
+	// recycling: on a reused frame it holds the payload of the previous
+	// frame this allocation carried.
 	Data any
 	// Err records a processing failure; subsequent tasks may inspect it
 	// and the runtime counts frames that finish with a non-nil Err.
